@@ -1,0 +1,190 @@
+// Command snnbench regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	snnbench -run all                 # every table and figure
+//	snnbench -run table1,fig4         # a subset
+//	snnbench -run table2 -steps 384   # scale the budget up
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"burstsnn/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated list: fig1,fig2,table1,fig3,fig4,table2,fig5,chip,ablations or all")
+		steps  = flag.Int("steps", 192, "simulation time steps per image")
+		images = flag.Int("images", 40, "test images per configuration")
+		psteps = flag.Int("pattern-steps", 128, "steps per image for spike-pattern recordings")
+		pimgs  = flag.Int("pattern-images", 3, "images per spike-pattern recording")
+		dir    = flag.String("dir", "", "model cache directory (default: system temp)")
+		tiny   = flag.Bool("tiny", false, "use the reduced test-scale recipes")
+		out    = flag.String("o", "", "also write the report to this file")
+		csvDir = flag.String("csv", "", "also export per-exhibit CSV files into this directory")
+	)
+	flag.Parse()
+
+	settings := experiments.DefaultSettings()
+	settings.Log = os.Stderr
+	settings.Steps = *steps
+	settings.Images = *images
+	settings.PatternSteps = *psteps
+	settings.PatternImages = *pimgs
+	settings.Tiny = *tiny
+	if *dir != "" {
+		settings.ModelDir = *dir
+	}
+	lab := experiments.NewLab(settings)
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+
+	var report strings.Builder
+	emit := func(s string) {
+		fmt.Print(s)
+		report.WriteString(s)
+	}
+
+	writeCSV := func(name string, export func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "snnbench: %v\n", err)
+			return
+		}
+		path := *csvDir + "/" + name + ".csv"
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snnbench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := export(f); err != nil {
+			fmt.Fprintf(os.Stderr, "snnbench: writing %s: %v\n", path, err)
+		}
+	}
+
+	type experiment struct {
+		name string
+		run  func() (string, error)
+	}
+	exps := []experiment{
+		{"fig1", func() (string, error) {
+			return experiments.Fig1(0.7, 64).Render(), nil
+		}},
+		{"fig2", func() (string, error) {
+			r, err := experiments.Fig2(lab)
+			if err != nil {
+				return "", err
+			}
+			writeCSV("fig2", func(f *os.File) error { return r.WriteCSV(f) })
+			return r.Render(), nil
+		}},
+		{"table1", func() (string, error) {
+			r, err := experiments.Table1(lab)
+			if err != nil {
+				return "", err
+			}
+			writeCSV("table1", func(f *os.File) error { return r.WriteCSV(f) })
+			return r.Render(), nil
+		}},
+		{"fig3", func() (string, error) {
+			r, err := experiments.Fig3(lab)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig4", func() (string, error) {
+			r, err := experiments.Fig4(lab)
+			if err != nil {
+				return "", err
+			}
+			writeCSV("fig4", func(f *os.File) error { return r.WriteCSV(f) })
+			return r.Render(), nil
+		}},
+		{"table2", func() (string, error) {
+			r, err := experiments.Table2(lab)
+			if err != nil {
+				return "", err
+			}
+			writeCSV("table2", func(f *os.File) error { return r.WriteCSV(f) })
+			return r.Render(), nil
+		}},
+		{"fig5", func() (string, error) {
+			r, err := experiments.Fig5(lab)
+			if err != nil {
+				return "", err
+			}
+			writeCSV("fig5", func(f *os.File) error { return r.WriteCSV(f) })
+			return r.Render(), nil
+		}},
+		{"chip", func() (string, error) {
+			r, err := experiments.ChipEnergy(lab)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ablations", func() (string, error) {
+			var sb strings.Builder
+			beta, err := experiments.AblationBeta(lab)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(beta.Render() + "\n")
+			norm, err := experiments.AblationNorm(lab)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(norm.Render() + "\n")
+			ttfs, err := experiments.ExtensionTTFS(lab)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(ttfs.Render() + "\n")
+			leak, err := experiments.ExtensionLeak(lab)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(leak.Render())
+			return sb.String(), nil
+		}},
+	}
+
+	ran := 0
+	for _, e := range exps {
+		if !all && !want[e.name] {
+			continue
+		}
+		s, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snnbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		emit("## " + e.name + "\n\n" + s + "\n")
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "snnbench: nothing selected by -run=%q\n", *run)
+		os.Exit(2)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snnbench: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+	}
+}

@@ -1,0 +1,90 @@
+// Command snneval converts a baseline model to an SNN under one
+// input-hidden coding configuration and reports accuracy, latency,
+// spikes, density, and energy.
+//
+// Usage:
+//
+//	snneval -model textures10 -input phase -hidden burst -vth 0.125 -steps 192 -images 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"burstsnn"
+	"burstsnn/internal/experiments"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "textures10", "baseline model: digits, textures10, textures100")
+		input  = flag.String("input", "phase", "input coding: real, rate, phase, ttfs")
+		hidden = flag.String("hidden", "burst", "hidden coding: rate, phase, burst")
+		vth    = flag.Float64("vth", 0, "hidden threshold constant v_th (0 = scheme default)")
+		beta   = flag.Float64("beta", 0, "burst constant β (0 = default 2)")
+		steps  = flag.Int("steps", 192, "simulation time steps per image")
+		images = flag.Int("images", 40, "test images to evaluate")
+		dir    = flag.String("dir", "", "model cache directory (default: system temp)")
+		tiny   = flag.Bool("tiny", false, "use the reduced test-scale recipes")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "snneval: %v\n", err)
+		os.Exit(1)
+	}
+
+	inScheme, err := burstsnn.ParseScheme(*input)
+	if err != nil {
+		fail(err)
+	}
+	hidScheme, err := burstsnn.ParseScheme(*hidden)
+	if err != nil {
+		fail(err)
+	}
+
+	settings := experiments.DefaultSettings()
+	settings.Log = os.Stderr
+	settings.Steps = *steps
+	settings.Images = *images
+	settings.Tiny = *tiny
+	if *dir != "" {
+		settings.ModelDir = *dir
+	}
+	lab := experiments.NewLab(settings)
+	m, err := lab.Model(*model)
+	if err != nil {
+		fail(err)
+	}
+
+	hybrid := burstsnn.NewHybrid(inScheme, hidScheme)
+	if *vth > 0 {
+		hybrid = hybrid.WithVTh(*vth)
+	}
+	if *beta > 0 {
+		hybrid = hybrid.WithBeta(*beta)
+	}
+
+	res, err := burstsnn.Evaluate(m.Net, m.Set, burstsnn.EvalConfig{
+		Hybrid: hybrid, Steps: *steps, MaxImages: *images,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	best, at := res.BestAccuracy()
+	fmt.Printf("configuration : %s on %s\n", hybrid.Notation(), m.Name)
+	fmt.Printf("DNN accuracy  : %.4f\n", res.DNNAccuracy)
+	fmt.Printf("SNN accuracy  : %.4f (best, first reached at step %d)\n", best, at)
+	fmt.Printf("final accuracy: %.4f after %d steps\n", res.FinalAccuracy(), res.Steps)
+	fmt.Printf("spikes/image  : %.0f (input %.0f, hidden %.0f)\n",
+		res.SpikesPerImage, res.InputSpikesPerImage, res.HiddenSpikesPerImage)
+	fmt.Printf("neurons       : %d\n", res.Neurons)
+	fmt.Printf("spiking density: %.4f\n", res.Density())
+
+	w := burstsnn.Workload{Spikes: res.SpikesPerImage, Density: res.Density(), Latency: float64(res.Steps)}
+	fmt.Printf("energy (arb.) : TrueNorth %.3g, SpiNNaker %.3g\n",
+		burstsnn.EstimateEnergy(burstsnn.TrueNorth(), w),
+		burstsnn.EstimateEnergy(burstsnn.SpiNNaker(), w))
+}

@@ -1,0 +1,83 @@
+// Chipmapping demonstrates the neuromorphic-hardware side of the paper's
+// energy argument: map a converted SNN onto a TrueNorth-style core mesh,
+// replay a measured spike workload, and see where the routing energy goes
+// — and how much placement quality matters.
+//
+// Run with: go run ./examples/chipmapping
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"burstsnn"
+)
+
+func main() {
+	// A small trained model to map.
+	set := burstsnn.SynthDigits(burstsnn.DigitsConfig{
+		TrainPerClass: 60, TestPerClass: 10, Noise: 0.05, Seed: 31,
+	})
+	net, err := burstsnn.BuildDNN(burstsnn.LeNetMini(1, 28, 28, 10), burstsnn.NewRNG(13))
+	if err != nil {
+		log.Fatal(err)
+	}
+	burstsnn.Train(net, set, burstsnn.NewAdam(0.002), burstsnn.TrainConfig{
+		Epochs: 2, BatchSize: 32, Seed: 14,
+	})
+
+	// Convert with the paper's real-burst configuration and extract the
+	// connectivity graph.
+	conv, err := burstsnn.Convert(net, set.Train,
+		burstsnn.DefaultConvertOptions(burstsnn.Real, burstsnn.Burst))
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := burstsnn.ExtractTopology(conv.Net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d neurons across %d layers\n", topo.TotalNeurons(), len(topo.Layers))
+
+	// Record a spike workload: 3 test images, 64 steps each.
+	images := [][]float64{set.Test[0].Image, set.Test[1].Image, set.Test[2].Image}
+	load := burstsnn.RecordLoad(conv.Net, topo, images, 64)
+
+	// A TrueNorth-style mesh large enough to host the network.
+	side := 1
+	for burstsnn.TrueNorthChip(side, side).Capacity() < topo.TotalNeurons() {
+		side++
+	}
+	chip := burstsnn.TrueNorthChip(side, side)
+	fmt.Printf("chip: %s %dx%d mesh, %d neurons/core\n\n", chip.Name, chip.MeshW, chip.MeshH, chip.NeuronsPerCore)
+
+	show := func(label string, p *burstsnn.Placement) *burstsnn.TrafficReport {
+		rep, err := burstsnn.Replay(p, load, chip)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s hops %.2fM  off-core %.1f%%  max link %.0f  E(route) %.2fG\n",
+			label, rep.Hops/1e6, rep.OffCoreFraction*100, rep.MaxLinkLoad, rep.RouteEnergy/1e9)
+		return rep
+	}
+
+	seq, err := burstsnn.PlaceSequential(topo, chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repSeq := show("sequential placement", seq)
+
+	rnd, err := burstsnn.PlaceRandom(topo, chip, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repRnd := show("random placement", rnd)
+
+	burstsnn.RefinePlacement(rnd, load.Counts, burstsnn.AnnealOptions{Iterations: 40000, Seed: 5})
+	repAnn := show("after annealing", rnd)
+
+	fmt.Printf("\nenergy split (sequential): compute %.2fG, route %.2fG, static %.2fG\n",
+		repSeq.CompEnergy/1e9, repSeq.RouteEnergy/1e9, repSeq.StaticEnergy/1e9)
+	fmt.Printf("annealing recovered %.1f%% of the random placement's routing energy\n",
+		100*(1-repAnn.RouteEnergy/repRnd.RouteEnergy))
+}

@@ -1,0 +1,80 @@
+// Directtraining stages the paper's Section 1-2 argument as a runnable
+// comparison: train a shallow SNN directly with unsupervised STDP
+// (Diehl & Cook 2015, the paper's reference [8]) and put it next to the
+// conversion route (train a DNN, convert with burst coding) on the same
+// reduced digit task.
+//
+// Run with: go run ./examples/directtraining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"burstsnn"
+	"burstsnn/internal/dataset"
+	"burstsnn/internal/stdp"
+)
+
+func main() {
+	set := burstsnn.SynthDigits(burstsnn.DigitsConfig{
+		TrainPerClass: 30, TestPerClass: 10, Noise: 0.02, Seed: 77,
+	})
+	const classes = 4 // digits 0-3 keep the direct route tractable
+	filter := func(samples []dataset.Sample) ([][]float64, []int, []dataset.Sample) {
+		var imgs [][]float64
+		var labels []int
+		var kept []dataset.Sample
+		for _, s := range samples {
+			if s.Label < classes {
+				imgs = append(imgs, s.Image)
+				labels = append(labels, s.Label)
+				kept = append(kept, s)
+			}
+		}
+		return imgs, labels, kept
+	}
+	trainX, trainY, trainSamples := filter(set.Train)
+	testX, testY, testSamples := filter(set.Test)
+
+	// Route 1: direct unsupervised STDP training.
+	fmt.Println("route 1: direct STDP training (shallow, unsupervised)")
+	net, err := stdp.New(stdp.DefaultConfig(set.InputSize(), 30))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const steps = 60
+	for epoch := 0; epoch < 5; epoch++ {
+		net.Train(trainX, steps)
+	}
+	net.AssignClasses(trainX, trainY, classes, steps)
+	stdpAcc := net.Accuracy(testX, testY, classes, steps)
+	fmt.Printf("  STDP accuracy: %.3f (chance %.3f)\n\n", stdpAcc, 1.0/classes)
+
+	// Route 2: DNN training + conversion with burst coding.
+	fmt.Println("route 2: DNN training + conversion (real-burst)")
+	sub := &burstsnn.Set{Name: "digits-4", C: 1, H: 28, W: 28, Classes: classes,
+		Train: trainSamples, Test: testSamples}
+	dnnNet, err := burstsnn.BuildDNN(burstsnn.MLP(1, 28, 28, []int{48}, classes), burstsnn.NewRNG(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	burstsnn.Train(dnnNet, sub, burstsnn.NewAdam(0.01), burstsnn.TrainConfig{
+		Epochs: 10, BatchSize: 16, Seed: 6,
+	})
+	res, err := burstsnn.Evaluate(dnnNet, sub, burstsnn.EvalConfig{
+		Hybrid: burstsnn.NewHybrid(burstsnn.Real, burstsnn.Burst),
+		Steps:  64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, at := res.BestAccuracy()
+	fmt.Printf("  DNN accuracy: %.3f, converted SNN: %.3f at step %d\n\n",
+		res.DNNAccuracy, best, at)
+
+	fmt.Println("The paper's premise in one run: direct training works for shallow")
+	fmt.Println("networks on easy tasks but cannot reach the converted network's")
+	fmt.Println("accuracy — which is why efficient inference in *converted* deep SNNs")
+	fmt.Println("(and burst coding's role there) is the problem worth solving.")
+}

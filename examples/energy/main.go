@@ -1,0 +1,72 @@
+// Energy walks through the paper's Table 2 energy methodology: measure a
+// configuration's spikes, spiking density, and latency, then decompose
+// energy into computation/routing/static parts on the TrueNorth and
+// SpiNNaker profiles and normalize against a rate-coding baseline.
+//
+// Run with: go run ./examples/energy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"burstsnn"
+)
+
+func main() {
+	set := burstsnn.SynthDigits(burstsnn.DigitsConfig{
+		TrainPerClass: 80, TestPerClass: 10, Noise: 0.05, Seed: 11,
+	})
+	net, err := burstsnn.BuildDNN(burstsnn.MLP(1, 28, 28, []int{64}, 10), burstsnn.NewRNG(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	burstsnn.Train(net, set, burstsnn.NewAdam(0.01), burstsnn.TrainConfig{
+		Epochs: 10, BatchSize: 32, Seed: 6,
+	})
+	fmt.Printf("DNN accuracy: %.4f\n\n", burstsnn.EvaluateDNN(net, set.Test))
+
+	// Three methods from Table 2: Diehl-style rate-rate, Kim-style
+	// phase-phase, and the paper's real-burst.
+	configs := []burstsnn.Hybrid{
+		burstsnn.NewHybrid(burstsnn.Rate, burstsnn.Rate),
+		burstsnn.NewHybrid(burstsnn.Phase, burstsnn.Phase),
+		burstsnn.NewHybrid(burstsnn.Real, burstsnn.Burst).WithVTh(0.125),
+	}
+
+	var workloads []burstsnn.Workload
+	fmt.Printf("%-12s %-10s %-9s %-12s %-9s\n", "coding", "accuracy", "latency", "spikes/image", "density")
+	for _, h := range configs {
+		res, err := burstsnn.Evaluate(net, set, burstsnn.EvalConfig{
+			Hybrid: h, Steps: 128, MaxImages: 40,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, at := res.BestAccuracy()
+		spikes := res.SpikesPerImage * float64(at) / float64(res.Steps)
+		density := burstsnn.SpikingDensity(int(spikes), res.Neurons, at)
+		fmt.Printf("%-12s %-10.4f %-9d %-12.0f %-9.4f\n", h.Notation(), best, at, spikes, density)
+		workloads = append(workloads, burstsnn.Workload{
+			Spikes: spikes, Density: density, Latency: float64(at),
+		})
+	}
+
+	// Normalize against the rate-rate baseline (row 0), as the paper
+	// does for MNIST.
+	fmt.Println("\nnormalized energy (baseline = rate-rate):")
+	for _, profile := range []burstsnn.EnergyProfile{burstsnn.TrueNorth(), burstsnn.SpiNNaker()} {
+		norm, err := burstsnn.NormalizeEnergy(profile, workloads, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s", profile.Name)
+		for i, h := range configs {
+			fmt.Printf("  %s=%.3f", h.Notation(), norm[i])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe paper's shape: phase-phase pays a large energy premium for its")
+	fmt.Println("spike volume; burst coding stays at or below the rate baseline while")
+	fmt.Println("being far faster.")
+}

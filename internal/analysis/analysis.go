@@ -1,0 +1,222 @@
+// Package analysis computes the spike-pattern statistics the paper uses
+// to characterize neural codings: inter-spike-interval histograms
+// (Fig. 1C), burst detection and length composition (Fig. 2), firing rate
+// λ (Eq. 11), firing regularity κ (Eq. 12, the ISI coefficient of
+// variation), the firing-rate/regularity scatter (Fig. 5), and spiking
+// density (Table 2, footnote a).
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"burstsnn/internal/coding"
+	"burstsnn/internal/mathx"
+)
+
+// SpikeTrain is the ordered list of time steps at which one neuron fired.
+type SpikeTrain []int
+
+// ISIs returns the inter-spike intervals of the train.
+func (s SpikeTrain) ISIs() []float64 {
+	if len(s) < 2 {
+		return nil
+	}
+	out := make([]float64, len(s)-1)
+	for i := 1; i < len(s); i++ {
+		out[i-1] = float64(s[i] - s[i-1])
+	}
+	return out
+}
+
+// FiringRate returns λ = n/ΣIᵢ (Eq. 11): the number of ISIs divided by
+// the observed inter-spike time. Trains with fewer than two spikes have
+// rate 0.
+func (s SpikeTrain) FiringRate() float64 {
+	isis := s.ISIs()
+	if len(isis) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range isis {
+		sum += v
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(len(isis)) / sum
+}
+
+// Regularity returns κ = std(I)/mean(I) (Eq. 12). A perfectly periodic
+// train has κ = 0; Poisson-like trains approach 1; bursty trains exceed 1.
+func (s SpikeTrain) Regularity() float64 {
+	return mathx.CV(s.ISIs())
+}
+
+// ISIH builds the inter-spike-interval histogram with unit bins
+// [1, maxISI]; intervals above maxISI land in the last bin (matching the
+// paper's Fig. 1C bucketing).
+func ISIH(trains []SpikeTrain, maxISI int) []int {
+	counts := make([]int, maxISI)
+	for _, tr := range trains {
+		for _, isi := range tr.ISIs() {
+			bin := int(isi) - 1
+			if bin < 0 {
+				bin = 0
+			}
+			if bin >= maxISI {
+				bin = maxISI - 1
+			}
+			counts[bin]++
+		}
+	}
+	return counts
+}
+
+// BurstStats describes the burst content of a set of spike trains. A
+// burst is a maximal run of consecutive-time-step spikes (ISI = 1) of
+// length ≥ 2, the short-ISI group of Section 3.1.
+type BurstStats struct {
+	TotalSpikes int
+	BurstSpikes int
+	// ByLength counts bursts of length 2, 3, 4, 5, and >5 (index 0..4),
+	// the composition Fig. 2 stacks.
+	ByLength [5]int
+}
+
+// PercentBurstSpikes returns the share of all spikes that belong to a
+// burst, in [0,1].
+func (b BurstStats) PercentBurstSpikes() float64 {
+	if b.TotalSpikes == 0 {
+		return 0
+	}
+	return float64(b.BurstSpikes) / float64(b.TotalSpikes)
+}
+
+// Bursts analyzes the burst composition of the trains.
+func Bursts(trains []SpikeTrain) BurstStats {
+	var st BurstStats
+	for _, tr := range trains {
+		st.TotalSpikes += len(tr)
+		run := 1
+		flush := func() {
+			if run >= 2 {
+				st.BurstSpikes += run
+				idx := run - 2
+				if idx > 4 {
+					idx = 4
+				}
+				st.ByLength[idx]++
+			}
+			run = 1
+		}
+		for i := 1; i < len(tr); i++ {
+			if tr[i] == tr[i-1]+1 {
+				run++
+			} else {
+				flush()
+			}
+		}
+		if len(tr) > 0 {
+			flush()
+		}
+	}
+	return st
+}
+
+// SpikingDensity is the paper's efficiency metric: expected spikes per
+// neuron per time step (Table 2 footnote a).
+func SpikingDensity(totalSpikes, neurons, latency int) float64 {
+	if neurons == 0 || latency == 0 {
+		return 0
+	}
+	return float64(totalSpikes) / (float64(neurons) * float64(latency))
+}
+
+// PatternPoint is one point of the Fig. 5 scatter: the mean log firing
+// rate and mean regularity over a neuron sample.
+type PatternPoint struct {
+	MeanLogRate    float64 // <log λ>, natural log
+	MeanRegularity float64 // <κ>
+	Neurons        int     // neurons contributing (≥2 spikes each)
+}
+
+// Pattern aggregates trains into a PatternPoint. Neurons with fewer than
+// two spikes carry no ISI information and are excluded, as in the paper's
+// sampling procedure.
+func Pattern(trains []SpikeTrain) PatternPoint {
+	var logRates, regs []float64
+	for _, tr := range trains {
+		if len(tr) < 2 {
+			continue
+		}
+		rate := tr.FiringRate()
+		if rate <= 0 {
+			continue
+		}
+		logRates = append(logRates, math.Log(rate))
+		regs = append(regs, tr.Regularity())
+	}
+	return PatternPoint{
+		MeanLogRate:    mathx.Mean(logRates),
+		MeanRegularity: mathx.Mean(regs),
+		Neurons:        len(logRates),
+	}
+}
+
+// Recorder collects spike trains for a sampled subset of a layer's
+// neurons. Attach its Probe to an snn.Network layer.
+type Recorder struct {
+	sampled map[int]int // neuron index -> slot
+	trains  []SpikeTrain
+}
+
+// NewRecorder samples frac of n neurons (at least one) deterministically
+// from seed and returns the recorder.
+func NewRecorder(n int, frac float64, seed uint64) *Recorder {
+	k := int(math.Ceil(frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	perm := mathx.NewRNG(seed).Perm(n)
+	rec := &Recorder{sampled: make(map[int]int, k), trains: make([]SpikeTrain, k)}
+	for slot, idx := range perm[:k] {
+		rec.sampled[idx] = slot
+	}
+	return rec
+}
+
+// Probe implements the snn probe signature: it appends firing times for
+// the sampled neurons.
+func (r *Recorder) Probe(t int, events []coding.Event) {
+	for _, ev := range events {
+		if slot, ok := r.sampled[ev.Index]; ok {
+			r.trains[slot] = append(r.trains[slot], t)
+		}
+	}
+}
+
+// Trains returns the recorded spike trains (one per sampled neuron, in
+// slot order). Times are already sorted because simulation time is
+// monotonic.
+func (r *Recorder) Trains() []SpikeTrain { return r.trains }
+
+// Reset clears recorded trains while keeping the neuron sample.
+func (r *Recorder) Reset() {
+	for i := range r.trains {
+		r.trains[i] = nil
+	}
+}
+
+// SortedSampledNeurons returns the sampled neuron indices (test hook).
+func (r *Recorder) SortedSampledNeurons() []int {
+	out := make([]int, 0, len(r.sampled))
+	for idx := range r.sampled {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"burstsnn/internal/coding"
+	"burstsnn/internal/mathx"
+)
+
+func TestISIs(t *testing.T) {
+	tr := SpikeTrain{2, 5, 6, 10}
+	want := []float64{3, 1, 4}
+	got := tr.ISIs()
+	if len(got) != len(want) {
+		t.Fatalf("ISIs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ISIs = %v, want %v", got, want)
+		}
+	}
+	if (SpikeTrain{5}).ISIs() != nil {
+		t.Fatal("single spike has no ISIs")
+	}
+}
+
+func TestFiringRateEq11(t *testing.T) {
+	// λ = n/ΣI: 3 ISIs spanning 8 steps => 0.375.
+	tr := SpikeTrain{2, 5, 6, 10}
+	if got := tr.FiringRate(); math.Abs(got-3.0/8) > 1e-12 {
+		t.Fatalf("rate = %v", got)
+	}
+	if (SpikeTrain{}).FiringRate() != 0 || (SpikeTrain{3}).FiringRate() != 0 {
+		t.Fatal("degenerate trains must have rate 0")
+	}
+}
+
+func TestRegularityEq12(t *testing.T) {
+	// Perfectly periodic => κ = 0.
+	if got := (SpikeTrain{0, 4, 8, 12}).Regularity(); got != 0 {
+		t.Fatalf("periodic regularity = %v", got)
+	}
+	// Bursty train (short ISIs then a long gap) has high κ.
+	bursty := SpikeTrain{0, 1, 2, 50, 51, 52, 100}
+	if got := bursty.Regularity(); got < 1 {
+		t.Fatalf("bursty κ = %v, want > 1", got)
+	}
+}
+
+func TestISIHBuckets(t *testing.T) {
+	trains := []SpikeTrain{{0, 1, 2, 10}, {0, 100}}
+	h := ISIH(trains, 5)
+	// ISIs: 1,1,8 and 100 => bins: 1→2, 8→last, 100→last.
+	if h[0] != 2 || h[4] != 2 {
+		t.Fatalf("ISIH = %v", h)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("ISIH dropped intervals: %v", h)
+	}
+}
+
+func TestBurstsComposition(t *testing.T) {
+	trains := []SpikeTrain{
+		{0, 1, 5, 6, 7, 20},         // burst of 2, burst of 3, isolated
+		{0, 1, 2, 3, 4, 5, 6, 7, 8}, // burst of 9 (>5 bucket)
+	}
+	st := Bursts(trains)
+	if st.TotalSpikes != 15 {
+		t.Fatalf("total = %d", st.TotalSpikes)
+	}
+	if st.BurstSpikes != 2+3+9 {
+		t.Fatalf("burst spikes = %d", st.BurstSpikes)
+	}
+	if st.ByLength[0] != 1 || st.ByLength[1] != 1 || st.ByLength[4] != 1 {
+		t.Fatalf("composition = %v", st.ByLength)
+	}
+	if p := st.PercentBurstSpikes(); math.Abs(p-14.0/15) > 1e-12 {
+		t.Fatalf("percent = %v", p)
+	}
+}
+
+func TestBurstsEmptyAndSingle(t *testing.T) {
+	st := Bursts([]SpikeTrain{{}, {5}})
+	if st.TotalSpikes != 1 || st.BurstSpikes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.PercentBurstSpikes() != 0 {
+		t.Fatal("no bursts expected")
+	}
+}
+
+// Property: burst spikes never exceed total spikes, and every counted
+// burst has length ≥ 2.
+func TestBurstsInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		var tr SpikeTrain
+		t0 := 0
+		for i := 0; i < 50; i++ {
+			t0 += 1 + r.Intn(4)
+			tr = append(tr, t0)
+		}
+		st := Bursts([]SpikeTrain{tr})
+		if st.BurstSpikes > st.TotalSpikes {
+			return false
+		}
+		burstCount := 0
+		for _, c := range st.ByLength {
+			burstCount += c
+		}
+		// Each burst contributes at least 2 spikes.
+		return st.BurstSpikes >= 2*burstCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpikingDensity(t *testing.T) {
+	if got := SpikingDensity(1000, 100, 50); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("density = %v", got)
+	}
+	if SpikingDensity(10, 0, 5) != 0 || SpikingDensity(10, 5, 0) != 0 {
+		t.Fatal("degenerate density must be 0")
+	}
+}
+
+func TestPatternExcludesSilentNeurons(t *testing.T) {
+	trains := []SpikeTrain{
+		{0, 4, 8, 12}, // periodic: κ=0, λ=0.25
+		{7},           // single spike: excluded
+		{},            // silent: excluded
+	}
+	p := Pattern(trains)
+	if p.Neurons != 1 {
+		t.Fatalf("neurons = %d", p.Neurons)
+	}
+	if math.Abs(p.MeanLogRate-math.Log(0.25)) > 1e-12 {
+		t.Fatalf("mean log rate = %v", p.MeanLogRate)
+	}
+	if p.MeanRegularity != 0 {
+		t.Fatalf("mean regularity = %v", p.MeanRegularity)
+	}
+}
+
+func TestRecorderSamplesAndRecords(t *testing.T) {
+	rec := NewRecorder(10, 0.3, 1)
+	sampled := rec.SortedSampledNeurons()
+	if len(sampled) != 3 {
+		t.Fatalf("sampled %d neurons, want 3", len(sampled))
+	}
+	// Fire all neurons at t=0 and t=1.
+	evs := make([]coding.Event, 10)
+	for i := range evs {
+		evs[i] = coding.Event{Index: i, Payload: 1}
+	}
+	rec.Probe(0, evs)
+	rec.Probe(1, evs)
+	for _, tr := range rec.Trains() {
+		if len(tr) != 2 || tr[0] != 0 || tr[1] != 1 {
+			t.Fatalf("train = %v", tr)
+		}
+	}
+	rec.Reset()
+	for _, tr := range rec.Trains() {
+		if len(tr) != 0 {
+			t.Fatal("Reset did not clear trains")
+		}
+	}
+}
+
+func TestRecorderDeterministicSampling(t *testing.T) {
+	a := NewRecorder(100, 0.1, 7).SortedSampledNeurons()
+	b := NewRecorder(100, 0.1, 7).SortedSampledNeurons()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestRecorderMinimumOneNeuron(t *testing.T) {
+	rec := NewRecorder(5, 0.0001, 3)
+	if len(rec.Trains()) != 1 {
+		t.Fatalf("expected at least one sampled neuron, got %d", len(rec.Trains()))
+	}
+}

@@ -1,0 +1,171 @@
+// Package coding implements the neural coding schemes the paper studies:
+// real, rate, phase (weighted spikes, Kim et al. 2018), and the proposed
+// burst coding, plus a time-to-first-spike (TTFS) extension.
+//
+// A coding scheme has two facets:
+//
+//   - an input encoder that turns a static image into spike events over
+//     time (Section 3.2's "input layer" role), and
+//   - a threshold dynamics rule for hidden integrate-and-fire neurons
+//     (Section 3.1's Eq. 6-9), which determines each spike's payload.
+//
+// Spikes are "payload events": a neuron that fires at time t transmits
+// magnitude V_th(t) — the amount reset-by-subtraction removes from its
+// membrane — so downstream PSPs are Σ w·payload (Eq. 5) and burst spikes
+// realize the dynamic effective weight ŵ = w·g(t) of Eq. 10.
+package coding
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scheme identifies a neural coding scheme.
+type Scheme int
+
+// The coding schemes of the paper (plus TTFS, mentioned as related work
+// and implemented here as an extension).
+const (
+	Real Scheme = iota
+	Rate
+	Phase
+	Burst
+	TTFS
+)
+
+// String returns the lower-case scheme name used in the paper's
+// "input-hidden" notation.
+func (s Scheme) String() string {
+	switch s {
+	case Real:
+		return "real"
+	case Rate:
+		return "rate"
+	case Phase:
+		return "phase"
+	case Burst:
+		return "burst"
+	case TTFS:
+		return "ttfs"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme converts a scheme name to its Scheme value.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "real":
+		return Real, nil
+	case "rate":
+		return Rate, nil
+	case "phase":
+		return Phase, nil
+	case "burst":
+		return Burst, nil
+	case "ttfs":
+		return TTFS, nil
+	default:
+		return 0, fmt.Errorf("coding: unknown scheme %q", name)
+	}
+}
+
+// Config parameterizes a scheme.
+type Config struct {
+	Scheme Scheme
+	// VTh is the threshold constant v_th of Eq. 9. Rate coding uses 1.0
+	// after weight normalization; burst coding trades precision against
+	// spike count through this value (Fig. 2).
+	VTh float64
+	// Beta is the burst constant β of Eq. 8 (burst coding only).
+	Beta float64
+	// Period is the oscillation period k of Eq. 6 (phase coding and the
+	// phase input encoder).
+	Period int
+	// Leak is the per-step membrane decay of the leaky-IF extension:
+	// V(t) = (1-Leak)·(V(t-1) + z(t)). The paper's neuron model is pure
+	// IF (Leak = 0); a small leak trades accuracy for robustness to
+	// stale residual charge and is exposed for ablation.
+	Leak float64
+}
+
+// DefaultConfig returns the parameters the experiment harness uses for a
+// scheme: v_th=1 for rate/phase/real, v_th=0.125 and β=2 for burst (the
+// paper's headline configuration), and k=8 phases.
+//
+// β must exceed 1: Eq. 8 contracts g on paper but the surrounding text —
+// burst spikes "induce synaptic potentiation (strengthening of synapse)"
+// with growing PSP steps (Fig. 1-B3) and "unbounded" transmission range —
+// requires the effective weight ŵ = w·g to grow during a burst. With β=2
+// a burst emits payloads v_th, 2v_th, 4v_th, ..., i.e. an LSB-first
+// binary expansion of the membrane: v_th sets the precision and a
+// membrane V drains in ~log2(V/v_th) spikes.
+func DefaultConfig(s Scheme) Config {
+	cfg := Config{Scheme: s, VTh: 1.0, Beta: 2.0, Period: 8}
+	if s == Burst {
+		cfg.VTh = 0.125
+	}
+	return cfg
+}
+
+// Validate checks parameter sanity.
+func (c Config) Validate() error {
+	if c.VTh <= 0 {
+		return fmt.Errorf("coding: v_th must be positive, got %v", c.VTh)
+	}
+	if c.Leak < 0 || c.Leak >= 1 {
+		return fmt.Errorf("coding: leak must be in [0,1), got %v", c.Leak)
+	}
+	switch c.Scheme {
+	case Burst:
+		if c.Beta <= 1 {
+			return fmt.Errorf("coding: burst constant β must exceed 1, got %v", c.Beta)
+		}
+	case Phase, TTFS:
+		if c.Period < 1 || c.Period > 62 {
+			return fmt.Errorf("coding: phase period must be in [1,62], got %d", c.Period)
+		}
+	}
+	return nil
+}
+
+// Pi is the phase-coding oscillation function Π(t) = 2^-(1+mod(t,k)) of
+// Eq. 6.
+func Pi(t, k int) float64 {
+	return math.Pow(2, -float64(1+t%k))
+}
+
+// NextG advances the burst function g of Eq. 8: after a spike the
+// effective weight scales by β (synaptic potentiation, β>1, so follow-up
+// spikes in the burst carry geometrically larger payloads); any silent
+// step resets g to 1.
+func NextG(prevG float64, fired bool, beta float64) float64 {
+	if fired {
+		return beta * prevG
+	}
+	return 1.0
+}
+
+// Threshold returns V_th(t) for a neuron with burst state g under the
+// configured scheme (Eq. 7 for phase, Eq. 9 for burst, constant v_th for
+// rate). Real is not a hidden-layer scheme and panics.
+func (c Config) Threshold(t int, g float64) float64 {
+	switch c.Scheme {
+	case Rate:
+		return c.VTh
+	case Phase:
+		return Pi(t, c.Period) * c.VTh
+	case Burst:
+		return g * c.VTh
+	case TTFS:
+		// TTFS hidden neurons reuse the phase envelope but are only
+		// allowed one spike per period; the encoder side enforces that.
+		return Pi(t, c.Period) * c.VTh
+	default:
+		panic(fmt.Sprintf("coding: scheme %v has no hidden-layer threshold dynamics", c.Scheme))
+	}
+}
+
+// UsesBurstState reports whether the scheme maintains per-neuron burst
+// state g.
+func (c Config) UsesBurstState() bool { return c.Scheme == Burst }

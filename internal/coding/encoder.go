@@ -1,0 +1,299 @@
+package coding
+
+import (
+	"fmt"
+	"math"
+
+	"burstsnn/internal/mathx"
+)
+
+// Event is one spike: the flat index of the neuron that fired and the
+// payload it transmits (see the package comment for payload semantics).
+type Event struct {
+	Index   int
+	Payload float64
+}
+
+// InputEncoder turns a static input vector into a deterministic event
+// stream, one call per simulation time step.
+type InputEncoder interface {
+	// Reset prepares the encoder for a new input image.
+	Reset(image []float64)
+	// Step returns the events emitted at time t. Implementations may
+	// reuse the returned slice across calls.
+	Step(t int) []Event
+	// CountsAsSpikes reports whether the emitted events are physical
+	// spikes (true for rate/phase/ttfs) or analog currents (false for
+	// real coding), which the efficiency metrics must not count.
+	CountsAsSpikes() bool
+	// Size returns the number of input neurons.
+	Size() int
+	// BiasScale returns the factor by which downstream layers must scale
+	// their per-step bias current at time t so biases stay commensurate
+	// with the encoder's information rate. Real and rate coding deliver
+	// the full input value every step (scale 1); phase and TTFS deliver
+	// it once per period, so the bias is spread over the period with the
+	// oscillation envelope (Σ over a period = 1). Without this, biases
+	// are over-weighted k-fold under phase input and the readout drifts.
+	BiasScale(t int) float64
+}
+
+// NewInputEncoder constructs the encoder for a scheme. Size is the input
+// dimensionality. seed only matters for stochastic encoders (Poisson rate
+// variant); the default encoders are deterministic.
+func NewInputEncoder(cfg Config, size int, seed uint64) (InputEncoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Scheme {
+	case Real:
+		return &realEncoder{size: size}, nil
+	case Rate:
+		return &rateEncoder{size: size, seed: seed}, nil
+	case Phase:
+		return &phaseEncoder{size: size, period: cfg.Period}, nil
+	case TTFS:
+		return &ttfsEncoder{size: size, period: cfg.Period}, nil
+	case Burst:
+		// The paper never uses burst as an input coding (the input is
+		// static, so adaptivity buys nothing); reject it explicitly.
+		return nil, fmt.Errorf("coding: burst is a hidden-layer coding, not an input coding")
+	default:
+		return nil, fmt.Errorf("coding: no input encoder for scheme %v", cfg.Scheme)
+	}
+}
+
+// realEncoder transmits the analog pixel value as a constant input
+// current every time step ("real coding" of Rueckauer et al.). Fast and
+// exact, but the events are not spikes.
+type realEncoder struct {
+	size  int
+	image []float64
+	buf   []Event
+}
+
+func (e *realEncoder) Reset(image []float64) {
+	if len(image) != e.size {
+		panic(fmt.Sprintf("coding: real encoder got %d pixels, want %d", len(image), e.size))
+	}
+	e.image = image
+	e.buf = e.buf[:0]
+	for i, v := range image {
+		if v != 0 {
+			e.buf = append(e.buf, Event{Index: i, Payload: v})
+		}
+	}
+}
+
+func (e *realEncoder) Step(int) []Event      { return e.buf }
+func (e *realEncoder) CountsAsSpikes() bool  { return false }
+func (e *realEncoder) Size() int             { return e.size }
+func (e *realEncoder) BiasScale(int) float64 { return 1 }
+
+// rateEncoder emits unit-payload spikes whose frequency equals the pixel
+// value: each pixel fires with Bernoulli probability v per step, the
+// Poisson-like input of the rate-coding conversion literature (Diehl et
+// al. 2015). Estimating a value v to k-bit precision from such a train
+// needs on the order of 2^k observations — the paper's argument for why
+// rate input converges slowly.
+//
+// The stream is reproducible without being order-dependent: the RNG is
+// reseeded at every Reset from a hash of the image contents, so the same
+// image always produces the same train regardless of evaluation order or
+// worker partitioning.
+type rateEncoder struct {
+	size int
+	seed uint64
+
+	image []float64
+	rng   *mathx.RNG
+	buf   []Event
+}
+
+func (e *rateEncoder) Reset(image []float64) {
+	if len(image) != e.size {
+		panic(fmt.Sprintf("coding: rate encoder got %d pixels, want %d", len(image), e.size))
+	}
+	e.image = image
+	// FNV-1a over the pixel bits, mixed with the configured seed.
+	h := uint64(14695981039346656037)
+	for _, v := range image {
+		bits := math.Float64bits(v)
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= bits >> shift & 0xff
+			h *= 1099511628211
+		}
+	}
+	e.rng = mathx.NewRNG(h ^ e.seed)
+}
+
+func (e *rateEncoder) Step(int) []Event {
+	e.buf = e.buf[:0]
+	for i, v := range e.image {
+		if v <= 0 {
+			continue
+		}
+		if v > 1 {
+			v = 1
+		}
+		if e.rng.Bernoulli(v) {
+			e.buf = append(e.buf, Event{Index: i, Payload: 1})
+		}
+	}
+	return e.buf
+}
+
+func (e *rateEncoder) CountsAsSpikes() bool  { return true }
+func (e *rateEncoder) Size() int             { return e.size }
+func (e *rateEncoder) BiasScale(int) float64 { return 1 }
+
+// phaseEncoder implements the weighted-spike input of Kim et al. 2018:
+// the pixel value is quantized to k bits and bit j (MSB first) is
+// transmitted at phase j with payload Π(t) = 2^-(1+j). One period carries
+// the whole value exactly, so a k-bit input needs only k steps.
+type phaseEncoder struct {
+	size   int
+	period int
+	bits   []uint64 // per pixel, quantized bit pattern (MSB = phase 0)
+	buf    []Event
+}
+
+func (e *phaseEncoder) Reset(image []float64) {
+	if len(image) != e.size {
+		panic(fmt.Sprintf("coding: phase encoder got %d pixels, want %d", len(image), e.size))
+	}
+	if e.bits == nil {
+		e.bits = make([]uint64, e.size)
+	}
+	levels := math.Pow(2, float64(e.period))
+	for i, v := range image {
+		q := uint64(math.Round(mathx.Clamp(v, 0, 1) * levels))
+		if q >= uint64(levels) {
+			q = uint64(levels) - 1 // value 1.0 saturates to all-ones
+		}
+		e.bits[i] = q
+	}
+}
+
+func (e *phaseEncoder) Step(t int) []Event {
+	e.buf = e.buf[:0]
+	phase := t % e.period
+	// Bit (period-1-phase) of the quantized value, MSB transmitted first.
+	shift := uint(e.period - 1 - phase)
+	payload := Pi(t, e.period)
+	for i, b := range e.bits {
+		if b>>shift&1 == 1 {
+			e.buf = append(e.buf, Event{Index: i, Payload: payload})
+		}
+	}
+	return e.buf
+}
+
+func (e *phaseEncoder) CountsAsSpikes() bool { return true }
+func (e *phaseEncoder) Size() int            { return e.size }
+
+// BiasScale spreads the bias over the oscillation: Π(t)/(1-2^-k) sums to
+// exactly 1 over one period, matching the one-value-per-period input rate.
+func (e *phaseEncoder) BiasScale(t int) float64 {
+	return Pi(t, e.period) / (1 - math.Pow(2, -float64(e.period)))
+}
+
+// ttfsEncoder is the time-to-first-spike extension: each pixel emits a
+// single spike per period at the phase of its most significant set bit,
+// i.e. stronger inputs fire earlier and carry exponentially larger
+// payloads. It transmits log2 precision with one spike — cheaper but
+// coarser than phase coding.
+type ttfsEncoder struct {
+	size   int
+	period int
+	phase  []int // firing phase per pixel, -1 for silent
+	buf    []Event
+}
+
+func (e *ttfsEncoder) Reset(image []float64) {
+	if len(image) != e.size {
+		panic(fmt.Sprintf("coding: ttfs encoder got %d pixels, want %d", len(image), e.size))
+	}
+	if e.phase == nil {
+		e.phase = make([]int, e.size)
+	}
+	levels := math.Pow(2, float64(e.period))
+	for i, v := range image {
+		q := uint64(math.Round(mathx.Clamp(v, 0, 1) * levels))
+		if q >= uint64(levels) {
+			q = uint64(levels) - 1
+		}
+		if q == 0 {
+			e.phase[i] = -1
+			continue
+		}
+		// Most significant set bit determines the firing phase.
+		msb := 63
+		for q>>uint(msb)&1 == 0 {
+			msb--
+		}
+		e.phase[i] = e.period - 1 - msb
+	}
+}
+
+func (e *ttfsEncoder) Step(t int) []Event {
+	e.buf = e.buf[:0]
+	phase := t % e.period
+	payload := Pi(t, e.period)
+	for i, p := range e.phase {
+		if p == phase {
+			e.buf = append(e.buf, Event{Index: i, Payload: payload})
+		}
+	}
+	return e.buf
+}
+
+func (e *ttfsEncoder) CountsAsSpikes() bool { return true }
+func (e *ttfsEncoder) Size() int            { return e.size }
+
+// BiasScale matches the phase encoder: one value per period.
+func (e *ttfsEncoder) BiasScale(t int) float64 {
+	return Pi(t, e.period) / (1 - math.Pow(2, -float64(e.period)))
+}
+
+// PoissonEncoder is a stream-stateful rate encoder: unlike the default
+// rate encoder it does NOT reseed per image, so successive presentations
+// of the same image yield different trains. Useful for studying trial
+// variability; the default encoder is preferred for reproducible
+// benchmarks.
+type PoissonEncoder struct {
+	SizeN int
+	RNG   *mathx.RNG
+
+	image []float64
+	buf   []Event
+}
+
+// Reset implements InputEncoder.
+func (e *PoissonEncoder) Reset(image []float64) {
+	if len(image) != e.SizeN {
+		panic(fmt.Sprintf("coding: poisson encoder got %d pixels, want %d", len(image), e.SizeN))
+	}
+	e.image = image
+}
+
+// Step implements InputEncoder.
+func (e *PoissonEncoder) Step(int) []Event {
+	e.buf = e.buf[:0]
+	for i, v := range e.image {
+		if v > 0 && e.RNG.Bernoulli(v) {
+			e.buf = append(e.buf, Event{Index: i, Payload: 1})
+		}
+	}
+	return e.buf
+}
+
+// CountsAsSpikes implements InputEncoder.
+func (e *PoissonEncoder) CountsAsSpikes() bool { return true }
+
+// Size implements InputEncoder.
+func (e *PoissonEncoder) Size() int { return e.SizeN }
+
+// BiasScale implements InputEncoder: Poisson rate coding delivers the
+// full value per step in expectation.
+func (e *PoissonEncoder) BiasScale(int) float64 { return 1 }

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"burstsnn/internal/coding"
+	"burstsnn/internal/dataset"
+	"burstsnn/internal/dnn"
+	"burstsnn/internal/mathx"
+)
+
+// fixture trains one small digit MLP shared by the tests in this package.
+var fixture struct {
+	net *dnn.Network
+	set *dataset.Set
+	acc float64
+}
+
+func setup(t *testing.T) (*dnn.Network, *dataset.Set) {
+	t.Helper()
+	if fixture.net != nil {
+		return fixture.net, fixture.set
+	}
+	set := dataset.SynthDigits(dataset.DigitsConfig{TrainPerClass: 80, TestPerClass: 6, Noise: 0.04, Seed: 55})
+	net, err := dnn.Build(dnn.MLP(1, 28, 28, []int{48}, 10), mathx.NewRNG(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnn.Train(net, set, dnn.NewAdam(0.01), dnn.TrainConfig{Epochs: 20, BatchSize: 32, Seed: 2})
+	acc := dnn.Evaluate(net, set.Test)
+	if acc < 0.85 {
+		t.Fatalf("fixture model too weak: %.3f", acc)
+	}
+	fixture.net, fixture.set, fixture.acc = net, set, acc
+	return net, set
+}
+
+func TestHybridNotation(t *testing.T) {
+	h := NewHybrid(coding.Phase, coding.Burst)
+	if h.Notation() != "phase-burst" {
+		t.Fatalf("notation %q", h.Notation())
+	}
+	h2 := h.WithVTh(0.0625)
+	if h2.Hidden.VTh != 0.0625 || h.Hidden.VTh == 0.0625 {
+		t.Fatal("WithVTh must return a modified copy")
+	}
+	h3 := h.WithBeta(4)
+	if h3.Hidden.Beta != 4 {
+		t.Fatal("WithBeta failed")
+	}
+}
+
+func TestEvaluateRealRateConvergesToDNN(t *testing.T) {
+	net, set := setup(t)
+	res, err := Evaluate(net, set, EvalConfig{
+		Hybrid: NewHybrid(coding.Real, coding.Rate),
+		Steps:  80, MaxImages: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy() < res.DNNAccuracy-0.1 {
+		t.Fatalf("real-rate final %.3f vs DNN %.3f", res.FinalAccuracy(), res.DNNAccuracy)
+	}
+	if res.SpikesPerImage <= 0 || res.Neurons <= 0 {
+		t.Fatalf("missing stats: %+v", res)
+	}
+	if res.InputSpikesPerImage != 0 {
+		t.Fatal("real input must contribute no spikes")
+	}
+	if res.HiddenSpikesPerImage <= 0 {
+		t.Fatal("hidden spikes expected")
+	}
+}
+
+func TestEvaluatePhaseBurstReachesDNN(t *testing.T) {
+	net, set := setup(t)
+	res, err := Evaluate(net, set, EvalConfig{
+		Hybrid: NewHybrid(coding.Phase, coding.Burst),
+		Steps:  80, MaxImages: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, at := res.BestAccuracy()
+	if best < res.DNNAccuracy-0.1 {
+		t.Fatalf("phase-burst best %.3f (at %d) vs DNN %.3f", best, at, res.DNNAccuracy)
+	}
+	if res.InputSpikesPerImage <= 0 {
+		t.Fatal("phase input must emit spikes")
+	}
+}
+
+func TestLatencyMetrics(t *testing.T) {
+	r := &EvalResult{AccuracyAt: []float64{0.1, 0.5, 0.8, 0.8, 0.9}, SpikesPerImage: 100, Steps: 5, Neurons: 10}
+	if lat := r.LatencyToTarget(0.8); lat != 3 {
+		t.Fatalf("latency = %d", lat)
+	}
+	if lat := r.LatencyToTarget(0.95); lat != -1 {
+		t.Fatalf("unreachable target latency = %d", lat)
+	}
+	if s := r.SpikesToTarget(0.8); math.Abs(s-60) > 1e-9 {
+		t.Fatalf("spikes to target = %v", s)
+	}
+	if s := r.SpikesToTarget(0.99); s != -1 {
+		t.Fatalf("unreachable spikes = %v", s)
+	}
+	best, at := r.BestAccuracy()
+	if best != 0.9 || at != 5 {
+		t.Fatalf("best %v at %d", best, at)
+	}
+	if r.FinalAccuracy() != 0.9 {
+		t.Fatal("final accuracy wrong")
+	}
+	if d := r.Density(); math.Abs(d-100.0/(10*5)) > 1e-9 {
+		t.Fatalf("density = %v", d)
+	}
+}
+
+func TestEvaluateRejectsBadConfig(t *testing.T) {
+	net, set := setup(t)
+	if _, err := Evaluate(net, set, EvalConfig{Hybrid: NewHybrid(coding.Real, coding.Rate)}); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	empty := &dataset.Set{Name: "empty", C: 1, H: 28, W: 28, Classes: 10, Train: set.Train}
+	if _, err := Evaluate(net, empty, EvalConfig{Hybrid: NewHybrid(coding.Real, coding.Rate), Steps: 4}); err == nil {
+		t.Fatal("empty test set accepted")
+	}
+}
+
+func TestEvaluateDeterministicAcrossWorkerCounts(t *testing.T) {
+	net, set := setup(t)
+	run := func(workers int) *EvalResult {
+		res, err := Evaluate(net, set, EvalConfig{
+			Hybrid: NewHybrid(coding.Real, coding.Rate),
+			Steps:  30, MaxImages: 12, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(4)
+	if a.SpikesPerImage != b.SpikesPerImage {
+		t.Fatalf("spike counts depend on worker count: %v vs %v", a.SpikesPerImage, b.SpikesPerImage)
+	}
+	for i := range a.AccuracyAt {
+		if a.AccuracyAt[i] != b.AccuracyAt[i] {
+			t.Fatal("accuracy curve depends on worker count")
+		}
+	}
+}
+
+func TestCollectPatternsBurstVsPhase(t *testing.T) {
+	net, set := setup(t)
+	burst, err := CollectPatterns(net, set, PatternConfig{
+		Hybrid: NewHybrid(coding.Phase, coding.Burst),
+		Steps:  60, Images: 3, SampleFrac: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase, err := CollectPatterns(net, set, PatternConfig{
+		Hybrid: NewHybrid(coding.Phase, coding.Phase),
+		Steps:  60, Images: 3, SampleFrac: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burst.Bursts.TotalSpikes == 0 || phase.Bursts.TotalSpikes == 0 {
+		t.Fatal("no spikes recorded")
+	}
+	// The paper's Fig. 5 claim: phase hidden coding fires at the highest
+	// rate.
+	if phase.Point.MeanLogRate <= burst.Point.MeanLogRate {
+		t.Fatalf("phase rate %v must exceed burst rate %v",
+			phase.Point.MeanLogRate, burst.Point.MeanLogRate)
+	}
+	if len(burst.ISIH) != 50 {
+		t.Fatalf("ISIH length %d", len(burst.ISIH))
+	}
+	if len(burst.TrainsPerLayer) == 0 {
+		t.Fatal("no per-layer trains")
+	}
+}
+
+func TestCollectPatternsValidation(t *testing.T) {
+	net, set := setup(t)
+	if _, err := CollectPatterns(net, set, PatternConfig{Hybrid: NewHybrid(coding.Real, coding.Rate)}); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}

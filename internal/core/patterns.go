@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"burstsnn/internal/analysis"
+	"burstsnn/internal/coding"
+	"burstsnn/internal/convert"
+	"burstsnn/internal/dataset"
+	"burstsnn/internal/dnn"
+)
+
+// PatternConfig controls a spike-pattern collection run (the Fig. 1 ISIH,
+// Fig. 2 burst composition, and Fig. 5 firing-pattern experiments).
+type PatternConfig struct {
+	Hybrid Hybrid
+	// Steps per image; images are presented back to back on a continuous
+	// time axis, approximating the paper's long-trace recording.
+	Steps int
+	// Images is how many test images to stream (0 = 4).
+	Images int
+	// SampleFrac is the fraction of neurons recorded per hidden layer
+	// (the paper samples 10%).
+	SampleFrac float64
+	// Seed drives the neuron sampling.
+	Seed uint64
+}
+
+// PatternResult aggregates the spike-pattern statistics of one coding
+// configuration.
+type PatternResult struct {
+	Notation string
+	// Point is the Fig. 5 scatter position (<log λ>, <κ>).
+	Point analysis.PatternPoint
+	// Bursts is the Fig. 2 burst composition over all recorded trains.
+	Bursts analysis.BurstStats
+	// ISIH is the Fig. 1C inter-spike-interval histogram (unit bins,
+	// intervals ≥ 50 collapsed into the last bin).
+	ISIH []int
+	// TrainsPerLayer holds the raw recorded trains, one slice per hidden
+	// spiking layer.
+	TrainsPerLayer [][]analysis.SpikeTrain
+}
+
+// CollectPatterns converts net under the hybrid coding, streams test
+// images through it, and records spike trains from a sampled subset of
+// every hidden layer's neurons.
+func CollectPatterns(net *dnn.Network, set *dataset.Set, cfg PatternConfig) (*PatternResult, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("core: Steps must be positive")
+	}
+	if cfg.Images <= 0 {
+		cfg.Images = 4
+	}
+	if cfg.SampleFrac <= 0 {
+		cfg.SampleFrac = 0.1
+	}
+	images := set.Test
+	if cfg.Images < len(images) {
+		images = images[:cfg.Images]
+	}
+	if len(images) == 0 {
+		return nil, fmt.Errorf("core: no test images")
+	}
+
+	res, err := convert.Convert(net, set.Train, convert.Options{
+		Input:  cfg.Hybrid.Input,
+		Hidden: cfg.Hybrid.Hidden,
+	})
+	if err != nil {
+		return nil, err
+	}
+	snnNet := res.Net
+
+	// One recorder per spiking hidden layer (max-pool gates have no
+	// neurons and are skipped).
+	recorders := map[int]*analysis.Recorder{}
+	offset := 0
+	for li, l := range snnNet.Layers {
+		if l.NumNeurons() == 0 {
+			continue
+		}
+		rec := analysis.NewRecorder(l.NumNeurons(), cfg.SampleFrac, cfg.Seed+uint64(li))
+		recorders[li] = rec
+		li := li
+		// Shift recorded times by the stream offset so ISIs are
+		// continuous across image presentations.
+		snnNet.AttachProbe(li, func(t int, evs []coding.Event) {
+			rec.Probe(offset+t, evs)
+		})
+	}
+
+	for _, s := range images {
+		snnNet.Reset(s.Image)
+		for t := 0; t < cfg.Steps; t++ {
+			snnNet.Step(t)
+		}
+		offset += cfg.Steps
+	}
+
+	out := &PatternResult{Notation: cfg.Hybrid.Notation()}
+	var all []analysis.SpikeTrain
+	for li := 0; li < len(snnNet.Layers); li++ {
+		rec, ok := recorders[li]
+		if !ok {
+			continue
+		}
+		trains := rec.Trains()
+		out.TrainsPerLayer = append(out.TrainsPerLayer, trains)
+		all = append(all, trains...)
+	}
+	out.Point = analysis.Pattern(all)
+	out.Bursts = analysis.Bursts(all)
+	out.ISIH = analysis.ISIH(all, 50)
+	return out, nil
+}

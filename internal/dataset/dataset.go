@@ -1,0 +1,114 @@
+// Package dataset generates the deterministic synthetic image-classification
+// workloads that stand in for MNIST, CIFAR-10, and CIFAR-100.
+//
+// The paper's datasets are an offline gate, so this package procedurally
+// renders two families:
+//
+//   - SynthDigits: 28×28 grayscale glyphs of the digits 0-9 with random
+//     shift, scale, stroke-thickness, and pixel noise (MNIST stand-in).
+//   - SynthTextures: H×W×3 parametric textures (stripes, checkers, rings,
+//     blobs, gradients, ...) with color jitter and noise, in a 10-class
+//     (CIFAR-10 stand-in) and 100-class (CIFAR-100 stand-in) variant.
+//
+// Both are fully deterministic from a seed and learnable to high accuracy
+// by small CNNs, which is what the DNN→SNN conversion experiments need:
+// a trained ReLU network with a meaningful accuracy target.
+package dataset
+
+import (
+	"fmt"
+
+	"burstsnn/internal/mathx"
+)
+
+// Sample is a single labelled image in CHW layout with pixel values in
+// [0, 1].
+type Sample struct {
+	Image []float64
+	Label int
+}
+
+// Set is a labelled dataset split into train and test partitions.
+type Set struct {
+	Name    string
+	C, H, W int // image geometry, CHW
+	Classes int
+	Train   []Sample
+	Test    []Sample
+}
+
+// InputSize returns the flattened image length.
+func (s *Set) InputSize() int { return s.C * s.H * s.W }
+
+// Validate checks structural invariants: geometry, label ranges, and pixel
+// bounds.
+func (s *Set) Validate() error {
+	want := s.InputSize()
+	check := func(part string, samples []Sample) error {
+		for i, smp := range samples {
+			if len(smp.Image) != want {
+				return fmt.Errorf("dataset %s: %s[%d] has %d pixels, want %d", s.Name, part, i, len(smp.Image), want)
+			}
+			if smp.Label < 0 || smp.Label >= s.Classes {
+				return fmt.Errorf("dataset %s: %s[%d] label %d out of range", s.Name, part, i, smp.Label)
+			}
+			for j, p := range smp.Image {
+				if p < 0 || p > 1 {
+					return fmt.Errorf("dataset %s: %s[%d] pixel %d = %v out of [0,1]", s.Name, part, i, j, p)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("train", s.Train); err != nil {
+		return err
+	}
+	return check("test", s.Test)
+}
+
+// Batch is a contiguous group of samples handed to the trainer.
+type Batch struct {
+	Images [][]float64
+	Labels []int
+}
+
+// Batches splits samples into batches of at most size elements, in the
+// order given. Callers shuffle beforehand when they need randomness.
+func Batches(samples []Sample, size int) []Batch {
+	if size <= 0 {
+		panic("dataset: batch size must be positive")
+	}
+	var out []Batch
+	for start := 0; start < len(samples); start += size {
+		end := start + size
+		if end > len(samples) {
+			end = len(samples)
+		}
+		b := Batch{
+			Images: make([][]float64, 0, end-start),
+			Labels: make([]int, 0, end-start),
+		}
+		for _, s := range samples[start:end] {
+			b.Images = append(b.Images, s.Image)
+			b.Labels = append(b.Labels, s.Label)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Shuffle permutes samples in place deterministically from the RNG.
+func Shuffle(r *mathx.RNG, samples []Sample) {
+	r.Shuffle(len(samples), func(i, j int) {
+		samples[i], samples[j] = samples[j], samples[i]
+	})
+}
+
+// ClassCounts returns a histogram of labels, used by balance tests.
+func ClassCounts(samples []Sample, classes int) []int {
+	counts := make([]int, classes)
+	for _, s := range samples {
+		counts[s.Label]++
+	}
+	return counts
+}

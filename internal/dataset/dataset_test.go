@@ -1,0 +1,232 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"burstsnn/internal/mathx"
+)
+
+func TestSynthDigitsStructure(t *testing.T) {
+	cfg := DigitsConfig{TrainPerClass: 5, TestPerClass: 2, Noise: 0.05, Seed: 1}
+	set := SynthDigits(cfg)
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Train) != 50 || len(set.Test) != 20 {
+		t.Fatalf("split sizes: %d/%d", len(set.Train), len(set.Test))
+	}
+	if set.InputSize() != 28*28 {
+		t.Fatalf("input size %d", set.InputSize())
+	}
+}
+
+func TestSynthDigitsDeterminism(t *testing.T) {
+	cfg := DigitsConfig{TrainPerClass: 3, TestPerClass: 1, Noise: 0.05, Seed: 7}
+	a := SynthDigits(cfg)
+	b := SynthDigits(cfg)
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label {
+			t.Fatal("labels diverge for equal seeds")
+		}
+		for j := range a.Train[i].Image {
+			if a.Train[i].Image[j] != b.Train[i].Image[j] {
+				t.Fatal("pixels diverge for equal seeds")
+			}
+		}
+	}
+}
+
+func TestSynthDigitsSeedsDiffer(t *testing.T) {
+	a := SynthDigits(DigitsConfig{TrainPerClass: 2, TestPerClass: 1, Noise: 0.05, Seed: 1})
+	b := SynthDigits(DigitsConfig{TrainPerClass: 2, TestPerClass: 1, Noise: 0.05, Seed: 2})
+	same := true
+	for i := range a.Train {
+		for j := range a.Train[i].Image {
+			if a.Train[i].Image[j] != b.Train[i].Image[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestSynthDigitsClassBalance(t *testing.T) {
+	set := SynthDigits(DigitsConfig{TrainPerClass: 4, TestPerClass: 3, Noise: 0, Seed: 3})
+	for c, n := range ClassCounts(set.Train, 10) {
+		if n != 4 {
+			t.Fatalf("train class %d has %d samples", c, n)
+		}
+	}
+	for c, n := range ClassCounts(set.Test, 10) {
+		if n != 3 {
+			t.Fatalf("test class %d has %d samples", c, n)
+		}
+	}
+}
+
+func TestSynthDigitsClassesVisuallyDistinct(t *testing.T) {
+	// Mean images of different classes should differ substantially; if
+	// they do not, the dataset is unlearnable and the whole pipeline
+	// degenerates.
+	set := SynthDigits(DigitsConfig{TrainPerClass: 30, TestPerClass: 1, Noise: 0.03, Seed: 5})
+	means := make([][]float64, 10)
+	counts := make([]int, 10)
+	for i := range means {
+		means[i] = make([]float64, set.InputSize())
+	}
+	for _, s := range set.Train {
+		counts[s.Label]++
+		for j, p := range s.Image {
+			means[s.Label][j] += p
+		}
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			dist := 0.0
+			for j := range means[a] {
+				d := means[a][j] - means[b][j]
+				dist += d * d
+			}
+			if dist < 1.0 {
+				t.Fatalf("classes %d and %d are nearly identical (dist %v)", a, b, dist)
+			}
+		}
+	}
+}
+
+func TestSynthTexturesStructure(t *testing.T) {
+	cfg := TexturesConfig{Classes: 10, Size: 16, TrainPerClass: 4, TestPerClass: 2, Noise: 0.05, Seed: 9}
+	set := SynthTextures(cfg)
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if set.C != 3 || set.H != 16 || set.W != 16 {
+		t.Fatalf("geometry %dx%dx%d", set.C, set.H, set.W)
+	}
+	if len(set.Train) != 40 || len(set.Test) != 20 {
+		t.Fatalf("split sizes %d/%d", len(set.Train), len(set.Test))
+	}
+}
+
+func TestSynthTextures100(t *testing.T) {
+	cfg := TexturesConfig{Classes: 100, Size: 16, TrainPerClass: 1, TestPerClass: 1, Noise: 0.03, Seed: 11}
+	set := SynthTextures(cfg)
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if set.Classes != 100 || len(set.Train) != 100 {
+		t.Fatalf("expected 100 classes, got %d with %d samples", set.Classes, len(set.Train))
+	}
+}
+
+func TestSynthTexturesRejectsBadClassCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsupported class count")
+		}
+	}()
+	SynthTextures(TexturesConfig{Classes: 17, Size: 16, TrainPerClass: 1, TestPerClass: 1})
+}
+
+func TestSynthTexturesDeterminism(t *testing.T) {
+	cfg := TexturesConfig{Classes: 10, Size: 12, TrainPerClass: 2, TestPerClass: 1, Noise: 0.05, Seed: 13}
+	a := SynthTextures(cfg)
+	b := SynthTextures(cfg)
+	for i := range a.Test {
+		for j := range a.Test[i].Image {
+			if a.Test[i].Image[j] != b.Test[i].Image[j] {
+				t.Fatal("texture generation is not deterministic")
+			}
+		}
+	}
+}
+
+func TestBatches(t *testing.T) {
+	samples := make([]Sample, 10)
+	for i := range samples {
+		samples[i] = Sample{Image: []float64{float64(i)}, Label: i % 3}
+	}
+	bs := Batches(samples, 4)
+	if len(bs) != 3 {
+		t.Fatalf("expected 3 batches, got %d", len(bs))
+	}
+	if len(bs[0].Images) != 4 || len(bs[2].Images) != 2 {
+		t.Fatalf("batch sizes wrong: %d, %d", len(bs[0].Images), len(bs[2].Images))
+	}
+	if bs[1].Images[0][0] != 4 {
+		t.Fatal("batches must preserve order")
+	}
+}
+
+func TestBatchesPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Batches(0) did not panic")
+		}
+	}()
+	Batches(nil, 0)
+}
+
+func TestBatchesCoverAllSamplesProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, szRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		sz := int(szRaw%10) + 1
+		samples := make([]Sample, n)
+		for i := range samples {
+			samples[i] = Sample{Image: []float64{float64(i)}, Label: 0}
+		}
+		total := 0
+		for _, b := range Batches(samples, sz) {
+			if len(b.Images) > sz || len(b.Images) == 0 {
+				return false
+			}
+			total += len(b.Images)
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	mk := func() []Sample {
+		s := make([]Sample, 20)
+		for i := range s {
+			s[i] = Sample{Label: i}
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	Shuffle(mathx.NewRNG(99), a)
+	Shuffle(mathx.NewRNG(99), b)
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatal("Shuffle is not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestValidateCatchesBadLabel(t *testing.T) {
+	set := &Set{Name: "x", C: 1, H: 1, W: 1, Classes: 2,
+		Train: []Sample{{Image: []float64{0.5}, Label: 5}}}
+	if err := set.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range label")
+	}
+}
+
+func TestValidateCatchesBadPixel(t *testing.T) {
+	set := &Set{Name: "x", C: 1, H: 1, W: 1, Classes: 2,
+		Test: []Sample{{Image: []float64{1.5}, Label: 0}}}
+	if err := set.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range pixel")
+	}
+}

@@ -1,0 +1,42 @@
+package dnn
+
+import (
+	"math"
+
+	"burstsnn/internal/tensor"
+)
+
+// Softmax returns the softmax of logits, computed with the max-subtraction
+// trick for numerical stability.
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	if len(logits) == 0 {
+		return out
+	}
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// CrossEntropyLoss computes softmax cross-entropy against an integer label
+// and returns both the scalar loss and the gradient with respect to the
+// logits (softmax(x) - onehot(label)).
+func CrossEntropyLoss(logits *tensor.Tensor, label int) (float64, *tensor.Tensor) {
+	p := Softmax(logits.Data)
+	grad := tensor.FromSlice(p, logits.Shape...)
+	loss := -math.Log(math.Max(p[label], 1e-12))
+	grad.Data[label] -= 1
+	return loss, grad
+}

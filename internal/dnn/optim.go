@@ -1,0 +1,78 @@
+package dnn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter. scale divides the
+	// accumulated gradient (typically 1/batchSize) before the update.
+	Step(params []*Param, scale float64)
+}
+
+// SGD is stochastic gradient descent with classical momentum and optional
+// L2 weight decay.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Decay    float64 // L2 coefficient
+
+	velocity map[*Param][]float64
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, decay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, Decay: decay, velocity: map[*Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param, scale float64) {
+	for _, p := range params {
+		v := o.velocity[p]
+		if v == nil {
+			v = make([]float64, p.W.Len())
+			o.velocity[p] = v
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]*scale + o.Decay*p.W.Data[i]
+			v[i] = o.Momentum*v[i] - o.LR*g
+			p.W.Data[i] += v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam constructs an Adam optimizer with the usual defaults for the
+// moment coefficients.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param][]float64{}, v: map[*Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param, scale float64) {
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, v := o.m[p], o.v[p]
+		if m == nil {
+			m = make([]float64, p.W.Len())
+			v = make([]float64, p.W.Len())
+			o.m[p], o.v[p] = m, v
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i] * scale
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			p.W.Data[i] -= o.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + o.Eps)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package dnn
+
+import (
+	"fmt"
+
+	"burstsnn/internal/mathx"
+	"burstsnn/internal/tensor"
+)
+
+// LayerKind enumerates the serializable layer types.
+type LayerKind string
+
+// Layer kinds understood by Build and the gob model files.
+const (
+	KindConv      LayerKind = "conv"
+	KindDense     LayerKind = "dense"
+	KindReLU      LayerKind = "relu"
+	KindAvgPool   LayerKind = "avgpool"
+	KindMaxPool   LayerKind = "maxpool"
+	KindFlatten   LayerKind = "flatten"
+	KindDropout   LayerKind = "dropout"
+	KindBatchNorm LayerKind = "batchnorm"
+)
+
+// LayerSpec is the declarative description of one layer. Only the fields
+// relevant to the Kind are read.
+type LayerSpec struct {
+	Kind   LayerKind
+	OutC   int     // conv: output channels
+	K      int     // conv: square kernel size
+	Stride int     // conv
+	Pad    int     // conv
+	Units  int     // dense: output units
+	Window int     // pooling window
+	Rate   float64 // dropout probability
+}
+
+// Spec is a full architecture: the input geometry plus the layer stack.
+type Spec struct {
+	Name    string
+	InShape []int // CHW
+	Layers  []LayerSpec
+}
+
+// Build materializes the spec into a Network with freshly initialized
+// weights drawn from r.
+func Build(spec Spec, r *mathx.RNG) (*Network, error) {
+	if len(spec.InShape) != 3 {
+		return nil, fmt.Errorf("dnn: spec %q needs a CHW input shape, got %v", spec.Name, spec.InShape)
+	}
+	n := &Network{InShape: append([]int(nil), spec.InShape...)}
+	cur := append([]int(nil), spec.InShape...)
+	flat := false
+	for i, ls := range spec.Layers {
+		switch ls.Kind {
+		case KindConv:
+			if flat {
+				return nil, fmt.Errorf("dnn: layer %d: conv after flatten", i)
+			}
+			cs := tensor.ConvSpec{
+				InC: cur[0], InH: cur[1], InW: cur[2],
+				OutC: ls.OutC, KH: ls.K, KW: ls.K, Stride: ls.Stride, Pad: ls.Pad,
+			}
+			if err := cs.Validate(); err != nil {
+				return nil, fmt.Errorf("dnn: layer %d: %w", i, err)
+			}
+			n.Layers = append(n.Layers, NewConv2D(r, cs))
+			cur = []int{cs.OutC, cs.OutH(), cs.OutW()}
+		case KindDense:
+			if !flat {
+				return nil, fmt.Errorf("dnn: layer %d: dense before flatten", i)
+			}
+			n.Layers = append(n.Layers, NewDense(r, cur[0], ls.Units))
+			cur = []int{ls.Units}
+		case KindReLU:
+			n.Layers = append(n.Layers, NewReLU(cur))
+		case KindAvgPool:
+			if flat {
+				return nil, fmt.Errorf("dnn: layer %d: pool after flatten", i)
+			}
+			if cur[1]%ls.Window != 0 || cur[2]%ls.Window != 0 {
+				return nil, fmt.Errorf("dnn: layer %d: pool window %d does not divide %dx%d", i, ls.Window, cur[1], cur[2])
+			}
+			n.Layers = append(n.Layers, &AvgPool2D{C: cur[0], H: cur[1], W: cur[2], Window: ls.Window})
+			cur = []int{cur[0], cur[1] / ls.Window, cur[2] / ls.Window}
+		case KindMaxPool:
+			if flat {
+				return nil, fmt.Errorf("dnn: layer %d: pool after flatten", i)
+			}
+			if cur[1]%ls.Window != 0 || cur[2]%ls.Window != 0 {
+				return nil, fmt.Errorf("dnn: layer %d: pool window %d does not divide %dx%d", i, ls.Window, cur[1], cur[2])
+			}
+			n.Layers = append(n.Layers, &MaxPool2D{C: cur[0], H: cur[1], W: cur[2], Window: ls.Window})
+			cur = []int{cur[0], cur[1] / ls.Window, cur[2] / ls.Window}
+		case KindFlatten:
+			n.Layers = append(n.Layers, &Flatten{InShapeSpec: append([]int(nil), cur...)})
+			size := 1
+			for _, d := range cur {
+				size *= d
+			}
+			cur = []int{size}
+			flat = true
+		case KindDropout:
+			n.Layers = append(n.Layers, &Dropout{Rate: ls.Rate, Shape: append([]int(nil), cur...), RNG: r.Fork()})
+		case KindBatchNorm:
+			if flat {
+				return nil, fmt.Errorf("dnn: layer %d: batchnorm after flatten", i)
+			}
+			n.Layers = append(n.Layers, NewBatchNorm(cur[0], cur[1], cur[2]))
+		default:
+			return nil, fmt.Errorf("dnn: layer %d: unknown kind %q", i, ls.Kind)
+		}
+	}
+	return n, nil
+}
+
+// LeNetMini returns the MNIST-scale CNN spec: two conv/pool stages and two
+// dense layers, mirroring the "CNN" rows of the paper's Table 2.
+func LeNetMini(inC, inH, inW, classes int) Spec {
+	return Spec{
+		Name:    "lenet-mini",
+		InShape: []int{inC, inH, inW},
+		Layers: []LayerSpec{
+			{Kind: KindConv, OutC: 8, K: 3, Stride: 1, Pad: 1},
+			{Kind: KindReLU},
+			{Kind: KindAvgPool, Window: 2},
+			{Kind: KindConv, OutC: 16, K: 3, Stride: 1, Pad: 1},
+			{Kind: KindReLU},
+			{Kind: KindAvgPool, Window: 2},
+			{Kind: KindFlatten},
+			{Kind: KindDense, Units: 64},
+			{Kind: KindReLU},
+			{Kind: KindDense, Units: classes},
+		},
+	}
+}
+
+// VGGMini returns the scaled-down VGG-16 stand-in: three conv/conv/pool
+// stages with doubling channel widths followed by two dense layers. It is
+// the CIFAR-10/100 workhorse of the experiment harness.
+func VGGMini(inC, inH, inW, classes int) Spec {
+	return Spec{
+		Name:    "vgg-mini",
+		InShape: []int{inC, inH, inW},
+		Layers: []LayerSpec{
+			{Kind: KindConv, OutC: 16, K: 3, Stride: 1, Pad: 1},
+			{Kind: KindReLU},
+			{Kind: KindConv, OutC: 16, K: 3, Stride: 1, Pad: 1},
+			{Kind: KindReLU},
+			{Kind: KindAvgPool, Window: 2},
+			{Kind: KindConv, OutC: 32, K: 3, Stride: 1, Pad: 1},
+			{Kind: KindReLU},
+			{Kind: KindConv, OutC: 32, K: 3, Stride: 1, Pad: 1},
+			{Kind: KindReLU},
+			{Kind: KindAvgPool, Window: 2},
+			{Kind: KindConv, OutC: 64, K: 3, Stride: 1, Pad: 1},
+			{Kind: KindReLU},
+			{Kind: KindAvgPool, Window: 2},
+			{Kind: KindFlatten},
+			{Kind: KindDense, Units: 128},
+			{Kind: KindReLU},
+			{Kind: KindDense, Units: classes},
+		},
+	}
+}
+
+// VGGMiniBN returns VGGMini with batch normalization after every
+// convolution — the variant used to exercise BN folding in conversion.
+func VGGMiniBN(inC, inH, inW, classes int) Spec {
+	base := VGGMini(inC, inH, inW, classes)
+	spec := Spec{Name: "vgg-mini-bn", InShape: base.InShape}
+	for _, ls := range base.Layers {
+		spec.Layers = append(spec.Layers, ls)
+		if ls.Kind == KindConv {
+			spec.Layers = append(spec.Layers, LayerSpec{Kind: KindBatchNorm})
+		}
+	}
+	return spec
+}
+
+// VGG16 returns the full 16-weighted-layer VGG architecture (13
+// convolutions + 3 dense layers) with average pooling, sized for 32×32
+// inputs. The classifier head uses 512-unit dense layers instead of the
+// original 4096 (the original head exists for 224×224 ImageNet crops and
+// would dominate the parameter count pointlessly at this input size).
+// Training it on the synthetic workloads is possible but slow; the spec
+// exists so the paper's nominal model can be built, converted, and
+// smoke-tested end to end.
+func VGG16(inC, inH, inW, classes int) Spec {
+	conv := func(c int) []LayerSpec {
+		return []LayerSpec{
+			{Kind: KindConv, OutC: c, K: 3, Stride: 1, Pad: 1},
+			{Kind: KindReLU},
+		}
+	}
+	pool := LayerSpec{Kind: KindAvgPool, Window: 2}
+	var layers []LayerSpec
+	block := func(c, reps int) {
+		for i := 0; i < reps; i++ {
+			layers = append(layers, conv(c)...)
+		}
+		layers = append(layers, pool)
+	}
+	block(64, 2)
+	block(128, 2)
+	block(256, 3)
+	block(512, 3)
+	block(512, 3)
+	layers = append(layers,
+		LayerSpec{Kind: KindFlatten},
+		LayerSpec{Kind: KindDense, Units: 512},
+		LayerSpec{Kind: KindReLU},
+		LayerSpec{Kind: KindDropout, Rate: 0.5},
+		LayerSpec{Kind: KindDense, Units: 512},
+		LayerSpec{Kind: KindReLU},
+		LayerSpec{Kind: KindDense, Units: classes},
+	)
+	return Spec{Name: "vgg16", InShape: []int{inC, inH, inW}, Layers: layers}
+}
+
+// MLP returns a small fully connected spec, used by fast tests.
+func MLP(inC, inH, inW int, hidden []int, classes int) Spec {
+	spec := Spec{
+		Name:    "mlp",
+		InShape: []int{inC, inH, inW},
+		Layers:  []LayerSpec{{Kind: KindFlatten}},
+	}
+	for _, h := range hidden {
+		spec.Layers = append(spec.Layers,
+			LayerSpec{Kind: KindDense, Units: h},
+			LayerSpec{Kind: KindReLU})
+	}
+	spec.Layers = append(spec.Layers, LayerSpec{Kind: KindDense, Units: classes})
+	return spec
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"burstsnn/internal/coding"
+	"burstsnn/internal/convert"
+	"burstsnn/internal/core"
+)
+
+// AblationRow is one configuration of an ablation sweep.
+type AblationRow struct {
+	Label    string
+	Accuracy float64 // best accuracy over the run
+	Latency  int     // first step reaching best accuracy
+	Spikes   float64 // spikes per image over the full run
+}
+
+// AblationResult holds one ablation study.
+type AblationResult struct {
+	Name  string
+	Model string
+	Rows  []AblationRow
+}
+
+// Render prints the sweep.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — %s on %s\n\n", r.Name, r.Model)
+	t := &table{header: []string{"Config", "Accuracy (%)", "Latency", "Spikes/image"}}
+	for _, row := range r.Rows {
+		t.add(row.Label, fnum(row.Accuracy*100, 2), flat(row.Latency), fspk(row.Spikes))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// AblationBeta sweeps the burst constant β on phase-burst. Larger β
+// drains big membranes in fewer spikes but with coarser payload
+// granularity; β→1 degenerates toward rate-like behaviour.
+func AblationBeta(l *Lab) (*AblationResult, error) {
+	m, err := l.Model("textures10")
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Name: "burst constant β (phase-burst, v_th=0.125)", Model: m.Name}
+	for _, beta := range []float64{1.25, 1.5, 2, 3, 4} {
+		res, err := l.Eval("textures10", core.NewHybrid(coding.Phase, coding.Burst).WithBeta(beta))
+		if err != nil {
+			return nil, err
+		}
+		best, at := res.BestAccuracy()
+		out.Rows = append(out.Rows, AblationRow{
+			Label:    fmt.Sprintf("β=%.2f", beta),
+			Accuracy: best,
+			Latency:  at,
+			Spikes:   res.SpikesPerImage,
+		})
+	}
+	return out, nil
+}
+
+// AblationNorm compares weight-normalization estimators (Diehl'15 max vs
+// Rueckauer'17 percentile) under real-rate coding, where normalization
+// error shows up most directly.
+func AblationNorm(l *Lab) (*AblationResult, error) {
+	m, err := l.Model("textures10")
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Name: "weight normalization method (real-rate)", Model: m.Name}
+	methods := []struct {
+		label string
+		norm  convert.NormMethod
+		pct   float64
+	}{
+		{"max (Diehl'15)", convert.MaxNorm, 0},
+		{"p99.9 (Rueckauer'17)", convert.PercentileNorm, 99.9},
+		{"p99", convert.PercentileNorm, 99},
+		{"p95", convert.PercentileNorm, 95},
+	}
+	for _, method := range methods {
+		res, err := core.Evaluate(m.Net, m.Set, core.EvalConfig{
+			Hybrid:     core.NewHybrid(coding.Real, coding.Rate),
+			Steps:      l.Settings.Steps,
+			MaxImages:  l.Settings.Images,
+			Norm:       method.norm,
+			Percentile: method.pct,
+		})
+		if err != nil {
+			return nil, err
+		}
+		best, at := res.BestAccuracy()
+		out.Rows = append(out.Rows, AblationRow{
+			Label:    method.label,
+			Accuracy: best,
+			Latency:  at,
+			Spikes:   res.SpikesPerImage,
+		})
+	}
+	return out, nil
+}
+
+// ExtensionLeak sweeps the leaky-IF membrane decay on phase-burst. The
+// paper's neuron is pure IF (leak 0); leak discards residual charge, so
+// accuracy should degrade gracefully as it grows — quantifying how much
+// the IF assumption matters.
+func ExtensionLeak(l *Lab) (*AblationResult, error) {
+	m, err := l.Model("textures10")
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Name: "leaky-IF extension (phase-burst)", Model: m.Name}
+	for _, leak := range []float64{0, 0.01, 0.05, 0.1} {
+		res, err := l.Eval("textures10", core.NewHybrid(coding.Phase, coding.Burst).WithLeak(leak))
+		if err != nil {
+			return nil, err
+		}
+		best, at := res.BestAccuracy()
+		out.Rows = append(out.Rows, AblationRow{
+			Label:    fmt.Sprintf("leak=%.2f", leak),
+			Accuracy: best,
+			Latency:  at,
+			Spikes:   res.SpikesPerImage,
+		})
+	}
+	return out, nil
+}
+
+// ExtensionTTFS evaluates the time-to-first-spike input extension (one
+// spike per pixel per period) against phase input, with burst hidden
+// coding — a natural "future work" direction the paper's related-work
+// section motivates.
+func ExtensionTTFS(l *Lab) (*AblationResult, error) {
+	m, err := l.Model("textures10")
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Name: "TTFS input extension (hidden=burst)", Model: m.Name}
+	for _, input := range []coding.Scheme{coding.Phase, coding.TTFS} {
+		res, err := l.Eval("textures10", core.NewHybrid(input, coding.Burst))
+		if err != nil {
+			return nil, err
+		}
+		best, at := res.BestAccuracy()
+		out.Rows = append(out.Rows, AblationRow{
+			Label:    input.String() + "-burst",
+			Accuracy: best,
+			Latency:  at,
+			Spikes:   res.SpikesPerImage,
+		})
+	}
+	return out, nil
+}

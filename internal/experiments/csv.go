@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports Fig. 4's inference curves as columns (step, one column
+// per coding combination) so the figure can be replotted with any tool.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"step"}
+	for _, c := range r.Curves {
+		header = append(header, c.Combo)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for t := 0; t < r.Steps; t++ {
+		row := []string{strconv.Itoa(t + 1)}
+		for _, c := range r.Curves {
+			row = append(row, strconv.FormatFloat(c.AccuracyAt[t], 'f', 5, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Fig. 5's scatter points.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"coding", "mean_log_rate", "mean_regularity", "neurons"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if err := cw.Write([]string{
+			p.Combo,
+			strconv.FormatFloat(p.MeanLogRate, 'f', 5, 64),
+			strconv.FormatFloat(p.MeanRegularity, 'f', 5, 64),
+			strconv.Itoa(p.Neurons),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Fig. 2's burst-composition sweep.
+func (r *Fig2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"vth", "percent_burst", "len2", "len3", "len4", "len5", "len_gt5", "total_spikes"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		row := []string{
+			strconv.FormatFloat(p.VTh, 'f', 5, 64),
+			strconv.FormatFloat(p.PercentBurst, 'f', 5, 64),
+		}
+		for _, f := range p.ByLength {
+			row = append(row, strconv.FormatFloat(f, 'f', 5, 64))
+		}
+		row = append(row, strconv.Itoa(p.TotalSpikes))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Table 1's grid.
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"input", "hidden", "accuracy", "latency", "spikes"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.Input, row.Hidden,
+			strconv.FormatFloat(row.Accuracy, 'f', 5, 64),
+			strconv.Itoa(row.Latency),
+			strconv.FormatFloat(row.Spikes, 'f', 1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Table 2's comparison rows.
+func (r *Table2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"dataset", "method", "input", "hidden", "neurons", "dnn_acc",
+		"snn_acc", "latency", "spikes", "density", "energy_truenorth", "energy_spinnaker",
+	}); err != nil {
+		return err
+	}
+	for _, sec := range r.Sections {
+		for _, row := range sec.Rows {
+			if err := cw.Write([]string{
+				sec.Dataset, row.Method, row.Input, row.Hidden,
+				strconv.Itoa(row.Neurons),
+				strconv.FormatFloat(row.DNNAcc, 'f', 5, 64),
+				strconv.FormatFloat(row.SNNAcc, 'f', 5, 64),
+				strconv.Itoa(row.Latency),
+				strconv.FormatFloat(row.Spikes, 'f', 1, 64),
+				strconv.FormatFloat(row.Density, 'f', 6, 64),
+				strconv.FormatFloat(row.EnergyTN, 'f', 4, 64),
+				strconv.FormatFloat(row.EnergySN, 'f', 4, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"burstsnn/internal/analysis"
+	"burstsnn/internal/coding"
+	"burstsnn/internal/snn"
+)
+
+// Fig1Trace is one coding scheme's single-neuron behaviour: the spike
+// train, the per-spike payloads (the PSP staircase of Fig. 1B), and the
+// ISI histogram (Fig. 1C).
+type Fig1Trace struct {
+	Scheme   string
+	Spikes   analysis.SpikeTrain
+	Payloads []float64
+	ISIH     []int
+}
+
+// Fig1Result reproduces Fig. 1: the spike train / PSP / ISIH portrait of
+// rate, phase, and burst coding for a single neuron driven by a constant
+// input current.
+type Fig1Result struct {
+	Current float64
+	Steps   int
+	Traces  []Fig1Trace
+}
+
+// Fig1 drives one IF neuron per hidden coding with a constant current and
+// records its behaviour.
+func Fig1(current float64, steps int) *Fig1Result {
+	res := &Fig1Result{Current: current, Steps: steps}
+	configs := []coding.Config{
+		coding.DefaultConfig(coding.Rate),
+		coding.DefaultConfig(coding.Phase),
+		coding.DefaultConfig(coding.Burst),
+	}
+	for _, cfg := range configs {
+		n := snn.NewSingleNeuron(cfg)
+		tr := Fig1Trace{Scheme: cfg.Scheme.String()}
+		for t := 0; t < steps; t++ {
+			fired, payload := n.Step(current)
+			if fired {
+				tr.Spikes = append(tr.Spikes, t)
+				tr.Payloads = append(tr.Payloads, payload)
+			}
+		}
+		tr.ISIH = analysis.ISIH([]analysis.SpikeTrain{tr.Spikes}, 16)
+		res.Traces = append(res.Traces, tr)
+	}
+	return res
+}
+
+// Render prints an ASCII version of the three-panel figure.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1 — single IF neuron, constant input %.2f, %d steps\n\n", r.Current, r.Steps)
+	for _, tr := range r.Traces {
+		fmt.Fprintf(&b, "%-6s spike train: %s\n", tr.Scheme, rasterLine(tr.Spikes, r.Steps))
+		psp := 0.0
+		series := make([]float64, 0, len(tr.Payloads))
+		for _, p := range tr.Payloads {
+			psp += p
+			series = append(series, psp)
+		}
+		maxPSP := 0.0
+		if len(series) > 0 {
+			maxPSP = series[len(series)-1]
+		}
+		fmt.Fprintf(&b, "       PSP steps  : %s (Σ=%.3f over %d spikes)\n",
+			sparkline(tr.Payloads, 0, maxPayload(tr.Payloads)), maxPSP, len(tr.Spikes))
+		fmt.Fprintf(&b, "       ISIH 1..16 : %s\n\n", isihLine(tr.ISIH))
+	}
+	return b.String()
+}
+
+func maxPayload(ps []float64) float64 {
+	m := 0.0
+	for _, p := range ps {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+func rasterLine(train analysis.SpikeTrain, steps int) string {
+	if steps > 64 {
+		steps = 64
+	}
+	line := make([]rune, steps)
+	for i := range line {
+		line[i] = '·'
+	}
+	for _, t := range train {
+		if t < steps {
+			line[t] = '|'
+		}
+	}
+	return string(line)
+}
+
+func isihLine(h []int) string {
+	vals := make([]float64, len(h))
+	max := 0.0
+	for i, c := range h {
+		vals[i] = float64(c)
+		if vals[i] > max {
+			max = vals[i]
+		}
+	}
+	return sparkline(vals, 0, max)
+}

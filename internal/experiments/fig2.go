@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"burstsnn/internal/coding"
+	"burstsnn/internal/core"
+)
+
+// Fig2Point is one v_th setting of the burst-composition sweep.
+type Fig2Point struct {
+	VTh          float64
+	PercentBurst float64    // share of spikes that belong to a burst
+	ByLength     [5]float64 // share of *bursts* with length 2,3,4,5,>5
+	TotalSpikes  int
+}
+
+// Fig2Result reproduces Fig. 2: percentage of burst spikes and their
+// composition by burst length as v_th varies.
+type Fig2Result struct {
+	Model  string
+	VThs   []float64
+	Points []Fig2Point
+}
+
+// Fig2VThs is the paper's sweep: 0.5, 0.25, 0.125, 0.0625, 0.03125.
+func Fig2VThs() []float64 { return []float64{0.5, 0.25, 0.125, 0.0625, 0.03125} }
+
+// Fig2 runs the sweep on the CIFAR-10 stand-in with phase input and
+// burst hidden coding, recording hidden-layer spike trains.
+func Fig2(l *Lab) (*Fig2Result, error) {
+	m, err := l.Model("textures10")
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Result{Model: m.Name, VThs: Fig2VThs()}
+	for _, vth := range out.VThs {
+		l.logf("fig2: recording burst composition at v_th=%v...\n", vth)
+		pat, err := core.CollectPatterns(m.Net, m.Set, core.PatternConfig{
+			Hybrid: core.NewHybrid(coding.Phase, coding.Burst).WithVTh(vth),
+			Steps:  l.Settings.PatternSteps,
+			Images: l.Settings.PatternImages,
+			// Sample generously: burst composition needs many trains.
+			SampleFrac: 0.2,
+			Seed:       7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := Fig2Point{VTh: vth, PercentBurst: pat.Bursts.PercentBurstSpikes(), TotalSpikes: pat.Bursts.TotalSpikes}
+		totalBursts := 0
+		for _, c := range pat.Bursts.ByLength {
+			totalBursts += c
+		}
+		if totalBursts > 0 {
+			for i, c := range pat.Bursts.ByLength {
+				pt.ByLength[i] = float64(c) / float64(totalBursts)
+			}
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Render prints the sweep in the figure's layout.
+func (r *Fig2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2 — burst spikes vs v_th on %s (phase-burst)\n\n", r.Model)
+	t := &table{header: []string{"v_th", "% burst spikes", "len=2", "len=3", "len=4", "len=5", "len>5", "spikes"}}
+	for _, p := range r.Points {
+		t.add(fnum(p.VTh, 5), fnum(p.PercentBurst*100, 1),
+			fnum(p.ByLength[0]*100, 1), fnum(p.ByLength[1]*100, 1),
+			fnum(p.ByLength[2]*100, 1), fnum(p.ByLength[3]*100, 1),
+			fnum(p.ByLength[4]*100, 1), fmt.Sprintf("%d", p.TotalSpikes))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig3Cell is one bar pair of Fig. 3: the latency and spike count a
+// coding combination needs to reach a target accuracy.
+type Fig3Cell struct {
+	Combo   string
+	Latency int     // -1 when never reached
+	Spikes  float64 // -1 when never reached
+}
+
+// Fig3Target groups the grid results for one target accuracy.
+type Fig3Target struct {
+	Target float64
+	Cells  []Fig3Cell
+}
+
+// Fig3Result reproduces Fig. 3: latency and number of spikes to reach
+// three target accuracies for the coding grid.
+type Fig3Result struct {
+	Model   string
+	DNNAcc  float64
+	Targets []Fig3Target
+}
+
+// Fig3 evaluates the grid and extracts latency/spikes-to-target. The
+// paper's targets sit 0.4, 0.9, and 4.6 accuracy points below the DNN;
+// the same offsets are applied to the stand-in's DNN accuracy.
+func Fig3(l *Lab) (*Fig3Result, error) {
+	m, err := l.Model("textures10")
+	if err != nil {
+		return nil, err
+	}
+	grid, err := l.EvalGrid("textures10")
+	if err != nil {
+		return nil, err
+	}
+	offsets := []float64{0.004, 0.009, 0.046}
+	out := &Fig3Result{Model: m.Name, DNNAcc: m.DNNAcc}
+	for _, off := range offsets {
+		target := m.DNNAcc - off
+		ft := Fig3Target{Target: target}
+		for _, combo := range Grid() {
+			res := grid[combo.Notation()]
+			ft.Cells = append(ft.Cells, Fig3Cell{
+				Combo:   combo.Notation(),
+				Latency: res.LatencyToTarget(target),
+				Spikes:  res.SpikesToTarget(target),
+			})
+		}
+		out.Targets = append(out.Targets, ft)
+	}
+	return out, nil
+}
+
+// Render prints the three target groups.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3 — latency and spikes to reach target accuracy on %s (DNN %.4f)\n\n", r.Model, r.DNNAcc)
+	for _, ft := range r.Targets {
+		fmt.Fprintf(&b, "target accuracy %.4f:\n", ft.Target)
+		t := &table{header: []string{"Coding", "Latency", "# spikes"}}
+		for _, c := range ft.Cells {
+			t.add(c.Combo, flat(c.Latency), fspk(c.Spikes))
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig4Curve is one coding combination's accuracy-vs-time-step inference
+// curve.
+type Fig4Curve struct {
+	Combo      string
+	AccuracyAt []float64
+}
+
+// Fig4Result reproduces Fig. 4: the inference curves of all nine coding
+// combinations.
+type Fig4Result struct {
+	Model  string
+	DNNAcc float64
+	Steps  int
+	Curves []Fig4Curve
+}
+
+// Fig4 collects the per-step accuracy curves from the evaluation grid.
+func Fig4(l *Lab) (*Fig4Result, error) {
+	m, err := l.Model("textures10")
+	if err != nil {
+		return nil, err
+	}
+	grid, err := l.EvalGrid("textures10")
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig4Result{Model: m.Name, DNNAcc: m.DNNAcc, Steps: l.Settings.Steps}
+	for _, combo := range Grid() {
+		res := grid[combo.Notation()]
+		curve := make([]float64, len(res.AccuracyAt))
+		copy(curve, res.AccuracyAt)
+		out.Curves = append(out.Curves, Fig4Curve{Combo: combo.Notation(), AccuracyAt: curve})
+	}
+	return out, nil
+}
+
+// At returns a curve subsampled to n points (for compact rendering and
+// CSV export).
+func (c Fig4Curve) At(n int) []float64 {
+	if n <= 0 || len(c.AccuracyAt) == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		idx := (i + 1) * len(c.AccuracyAt) / n
+		if idx > len(c.AccuracyAt) {
+			idx = len(c.AccuracyAt)
+		}
+		out[i] = c.AccuracyAt[idx-1]
+	}
+	return out
+}
+
+// Render prints sparkline curves plus the step numbers at which each
+// combination crosses 50% and 90% of the DNN accuracy.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — inference curves on %s (DNN %.4f, %d steps)\n\n", r.Model, r.DNNAcc, r.Steps)
+	t := &table{header: []string{"Coding", "curve (acc 0..1)", "steps→50%DNN", "steps→90%DNN", "final"}}
+	for _, c := range r.Curves {
+		half, ninety := -1, -1
+		for i, a := range c.AccuracyAt {
+			if half < 0 && a >= 0.5*r.DNNAcc {
+				half = i + 1
+			}
+			if ninety < 0 && a >= 0.9*r.DNNAcc {
+				ninety = i + 1
+			}
+		}
+		final := c.AccuracyAt[len(c.AccuracyAt)-1]
+		t.add(c.Combo, sparkline(c.At(32), 0, 1), flat(half), flat(ninety), fnum(final, 3))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"burstsnn/internal/core"
+)
+
+// Fig5Point is one coding combination's position in the firing-rate /
+// regularity plane.
+type Fig5Point struct {
+	Combo          string
+	Hidden         string
+	MeanLogRate    float64
+	MeanRegularity float64
+	Neurons        int
+}
+
+// Fig5Result reproduces Fig. 5: the firing-pattern scatter of the coding
+// grid.
+type Fig5Result struct {
+	Model  string
+	Points []Fig5Point
+}
+
+// Fig5 records spike patterns for every combination and reduces them to
+// the (<log λ>, <κ>) plane.
+func Fig5(l *Lab) (*Fig5Result, error) {
+	m, err := l.Model("textures10")
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig5Result{Model: m.Name}
+	for _, combo := range Grid() {
+		l.logf("fig5: recording %s...\n", combo.Notation())
+		pat, err := core.CollectPatterns(m.Net, m.Set, core.PatternConfig{
+			Hybrid:     core.NewHybrid(combo.Input, combo.Hidden),
+			Steps:      l.Settings.PatternSteps,
+			Images:     l.Settings.PatternImages,
+			SampleFrac: 0.1, // the paper samples 10% of neurons
+			Seed:       11,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, Fig5Point{
+			Combo:          combo.Notation(),
+			Hidden:         combo.Hidden.String(),
+			MeanLogRate:    pat.Point.MeanLogRate,
+			MeanRegularity: pat.Point.MeanRegularity,
+			Neurons:        pat.Point.Neurons,
+		})
+	}
+	return out, nil
+}
+
+// HiddenSpread returns, for each hidden scheme, the range (max-min) of
+// mean log firing rates across input codings — the paper's "flexibility"
+// reading of the scatter.
+func (r *Fig5Result) HiddenSpread() map[string]float64 {
+	lo := map[string]float64{}
+	hi := map[string]float64{}
+	for _, p := range r.Points {
+		if p.Neurons == 0 {
+			continue
+		}
+		if _, ok := lo[p.Hidden]; !ok || p.MeanLogRate < lo[p.Hidden] {
+			lo[p.Hidden] = p.MeanLogRate
+		}
+		if _, ok := hi[p.Hidden]; !ok || p.MeanLogRate > hi[p.Hidden] {
+			hi[p.Hidden] = p.MeanLogRate
+		}
+	}
+	out := map[string]float64{}
+	for k := range lo {
+		out[k] = hi[k] - lo[k]
+	}
+	return out
+}
+
+// Render prints the scatter coordinates and the per-hidden-scheme rate
+// spread.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5 — firing rate vs regularity on %s\n\n", r.Model)
+	t := &table{header: []string{"Coding", "<log λ>", "<κ>", "neurons"}}
+	for _, p := range r.Points {
+		t.add(p.Combo, fnum(p.MeanLogRate, 3), fnum(p.MeanRegularity, 3), fmt.Sprintf("%d", p.Neurons))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nfiring-rate spread across input codings (flexibility):\n")
+	spread := r.HiddenSpread()
+	for _, hidden := range []string{"rate", "phase", "burst"} {
+		fmt.Fprintf(&b, "  hidden=%-6s spread=%.3f\n", hidden, spread[hidden])
+	}
+	return b.String()
+}

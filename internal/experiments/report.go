@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table renders a fixed set of rows as a GitHub-flavoured markdown table.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) String() string {
+	var b strings.Builder
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2) + "|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// fnum formats a float compactly for table cells.
+func fnum(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// flat formats a latency value, rendering -1 as "n/r" (not reached).
+func flat(lat int) string {
+	if lat < 0 {
+		return "n/r"
+	}
+	return fmt.Sprintf("%d", lat)
+}
+
+// fspk formats a spike count, rendering negatives as "n/r".
+func fspk(v float64) string {
+	if v < 0 {
+		return "n/r"
+	}
+	if v >= 1e6 {
+		return fmt.Sprintf("%.3fM", v/1e6)
+	}
+	if v >= 1e3 {
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// sparkline renders a numeric series as a compact unicode strip, used by
+// the figure reproductions to show curve shapes in text output.
+func sparkline(values []float64, lo, hi float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	for _, v := range values {
+		f := (v - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		b.WriteRune(levels[int(f*float64(len(levels)-1)+0.5)])
+	}
+	return b.String()
+}

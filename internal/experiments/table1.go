@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"burstsnn/internal/core"
+)
+
+// Table1Row is one line of Table 1: a coding combination's accuracy,
+// latency, and spike count on the CIFAR-10 stand-in.
+type Table1Row struct {
+	Input, Hidden string
+	Accuracy      float64 // best accuracy over the run
+	Latency       int     // first step reaching the best accuracy
+	Spikes        float64 // mean spikes per image up to Latency
+}
+
+// Table1Result reproduces Table 1 (VGG-16 on CIFAR-10 → VGG-mini on
+// synthetic textures).
+type Table1Result struct {
+	Model  string
+	DNNAcc float64
+	Steps  int
+	Images int
+	Rows   []Table1Row
+}
+
+// Table1 evaluates the full input×hidden coding grid.
+func Table1(l *Lab) (*Table1Result, error) {
+	m, err := l.Model("textures10")
+	if err != nil {
+		return nil, err
+	}
+	out := &Table1Result{
+		Model:  m.Name,
+		DNNAcc: m.DNNAcc,
+		Steps:  l.Settings.Steps,
+		Images: l.Settings.Images,
+	}
+	for _, combo := range Grid() {
+		res, err := l.Eval("textures10", core.NewHybrid(combo.Input, combo.Hidden))
+		if err != nil {
+			return nil, err
+		}
+		best, at := res.BestAccuracy()
+		spikes := res.SpikesPerImage * float64(at) / float64(res.Steps)
+		out.Rows = append(out.Rows, Table1Row{
+			Input:    combo.Input.String(),
+			Hidden:   combo.Hidden.String(),
+			Accuracy: best,
+			Latency:  at,
+			Spikes:   spikes,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the markdown table in the paper's layout.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — neural coding grid on %s (DNN accuracy %.4f, %d steps, %d images)\n\n",
+		r.Model, r.DNNAcc, r.Steps, r.Images)
+	t := &table{header: []string{"Input", "Hidden", "Accuracy (%)", "Latency", "# of spikes"}}
+	for _, row := range r.Rows {
+		t.add(row.Input, row.Hidden, fnum(row.Accuracy*100, 2), flat(row.Latency), fspk(row.Spikes))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"burstsnn/internal/analysis"
+	"burstsnn/internal/coding"
+	"burstsnn/internal/core"
+	"burstsnn/internal/energy"
+)
+
+// Table2Row is one method line of Table 2.
+type Table2Row struct {
+	Method        string
+	Input, Hidden string
+	VTh           float64
+	Neurons       int
+	DNNAcc        float64
+	SNNAcc        float64
+	Latency       int
+	Spikes        float64
+	Density       float64
+	EnergyTN      float64 // normalized TrueNorth energy
+	EnergySN      float64 // normalized SpiNNaker energy
+	Baseline      bool
+}
+
+// Table2Section groups one dataset's rows.
+type Table2Section struct {
+	Dataset string
+	Rows    []Table2Row
+}
+
+// Table2Result reproduces Table 2: the cross-method comparison on all
+// three datasets with spiking density and normalized energy.
+type Table2Result struct {
+	Sections []Table2Section
+}
+
+// table2Method describes one comparison row: the coding configuration a
+// prior method (or ours) uses.
+type table2Method struct {
+	label    string
+	hybrid   core.Hybrid
+	baseline bool // energy normalization reference for its section
+}
+
+// Table2 runs the comparison. Method rows per dataset mirror the paper:
+// Diehl'15 rate-rate, Kim'18 phase-phase, Rueckauer'16 real-rate, and our
+// real/phase-burst at v_th ∈ {0.125, 0.0625}.
+func Table2(l *Lab) (*Table2Result, error) {
+	sections := []struct {
+		dataset string
+		methods []table2Method
+	}{
+		{"digits", []table2Method{
+			{"Diehl et al. 2015 (rate-rate)", core.NewHybrid(coding.Rate, coding.Rate), true},
+			{"Kim et al. 2018 (phase-phase)", core.NewHybrid(coding.Phase, coding.Phase), false},
+			{"Ours (real-burst, vth=0.125)", core.NewHybrid(coding.Real, coding.Burst).WithVTh(0.125), false},
+		}},
+		{"textures10", []table2Method{
+			{"Cao et al. 2015 (rate-rate)", core.NewHybrid(coding.Rate, coding.Rate), false},
+			{"Rueckauer et al. 2016 (real-rate)", core.NewHybrid(coding.Real, coding.Rate), true},
+			{"Kim et al. 2018 (phase-phase)", core.NewHybrid(coding.Phase, coding.Phase), false},
+			{"Ours (phase-burst, vth=0.125)", core.NewHybrid(coding.Phase, coding.Burst).WithVTh(0.125), false},
+			{"Ours (phase-burst, vth=0.0625)", core.NewHybrid(coding.Phase, coding.Burst).WithVTh(0.0625), false},
+		}},
+		{"textures100", []table2Method{
+			{"Kim et al. 2018 (phase-phase)", core.NewHybrid(coding.Phase, coding.Phase), true},
+			{"Ours (phase-burst, vth=0.125)", core.NewHybrid(coding.Phase, coding.Burst).WithVTh(0.125), false},
+		}},
+	}
+
+	out := &Table2Result{}
+	for _, sec := range sections {
+		m, err := l.Model(sec.dataset)
+		if err != nil {
+			return nil, err
+		}
+		section := Table2Section{Dataset: sec.dataset}
+		var workloads []energy.Workload
+		base := 0
+		for i, method := range sec.methods {
+			res, err := l.Eval(sec.dataset, method.hybrid)
+			if err != nil {
+				return nil, err
+			}
+			best, at := res.BestAccuracy()
+			spikes := res.SpikesPerImage * float64(at) / float64(res.Steps)
+			density := analysis.SpikingDensity(int(spikes+0.5), res.Neurons, at)
+			section.Rows = append(section.Rows, Table2Row{
+				Method:   method.label,
+				Input:    method.hybrid.Input.Scheme.String(),
+				Hidden:   method.hybrid.Hidden.Scheme.String(),
+				VTh:      method.hybrid.Hidden.VTh,
+				Neurons:  res.Neurons,
+				DNNAcc:   m.DNNAcc,
+				SNNAcc:   best,
+				Latency:  at,
+				Spikes:   spikes,
+				Density:  density,
+				Baseline: method.baseline,
+			})
+			workloads = append(workloads, energy.Workload{
+				Spikes:  spikes,
+				Density: density,
+				Latency: float64(at),
+			})
+			if method.baseline {
+				base = i
+			}
+		}
+		tn, err := energy.Normalize(energy.TrueNorth(), workloads, base)
+		if err != nil {
+			return nil, err
+		}
+		sn, err := energy.Normalize(energy.SpiNNaker(), workloads, base)
+		if err != nil {
+			return nil, err
+		}
+		for i := range section.Rows {
+			section.Rows[i].EnergyTN = tn[i]
+			section.Rows[i].EnergySN = sn[i]
+		}
+		out.Sections = append(out.Sections, section)
+	}
+	return out, nil
+}
+
+// Render prints the full comparison table.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2 — comparison with other deep SNN methods\n")
+	for _, sec := range r.Sections {
+		fmt.Fprintf(&b, "\n%s:\n", sec.Dataset)
+		t := &table{header: []string{
+			"Method", "Input", "Hidden", "Neurons", "DNN(%)", "SNN(%)",
+			"Latency", "Spikes", "Density", "E(TrueNorth)", "E(SpiNNaker)",
+		}}
+		for _, row := range sec.Rows {
+			label := row.Method
+			if row.Baseline {
+				label += " *"
+			}
+			t.add(label, row.Input, row.Hidden,
+				fmt.Sprintf("%d", row.Neurons),
+				fnum(row.DNNAcc*100, 2), fnum(row.SNNAcc*100, 2),
+				flat(row.Latency), fspk(row.Spikes),
+				fnum(row.Density, 4), fnum(row.EnergyTN, 3), fnum(row.EnergySN, 3))
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString("\n* energy-normalization baseline for its dataset\n")
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs, or 0 when fewer
+// than two samples are provided.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// CV returns the coefficient of variation std/mean, the firing-regularity
+// measure κ of the paper (Eq. 12). It returns 0 when the mean is zero.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return Std(xs) / m
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest element, preferring the earliest
+// index on ties. It returns -1 for an empty slice.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs[1:] {
+		if x > xs[best] {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Histogram counts xs into nbins equal-width bins over [lo, hi). Values
+// outside the range are clamped into the boundary bins so no sample is
+// dropped, which matches how the paper's ISI histograms bucket long
+// intervals.
+func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	counts := make([]int, nbins)
+	if nbins == 0 || hi <= lo {
+		return counts
+	}
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		bin := int((x - lo) / width)
+		if bin < 0 {
+			bin = 0
+		}
+		if bin >= nbins {
+			bin = nbins - 1
+		}
+		counts[bin]++
+	}
+	return counts
+}
+
+// Quantize rounds x in [0,1] to the nearest multiple of 1/2^bits. It is
+// the precision model used by the phase-coding input encoder, which can
+// deliver exactly `bits` bits of the input value per oscillation period.
+func Quantize(x float64, bits int) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	levels := math.Pow(2, float64(bits))
+	q := math.Round(Clamp(x, 0, 1)*levels) / levels
+	return Clamp(q, 0, 1)
+}

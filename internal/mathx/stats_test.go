@@ -1,0 +1,176 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestStd(t *testing.T) {
+	if got := Std([]float64{2, 2, 2, 2}); got != 0 {
+		t.Errorf("Std of constants = %v, want 0", got)
+	}
+	// Population std of {1,2,3,4} = sqrt(1.25).
+	if got := Std([]float64{1, 2, 3, 4}); !almostEq(got, math.Sqrt(1.25), 1e-12) {
+		t.Errorf("Std = %v", got)
+	}
+	if got := Std([]float64{7}); got != 0 {
+		t.Errorf("Std of single sample = %v, want 0", got)
+	}
+}
+
+func TestCV(t *testing.T) {
+	// Regular train (constant ISI) must have κ = 0; that is the paper's
+	// definition of perfectly regular firing.
+	if got := CV([]float64{4, 4, 4}); got != 0 {
+		t.Errorf("CV of regular ISIs = %v, want 0", got)
+	}
+	if got := CV(nil); got != 0 {
+		t.Errorf("CV(nil) = %v, want 0", got)
+	}
+	xs := []float64{1, 3}
+	want := Std(xs) / 2
+	if got := CV(xs); !almostEq(got, want, 1e-12) {
+		t.Errorf("CV = %v, want %v", got, want)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(seed uint64, p uint8) bool {
+		r := NewRNG(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.Range(-10, 10)
+		}
+		pp := float64(p % 101)
+		v := Percentile(xs, pp)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxArgMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 7, 2}
+	if Max(xs) != 7 {
+		t.Error("Max")
+	}
+	if Min(xs) != -1 {
+		t.Error("Min")
+	}
+	if ArgMax(xs) != 2 {
+		t.Errorf("ArgMax ties should pick first index, got %d", ArgMax(xs))
+	}
+	if ArgMax(nil) != -1 {
+		t.Error("ArgMax(nil)")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp broken")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.1, 0.5, 0.9, 1.5, -0.5}
+	h := Histogram(xs, 0, 1, 2)
+	// 0.1,0.1,-0.5(clamped) in bin 0; 0.5, 0.9, 1.5(clamped) in bin 1.
+	if h[0] != 3 || h[1] != 3 {
+		t.Fatalf("Histogram = %v", h)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram dropped samples: %d != %d", total, len(xs))
+	}
+}
+
+func TestHistogramConservesMassProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = r.Range(-2, 2)
+		}
+		h := Histogram(xs, 0, 1, 10)
+		total := 0
+		for _, c := range h {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	// 8-bit quantization of representable values is exact.
+	for _, v := range []float64{0, 0.5, 0.25, 1} {
+		if got := Quantize(v, 8); got != v {
+			t.Errorf("Quantize(%v, 8) = %v", v, got)
+		}
+	}
+	// Error is bounded by half a step.
+	step := 1.0 / 256
+	for _, v := range []float64{0.123, 0.777, 0.999} {
+		if got := Quantize(v, 8); math.Abs(got-v) > step/2+1e-12 {
+			t.Errorf("Quantize(%v, 8) error too large: %v", v, got)
+		}
+	}
+	if got := Quantize(0.7, 0); got != 0 {
+		t.Errorf("Quantize with 0 bits = %v", got)
+	}
+	if got := Quantize(1.7, 4); got != 1 {
+		t.Errorf("Quantize clamps above 1, got %v", got)
+	}
+}

@@ -1,0 +1,168 @@
+// Package neuromorphic models the hardware substrate the paper's energy
+// estimates assume: a 2-D mesh of neurosynaptic cores (TrueNorth-style)
+// or ARM-core routers (SpiNNaker-style) onto which a converted SNN is
+// placed, with dimension-ordered spike routing between cores.
+//
+// The paper (Section 4.2) splits chip energy into computation, routing,
+// and static parts using published ratios. This package grounds the same
+// decomposition in a mapped topology: place the network's neurons onto
+// cores, replay a measured spike workload, count synaptic operations and
+// mesh hops, and integrate per-event energies. The analytic model in
+// internal/energy remains the fast path; this one exposes *why* routing
+// costs what it costs (hop counts, link congestion, placement quality).
+package neuromorphic
+
+import "fmt"
+
+// ChipConfig describes one neuromorphic architecture: mesh geometry, core
+// capacities, and per-event energy coefficients. Energy units are
+// arbitrary but consistent (think picojoules); only ratios survive the
+// normalization the paper applies.
+type ChipConfig struct {
+	Name string
+	// MeshW and MeshH define the core grid.
+	MeshW, MeshH int
+	// NeuronsPerCore caps how many neurons one core hosts.
+	NeuronsPerCore int
+	// SynOpEnergy is the energy of one synaptic accumulate.
+	SynOpEnergy float64
+	// SpikeGenEnergy is the energy of one neuron firing.
+	SpikeGenEnergy float64
+	// HopEnergy is the energy of moving one spike packet across one mesh
+	// link.
+	HopEnergy float64
+	// CoreStaticPower is the static energy one core burns per time step.
+	CoreStaticPower float64
+	// Multicast selects the routing model: true for SpiNNaker-style
+	// multicast trees (a spike traverses a spanning tree of destination
+	// cores), false for TrueNorth-style unicast (one packet per
+	// destination core).
+	Multicast bool
+}
+
+// Cores returns the total core count.
+func (c ChipConfig) Cores() int { return c.MeshW * c.MeshH }
+
+// Capacity returns the total neuron capacity.
+func (c ChipConfig) Capacity() int { return c.Cores() * c.NeuronsPerCore }
+
+// Validate checks the configuration is usable.
+func (c ChipConfig) Validate() error {
+	if c.MeshW <= 0 || c.MeshH <= 0 {
+		return fmt.Errorf("neuromorphic: bad mesh %dx%d", c.MeshW, c.MeshH)
+	}
+	if c.NeuronsPerCore <= 0 {
+		return fmt.Errorf("neuromorphic: bad core capacity %d", c.NeuronsPerCore)
+	}
+	if c.SynOpEnergy < 0 || c.SpikeGenEnergy < 0 || c.HopEnergy < 0 || c.CoreStaticPower < 0 {
+		return fmt.Errorf("neuromorphic: negative energy coefficient in %+v", c)
+	}
+	return nil
+}
+
+// TrueNorthChip returns a TrueNorth-inspired configuration: event-driven
+// digital cores, 256 neurons each, negligible static power, cheap
+// synaptic events, unicast routing. Coefficients follow the relative
+// magnitudes reported by Merolla et al. 2014 (26 pJ/synaptic event) and
+// Moradi & Manohar 2018 for on-chip communication.
+func TrueNorthChip(meshW, meshH int) ChipConfig {
+	return ChipConfig{
+		Name:  "TrueNorth",
+		MeshW: meshW, MeshH: meshH,
+		NeuronsPerCore:  256,
+		SynOpEnergy:     26,
+		SpikeGenEnergy:  110,
+		HopEnergy:       300,
+		CoreStaticPower: 30,
+		Multicast:       false,
+	}
+}
+
+// SpiNNakerChip returns a SpiNNaker-inspired configuration: ARM cores
+// hosting ~1000 neurons, multicast packet routing, and a large static
+// share (clocked cores idle-burn), following Furber et al. 2014.
+func SpiNNakerChip(meshW, meshH int) ChipConfig {
+	return ChipConfig{
+		Name:  "SpiNNaker",
+		MeshW: meshW, MeshH: meshH,
+		NeuronsPerCore:  1000,
+		SynOpEnergy:     80,
+		SpikeGenEnergy:  200,
+		HopEnergy:       900,
+		CoreStaticPower: 12000,
+		Multicast:       true,
+	}
+}
+
+// coreX and coreY convert a core id to mesh coordinates.
+func (c ChipConfig) coreX(core int) int { return core % c.MeshW }
+func (c ChipConfig) coreY(core int) int { return core / c.MeshW }
+
+// Hops returns the dimension-ordered (XY) routing distance between two
+// cores.
+func (c ChipConfig) Hops(a, b int) int {
+	dx := c.coreX(a) - c.coreX(b)
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := c.coreY(a) - c.coreY(b)
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// MulticastHops estimates the links a multicast tree from src to dsts
+// traverses: an X-then-Y spanning pattern — packets travel along the
+// source row to each destination column once, then down each column to
+// the destinations. It lower-bounds per-destination unicast and is the
+// standard approximation for SpiNNaker-style multicast.
+func (c ChipConfig) MulticastHops(src int, dsts []int) int {
+	if len(dsts) == 0 {
+		return 0
+	}
+	sx, sy := c.coreX(src), c.coreY(src)
+	// Columns reached, with the y-extent needed in each column.
+	type extent struct{ minY, maxY int }
+	cols := map[int]extent{}
+	for _, d := range dsts {
+		x, y := c.coreX(d), c.coreY(d)
+		e, ok := cols[x]
+		if !ok {
+			e = extent{y, y}
+		} else {
+			if y < e.minY {
+				e.minY = y
+			}
+			if y > e.maxY {
+				e.maxY = y
+			}
+		}
+		cols[x] = e
+	}
+	// Row traversal: from the source column to the leftmost and
+	// rightmost destination columns.
+	minX, maxX := sx, sx
+	for x := range cols {
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+	}
+	hops := (sx - minX) + (maxX - sx)
+	// Column traversals: within each destination column, span from the
+	// source row to the needed extent.
+	for _, e := range cols {
+		lo, hi := e.minY, e.maxY
+		if sy < lo {
+			lo = sy
+		}
+		if sy > hi {
+			hi = sy
+		}
+		hops += hi - lo
+	}
+	return hops
+}

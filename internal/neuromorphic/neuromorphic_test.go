@@ -1,0 +1,386 @@
+package neuromorphic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"burstsnn/internal/coding"
+	"burstsnn/internal/mathx"
+	"burstsnn/internal/snn"
+)
+
+func TestChipConfigValidate(t *testing.T) {
+	if err := TrueNorthChip(4, 4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SpiNNakerChip(2, 3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ChipConfig{
+		{MeshW: 0, MeshH: 2, NeuronsPerCore: 10},
+		{MeshW: 2, MeshH: 2, NeuronsPerCore: 0},
+		{MeshW: 2, MeshH: 2, NeuronsPerCore: 4, HopEnergy: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	c := TrueNorthChip(4, 4)
+	// Core 0 is (0,0); core 15 is (3,3).
+	if got := c.Hops(0, 15); got != 6 {
+		t.Fatalf("Hops(0,15) = %d", got)
+	}
+	if c.Hops(5, 5) != 0 {
+		t.Fatal("self hops must be 0")
+	}
+}
+
+func TestHopsSymmetricProperty(t *testing.T) {
+	c := TrueNorthChip(8, 8)
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		a, b := r.Intn(64), r.Intn(64)
+		return c.Hops(a, b) == c.Hops(b, a) && c.Hops(a, b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulticastHopsBounds(t *testing.T) {
+	c := SpiNNakerChip(8, 8)
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		src := r.Intn(64)
+		n := 1 + r.Intn(6)
+		dsts := make([]int, n)
+		maxUni, sumUni := 0, 0
+		for i := range dsts {
+			dsts[i] = r.Intn(64)
+			h := c.Hops(src, dsts[i])
+			sumUni += h
+			if h > maxUni {
+				maxUni = h
+			}
+		}
+		mc := c.MulticastHops(src, dsts)
+		// A multicast tree reaches every destination, so it needs at
+		// least the farthest unicast distance, and never more than the
+		// sum of unicast paths.
+		return mc >= maxUni && mc <= sumUni
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulticastHopsEmpty(t *testing.T) {
+	c := SpiNNakerChip(4, 4)
+	if c.MulticastHops(3, nil) != 0 {
+		t.Fatal("empty multicast must cost 0")
+	}
+}
+
+// buildTinySNN constructs a small converted-style network directly.
+func buildTinySNN(t *testing.T) *snn.Network {
+	t.Helper()
+	enc, err := coding.NewInputEncoder(coding.DefaultConfig(coding.Real), 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := coding.DefaultConfig(coding.Rate)
+	conv := snn.NewSpikingConv(
+		onesSlice(2*1*3*3), zeroSlice(2),
+		snn.ConvGeom{InC: 1, InH: 4, InW: 4, OutC: 2, K: 3, Stride: 1, Pad: 1}, cfg)
+	pool := snn.NewSpikingAvgPool(2, 4, 4, 2, cfg)
+	dense := snn.NewSpikingDense(onesSlice(8*3), zeroSlice(3), 8, 3, cfg)
+	return &snn.Network{
+		Encoder: enc,
+		Layers:  []snn.Layer{conv, pool, dense},
+		Output:  snn.NewOutputLayer(onesSlice(3*2), zeroSlice(2), 3, 2),
+	}
+}
+
+func onesSlice(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 0.05
+	}
+	return s
+}
+
+func zeroSlice(n int) []float64 { return make([]float64, n) }
+
+func TestExtractTopology(t *testing.T) {
+	net := buildTinySNN(t)
+	topo, err := ExtractTopology(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// input(16) conv(32) pool(8) dense(3) readout(2).
+	wantLayers := []struct {
+		name string
+		n    int
+	}{
+		{"input", 16}, {"conv", 32}, {"avgpool", 8}, {"dense", 3}, {"readout", 2},
+	}
+	if len(topo.Layers) != len(wantLayers) {
+		t.Fatalf("got %d layers", len(topo.Layers))
+	}
+	for i, w := range wantLayers {
+		if topo.Layers[i].Name != w.name || topo.Layers[i].Neurons != w.n {
+			t.Fatalf("layer %d = %s/%d, want %s/%d",
+				i, topo.Layers[i].Name, topo.Layers[i].Neurons, w.name, w.n)
+		}
+	}
+	if topo.TotalNeurons() != 16+32+8+3+2 {
+		t.Fatalf("total neurons %d", topo.TotalNeurons())
+	}
+	// Every non-final layer must have a fan-out into the next layer's
+	// index space.
+	for i := 0; i < len(topo.Layers)-1; i++ {
+		l := topo.Layers[i]
+		if l.FanOut == nil {
+			t.Fatalf("layer %d has no fan-out", i)
+		}
+		for n := 0; n < l.Neurons; n++ {
+			for _, tgt := range l.FanOut(n) {
+				if tgt < 0 || tgt >= l.NextNeurons {
+					t.Fatalf("layer %d neuron %d fans out to %d (next has %d)", i, n, tgt, l.NextNeurons)
+				}
+			}
+		}
+	}
+	if topo.Layers[len(topo.Layers)-1].FanOut != nil {
+		t.Fatal("readout must have no fan-out")
+	}
+}
+
+func TestConvFanOutMatchesScatterGeometry(t *testing.T) {
+	// The fan-out of an input pixel must be exactly the output positions
+	// whose receptive field covers it — mirror the SpikingConv scatter.
+	g := snn.ConvGeom{InC: 2, InH: 5, InW: 5, OutC: 3, K: 3, Stride: 2, Pad: 1}
+	fan := convFanOut(g)
+	outH, outW := g.OutH(), g.OutW()
+	for i := 0; i < g.InC*g.InH*g.InW; i++ {
+		want := map[int]bool{}
+		rem := i % (g.InH * g.InW)
+		iy, ix := rem/g.InW, rem%g.InW
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				for kh := 0; kh < g.K; kh++ {
+					for kw := 0; kw < g.K; kw++ {
+						if oy*g.Stride+kh-g.Pad == iy && ox*g.Stride+kw-g.Pad == ix {
+							for oc := 0; oc < g.OutC; oc++ {
+								want[oc*outH*outW+oy*outW+ox] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		got := fan(i)
+		if len(got) != len(want) {
+			t.Fatalf("pixel %d: fan-out %d targets, want %d", i, len(got), len(want))
+		}
+		for _, tgt := range got {
+			if !want[tgt] {
+				t.Fatalf("pixel %d: unexpected target %d", i, tgt)
+			}
+		}
+	}
+}
+
+func TestPlacementSequentialAndRandom(t *testing.T) {
+	net := buildTinySNN(t)
+	topo, _ := ExtractTopology(net)
+	chip := TrueNorthChip(2, 2)
+	chip.NeuronsPerCore = 20
+
+	seq, err := PlaceSequential(topo, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := PlaceRandom(topo, chip, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rnd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if seq.UsedCores() == 0 || rnd.UsedCores() == 0 {
+		t.Fatal("no cores used")
+	}
+}
+
+func TestPlacementCapacityError(t *testing.T) {
+	net := buildTinySNN(t)
+	topo, _ := ExtractTopology(net)
+	chip := TrueNorthChip(1, 1)
+	chip.NeuronsPerCore = 4 // 61 neurons cannot fit
+	if _, err := PlaceSequential(topo, chip); err == nil {
+		t.Fatal("over-capacity placement accepted")
+	}
+}
+
+func TestRecordLoadAndReplay(t *testing.T) {
+	net := buildTinySNN(t)
+	topo, _ := ExtractTopology(net)
+	img := make([]float64, 16)
+	for i := range img {
+		img[i] = 0.5
+	}
+	load := RecordLoad(net, topo, [][]float64{img}, 20)
+	if load.Latency != 20 {
+		t.Fatalf("latency %d", load.Latency)
+	}
+	totalSpikes := 0.0
+	for _, c := range load.Counts {
+		totalSpikes += c
+	}
+	if totalSpikes == 0 {
+		t.Fatal("no spikes recorded")
+	}
+	// Readout neurons never spike.
+	offs := topo.LayerOffsets()
+	ro := offs[len(offs)-1]
+	for i := ro; i < len(load.Counts); i++ {
+		if load.Counts[i] != 0 {
+			t.Fatal("readout spiked")
+		}
+	}
+
+	chip := TrueNorthChip(2, 2)
+	chip.NeuronsPerCore = 20
+	p, err := PlaceSequential(topo, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(p, load, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spikes <= 0 || rep.SynOps < rep.Spikes {
+		t.Fatalf("implausible traffic: %+v", rep)
+	}
+	if rep.TotalEnergy() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if rep.OffCoreFraction < 0 || rep.OffCoreFraction > 1 {
+		t.Fatalf("off-core fraction %v", rep.OffCoreFraction)
+	}
+}
+
+// Locality-destroying placement must never beat the sequential one on
+// hops for the same workload.
+func TestSequentialBeatsRandomOnHops(t *testing.T) {
+	net := buildTinySNN(t)
+	topo, _ := ExtractTopology(net)
+	img := make([]float64, 16)
+	for i := range img {
+		img[i] = 0.7
+	}
+	load := RecordLoad(net, topo, [][]float64{img}, 30)
+
+	chip := TrueNorthChip(3, 3)
+	chip.NeuronsPerCore = 8
+	seq, err := PlaceSequential(topo, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSeq, err := Replay(seq, load, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average over several random placements to avoid a lucky shuffle.
+	var avgRnd float64
+	const trials = 5
+	for s := uint64(0); s < trials; s++ {
+		rnd, err := PlaceRandom(topo, chip, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repRnd, err := Replay(rnd, load, chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avgRnd += repRnd.Hops / trials
+	}
+	if repSeq.Hops >= avgRnd {
+		t.Fatalf("sequential placement (%v hops) should beat random (%v)", repSeq.Hops, avgRnd)
+	}
+}
+
+// Annealing must not increase the (weighted, fully-evaluated) hop cost
+// materially, and usually decreases it from a random start.
+func TestAnnealingImprovesRandomPlacement(t *testing.T) {
+	net := buildTinySNN(t)
+	topo, _ := ExtractTopology(net)
+	img := make([]float64, 16)
+	for i := range img {
+		img[i] = 0.7
+	}
+	load := RecordLoad(net, topo, [][]float64{img}, 30)
+	chip := TrueNorthChip(3, 3)
+	chip.NeuronsPerCore = 8
+
+	rnd, err := PlaceRandom(topo, chip, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Replay(rnd, load, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RefinePlacement(rnd, load.Counts, AnnealOptions{Iterations: 15000, Seed: 7})
+	if err := rnd.Validate(); err != nil {
+		t.Fatalf("annealing corrupted the placement: %v", err)
+	}
+	after, err := Replay(rnd, load, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Hops > before.Hops*1.02 {
+		t.Fatalf("annealing degraded hops: %v -> %v", before.Hops, after.Hops)
+	}
+}
+
+func TestReplayEnergyMonotoneInHopEnergy(t *testing.T) {
+	net := buildTinySNN(t)
+	topo, _ := ExtractTopology(net)
+	img := make([]float64, 16)
+	for i := range img {
+		img[i] = 0.5
+	}
+	load := RecordLoad(net, topo, [][]float64{img}, 10)
+	chip := TrueNorthChip(2, 2)
+	chip.NeuronsPerCore = 20
+	p, _ := PlaceSequential(topo, chip)
+	rep1, err := Replay(p, load, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip2 := chip
+	chip2.HopEnergy *= 10
+	rep2, err := Replay(p, load, chip2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Hops != rep2.Hops {
+		t.Fatal("hop counts must not depend on energy coefficients")
+	}
+	if !(rep2.RouteEnergy > rep1.RouteEnergy) {
+		t.Fatal("route energy must scale with hop energy")
+	}
+	if math.Abs(rep1.CompEnergy-rep2.CompEnergy) > 1e-9 {
+		t.Fatal("computation energy must be unchanged")
+	}
+}

@@ -1,0 +1,188 @@
+package neuromorphic
+
+import (
+	"fmt"
+
+	"burstsnn/internal/mathx"
+)
+
+// Placement assigns every global neuron id of a Topology to a core.
+type Placement struct {
+	Chip   ChipConfig
+	Topo   *Topology
+	CoreOf []int // global neuron id -> core id
+	// coreLoad tracks how many neurons each core hosts.
+	coreLoad []int
+}
+
+// Validate checks that every neuron is placed and no core exceeds its
+// capacity.
+func (p *Placement) Validate() error {
+	if len(p.CoreOf) != p.Topo.TotalNeurons() {
+		return fmt.Errorf("neuromorphic: placement covers %d of %d neurons", len(p.CoreOf), p.Topo.TotalNeurons())
+	}
+	load := make([]int, p.Chip.Cores())
+	for i, core := range p.CoreOf {
+		if core < 0 || core >= p.Chip.Cores() {
+			return fmt.Errorf("neuromorphic: neuron %d on invalid core %d", i, core)
+		}
+		load[core]++
+		if load[core] > p.Chip.NeuronsPerCore {
+			return fmt.Errorf("neuromorphic: core %d over capacity (%d > %d)", core, load[core], p.Chip.NeuronsPerCore)
+		}
+	}
+	return nil
+}
+
+// UsedCores returns how many cores host at least one neuron.
+func (p *Placement) UsedCores() int {
+	used := map[int]bool{}
+	for _, c := range p.CoreOf {
+		used[c] = true
+	}
+	return len(used)
+}
+
+// PlaceSequential fills cores in mesh order with neurons in layer order.
+// Because consecutive neurons of a layer are spatially adjacent (CHW
+// order) and consecutive layers are adjacent in id space, this is a
+// strong locality baseline — the mapping strategy TrueNorth's own tool
+// flow (corelet placement) starts from.
+func PlaceSequential(topo *Topology, chip ChipConfig) (*Placement, error) {
+	if err := chip.Validate(); err != nil {
+		return nil, err
+	}
+	total := topo.TotalNeurons()
+	if total > chip.Capacity() {
+		return nil, fmt.Errorf("neuromorphic: network needs %d neuron slots, chip has %d", total, chip.Capacity())
+	}
+	p := &Placement{Chip: chip, Topo: topo, CoreOf: make([]int, total), coreLoad: make([]int, chip.Cores())}
+	core := 0
+	for i := 0; i < total; i++ {
+		if p.coreLoad[core] == chip.NeuronsPerCore {
+			core++
+		}
+		p.CoreOf[i] = core
+		p.coreLoad[core]++
+	}
+	return p, nil
+}
+
+// PlaceRandom scatters neurons uniformly (capacity-respecting). It is the
+// pessimistic baseline that shows what placement quality is worth.
+func PlaceRandom(topo *Topology, chip ChipConfig, seed uint64) (*Placement, error) {
+	p, err := PlaceSequential(topo, chip)
+	if err != nil {
+		return nil, err
+	}
+	r := mathx.NewRNG(seed)
+	// Fisher-Yates over neuron->core assignments preserves per-core
+	// loads exactly while destroying locality.
+	r.Shuffle(len(p.CoreOf), func(i, j int) {
+		p.CoreOf[i], p.CoreOf[j] = p.CoreOf[j], p.CoreOf[i]
+	})
+	return p, nil
+}
+
+// AnnealOptions tunes RefinePlacement.
+type AnnealOptions struct {
+	// Iterations is the number of proposed swaps (default 20000).
+	Iterations int
+	// StartTemp and EndTemp bound the geometric cooling schedule in
+	// units of hop-cost (defaults 50 → 0.5).
+	StartTemp, EndTemp float64
+	// SampleEdges bounds how many fan-out edges per moved neuron are
+	// examined when scoring a swap (default 32; conv fan-outs are ~150).
+	SampleEdges int
+	Seed        uint64
+}
+
+// RefinePlacement improves a placement by simulated annealing on neuron
+// swaps, minimizing the total hop count of the topology's edges weighted
+// by per-neuron spike counts (pass nil weights for unweighted edges).
+// This is classic netlist placement (as in EDA tool flows) applied to
+// neurosynaptic cores.
+func RefinePlacement(p *Placement, spikeCounts []float64, opts AnnealOptions) *Placement {
+	if opts.Iterations == 0 {
+		opts.Iterations = 20000
+	}
+	if opts.StartTemp == 0 {
+		opts.StartTemp = 50
+	}
+	if opts.EndTemp == 0 {
+		opts.EndTemp = 0.5
+	}
+	if opts.SampleEdges == 0 {
+		opts.SampleEdges = 32
+	}
+	r := mathx.NewRNG(opts.Seed ^ 0xabcdef)
+	total := len(p.CoreOf)
+	offsets := p.Topo.LayerOffsets()
+
+	// layerOf finds a neuron's layer via the offsets (linear scan is fine
+	// — layer counts are tiny).
+	layerOf := func(id int) int {
+		li := 0
+		for li+1 < len(offsets) && offsets[li+1] <= id {
+			li++
+		}
+		return li
+	}
+
+	// cost of one neuron's outgoing and incoming locality, sampled.
+	neuronCost := func(id int) float64 {
+		li := layerOf(id)
+		layer := p.Topo.Layers[li]
+		cost := 0.0
+		w := 1.0
+		if spikeCounts != nil {
+			w = spikeCounts[id] + 0.1 // keep silent neurons slightly sticky
+		}
+		if layer.FanOut != nil {
+			local := id - offsets[li]
+			targets := layer.FanOut(local)
+			stride := 1
+			if len(targets) > opts.SampleEdges {
+				stride = len(targets) / opts.SampleEdges
+			}
+			nextBase := offsets[li+1]
+			for k := 0; k < len(targets); k += stride {
+				cost += w * float64(p.Chip.Hops(p.CoreOf[id], p.CoreOf[nextBase+targets[k]]))
+			}
+		}
+		return cost
+	}
+
+	temp := opts.StartTemp
+	cool := 1.0
+	if opts.Iterations > 1 {
+		cool = pow(opts.EndTemp/opts.StartTemp, 1/float64(opts.Iterations-1))
+	}
+	for it := 0; it < opts.Iterations; it++ {
+		a := r.Intn(total)
+		b := r.Intn(total)
+		if a == b || p.CoreOf[a] == p.CoreOf[b] {
+			temp *= cool
+			continue
+		}
+		before := neuronCost(a) + neuronCost(b)
+		p.CoreOf[a], p.CoreOf[b] = p.CoreOf[b], p.CoreOf[a]
+		after := neuronCost(a) + neuronCost(b)
+		delta := after - before
+		if delta > 0 && !r.Bernoulli(expNeg(delta/temp)) {
+			// Reject: undo the swap.
+			p.CoreOf[a], p.CoreOf[b] = p.CoreOf[b], p.CoreOf[a]
+		}
+		temp *= cool
+	}
+	return p
+}
+
+// pow is a minimal positive-base power used by the cooling schedule.
+func pow(base, exp float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	// math.Pow is fine; wrapped for clarity at the call site.
+	return mathPow(base, exp)
+}

@@ -1,0 +1,150 @@
+package neuromorphic
+
+import (
+	"fmt"
+
+	"burstsnn/internal/snn"
+)
+
+// LayerTopo abstracts one layer of the mapped network: a population of
+// neurons and the fan-out of the *previous* layer into it is recorded on
+// the previous entry. Fan-out is computed from geometry (kernel
+// footprints, pooling windows, dense all-to-all), not from weights —
+// routing cost depends on where spikes go, not how strongly.
+type LayerTopo struct {
+	Name    string
+	Neurons int
+	// FanOut returns the next-layer neuron indices that neuron i
+	// projects to (nil for the final layer). The callback avoids
+	// materializing dense all-to-all adjacency.
+	FanOut func(i int) []int
+	// NextNeurons is the size of the layer FanOut points into.
+	NextNeurons int
+}
+
+// Topology is the whole network as a layered graph, input first, readout
+// last. Max-pool gates are modeled as relay populations: they occupy core
+// slots and forward spikes, which is how they are realized on
+// neurosynaptic hardware.
+type Topology struct {
+	Layers []LayerTopo
+}
+
+// TotalNeurons sums every layer's population.
+func (t *Topology) TotalNeurons() int {
+	total := 0
+	for _, l := range t.Layers {
+		total += l.Neurons
+	}
+	return total
+}
+
+// LayerOffsets returns each layer's starting global neuron id.
+func (t *Topology) LayerOffsets() []int {
+	offs := make([]int, len(t.Layers))
+	run := 0
+	for i, l := range t.Layers {
+		offs[i] = run
+		run += l.Neurons
+	}
+	return offs
+}
+
+// ExtractTopology derives the layered connectivity graph of a converted
+// spiking network, including the encoder (layer 0) and the readout (last
+// layer, no fan-out).
+func ExtractTopology(net *snn.Network) (*Topology, error) {
+	topo := &Topology{}
+	topo.Layers = append(topo.Layers, LayerTopo{Name: "input", Neurons: net.Encoder.Size()})
+	last := func() *LayerTopo { return &topo.Layers[len(topo.Layers)-1] }
+
+	for i, layer := range net.Layers {
+		switch l := layer.(type) {
+		case *snn.SpikingDense:
+			last().FanOut = allToAll(l.Out)
+			last().NextNeurons = l.Out
+			topo.Layers = append(topo.Layers, LayerTopo{Name: "dense", Neurons: l.Out})
+		case *snn.SpikingConv:
+			n := l.Geom.OutC * l.Geom.OutH() * l.Geom.OutW()
+			last().FanOut = convFanOut(l.Geom)
+			last().NextNeurons = n
+			topo.Layers = append(topo.Layers, LayerTopo{Name: "conv", Neurons: n})
+		case *snn.SpikingAvgPool:
+			n := l.C * (l.H / l.Window) * (l.W / l.Window)
+			last().FanOut = poolFanOut(l.C, l.H, l.W, l.Window)
+			last().NextNeurons = n
+			topo.Layers = append(topo.Layers, LayerTopo{Name: "avgpool", Neurons: n})
+		case *snn.SpikingMaxPool:
+			n := l.C * (l.H / l.Window) * (l.W / l.Window)
+			last().FanOut = poolFanOut(l.C, l.H, l.W, l.Window)
+			last().NextNeurons = n
+			topo.Layers = append(topo.Layers, LayerTopo{Name: "maxpool", Neurons: n})
+		default:
+			return nil, fmt.Errorf("neuromorphic: unsupported layer %d (%s)", i, layer.Name())
+		}
+	}
+
+	out := net.Output
+	last().FanOut = allToAll(out.Out)
+	last().NextNeurons = out.Out
+	topo.Layers = append(topo.Layers, LayerTopo{Name: "readout", Neurons: out.Out})
+	return topo, nil
+}
+
+// allToAll returns a fan-out projecting to every neuron of a layer of
+// size n.
+func allToAll(n int) func(int) []int {
+	targets := make([]int, n)
+	for i := range targets {
+		targets[i] = i
+	}
+	return func(int) []int { return targets }
+}
+
+// convFanOut maps an input neuron of a convolution to the output
+// positions whose receptive fields cover it (all output channels).
+func convFanOut(g snn.ConvGeom) func(int) []int {
+	outH, outW := g.OutH(), g.OutW()
+	outHW := outH * outW
+	return func(i int) []int {
+		rem := i % (g.InH * g.InW)
+		iy, ix := rem/g.InW, rem%g.InW
+		var targets []int
+		for kh := 0; kh < g.K; kh++ {
+			oyNum := iy + g.Pad - kh
+			if oyNum < 0 || oyNum%g.Stride != 0 {
+				continue
+			}
+			oy := oyNum / g.Stride
+			if oy >= outH {
+				continue
+			}
+			for kw := 0; kw < g.K; kw++ {
+				oxNum := ix + g.Pad - kw
+				if oxNum < 0 || oxNum%g.Stride != 0 {
+					continue
+				}
+				ox := oxNum / g.Stride
+				if ox >= outW {
+					continue
+				}
+				base := oy*outW + ox
+				for oc := 0; oc < g.OutC; oc++ {
+					targets = append(targets, oc*outHW+base)
+				}
+			}
+		}
+		return targets
+	}
+}
+
+// poolFanOut maps an input neuron to its single pooling window output.
+func poolFanOut(c, h, w, window int) func(int) []int {
+	outH, outW := h/window, w/window
+	return func(i int) []int {
+		ch := i / (h * w)
+		rem := i % (h * w)
+		iy, ix := rem/w, rem%w
+		return []int{(ch*outH+iy/window)*outW + ix/window}
+	}
+}

@@ -1,0 +1,185 @@
+package neuromorphic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"burstsnn/internal/coding"
+	"burstsnn/internal/snn"
+)
+
+func mathPow(a, b float64) float64 { return math.Pow(a, b) }
+func expNeg(x float64) float64     { return math.Exp(-x) }
+
+// SpikeLoad is a per-neuron spike-count workload recorded from a
+// simulation run: how many times each global neuron fired over Latency
+// time steps.
+type SpikeLoad struct {
+	Counts  []float64 // global neuron id -> spikes over the run
+	Latency int
+}
+
+// RecordLoad runs the network on the given images and accumulates
+// per-neuron spike counts aligned with ExtractTopology's global ids
+// (input layer first, readout last; the readout never spikes).
+func RecordLoad(net *snn.Network, topo *Topology, images [][]float64, steps int) *SpikeLoad {
+	offsets := topo.LayerOffsets()
+	counts := make([]float64, topo.TotalNeurons())
+
+	// Probe the encoder (-1) and each spiking layer. Layer i of the snn
+	// network corresponds to topology layer i+1.
+	net.AttachProbe(-1, func(_ int, evs []coding.Event) {
+		for _, ev := range evs {
+			counts[ev.Index]++
+		}
+	})
+	for li := range net.Layers {
+		base := offsets[li+1]
+		li := li
+		net.AttachProbe(li, func(_ int, evs []coding.Event) {
+			for _, ev := range evs {
+				counts[base+ev.Index]++
+			}
+		})
+	}
+	for _, img := range images {
+		net.Reset(img)
+		for t := 0; t < steps; t++ {
+			net.Step(t)
+		}
+	}
+	return &SpikeLoad{Counts: counts, Latency: steps * len(images)}
+}
+
+// TrafficReport is the outcome of replaying a spike workload on a placed
+// network: event counts, hop counts, congestion, and integrated energy.
+type TrafficReport struct {
+	Chip ChipConfig
+	// Spikes is the total spike count of the workload.
+	Spikes float64
+	// SynOps is the number of synaptic accumulates (spikes × fan-out).
+	SynOps float64
+	// Hops is the total mesh-link traversals under the chip's routing
+	// model.
+	Hops float64
+	// OffCoreFraction is the share of spike deliveries that leave the
+	// source core (0 = perfect locality).
+	OffCoreFraction float64
+	// MaxLinkLoad is the largest per-link traversal count (congestion
+	// proxy; XY routing, horizontal then vertical).
+	MaxLinkLoad float64
+	// UsedCores is the number of cores hosting neurons.
+	UsedCores int
+	// Latency is the workload's time-step count.
+	Latency int
+	// Energy components, in the chip's (arbitrary but consistent) units.
+	CompEnergy, RouteEnergy, StaticEnergy float64
+}
+
+// TotalEnergy sums the three components.
+func (r *TrafficReport) TotalEnergy() float64 {
+	return r.CompEnergy + r.RouteEnergy + r.StaticEnergy
+}
+
+// Replay routes the workload over the placement and integrates energy.
+func Replay(p *Placement, load *SpikeLoad, chip ChipConfig) (*TrafficReport, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(load.Counts) != len(p.CoreOf) {
+		return nil, fmt.Errorf("neuromorphic: load covers %d neurons, placement %d", len(load.Counts), len(p.CoreOf))
+	}
+	offsets := p.Topo.LayerOffsets()
+	rep := &TrafficReport{Chip: chip, Latency: load.Latency, UsedCores: p.UsedCores()}
+
+	// linkLoad tracks traversals per directed mesh link. Links are keyed
+	// by (core, direction): 0=east,1=west,2=north,3=south.
+	linkLoad := make([]float64, chip.Cores()*4)
+	addPath := func(src, dst int, weight float64) {
+		// XY routing: move in x first, then y.
+		x, y := chip.coreX(src), chip.coreY(src)
+		tx, ty := chip.coreX(dst), chip.coreY(dst)
+		for x != tx {
+			dir := 0
+			step := 1
+			if tx < x {
+				dir, step = 1, -1
+			}
+			linkLoad[(y*chip.MeshW+x)*4+dir] += weight
+			x += step
+		}
+		for y != ty {
+			dir := 3
+			step := 1
+			if ty < y {
+				dir, step = 2, -1
+			}
+			linkLoad[(y*chip.MeshW+x)*4+dir] += weight
+			y += step
+		}
+	}
+
+	var deliveries, offCore float64
+	for li, layer := range p.Topo.Layers {
+		if layer.FanOut == nil {
+			continue
+		}
+		base := offsets[li]
+		nextBase := offsets[li+1]
+		for i := 0; i < layer.Neurons; i++ {
+			spikes := load.Counts[base+i]
+			if spikes == 0 {
+				continue
+			}
+			rep.Spikes += spikes
+			src := p.CoreOf[base+i]
+			targets := layer.FanOut(i)
+			rep.SynOps += spikes * float64(len(targets))
+
+			// Destination core set.
+			destCores := map[int]bool{}
+			for _, t := range targets {
+				destCores[p.CoreOf[nextBase+t]] = true
+			}
+			deliveries += spikes * float64(len(destCores))
+			if chip.Multicast {
+				dsts := make([]int, 0, len(destCores))
+				for c := range destCores {
+					if c != src {
+						dsts = append(dsts, c)
+					}
+				}
+				sort.Ints(dsts) // determinism over map iteration
+				rep.Hops += spikes * float64(chip.MulticastHops(src, dsts))
+				// Congestion accounting approximates the tree as
+				// unicast paths (upper bound on per-link load).
+				for _, c := range dsts {
+					addPath(src, c, spikes)
+				}
+				offCore += spikes * float64(len(dsts))
+			} else {
+				for c := range destCores {
+					if c == src {
+						continue
+					}
+					rep.Hops += spikes * float64(chip.Hops(src, c))
+					addPath(src, c, spikes)
+					offCore += spikes
+				}
+			}
+		}
+	}
+	if deliveries > 0 {
+		rep.OffCoreFraction = offCore / deliveries
+	}
+	for _, l := range linkLoad {
+		if l > rep.MaxLinkLoad {
+			rep.MaxLinkLoad = l
+		}
+	}
+	rep.CompEnergy = chip.SynOpEnergy*rep.SynOps + chip.SpikeGenEnergy*rep.Spikes
+	rep.RouteEnergy = chip.HopEnergy * rep.Hops
+	rep.StaticEnergy = chip.CoreStaticPower * float64(rep.UsedCores) * float64(load.Latency)
+	return rep, nil
+}

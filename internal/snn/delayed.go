@@ -1,0 +1,192 @@
+package snn
+
+import (
+	"fmt"
+
+	"burstsnn/internal/coding"
+	"burstsnn/internal/mathx"
+)
+
+// DelayedNetwork executes the same layer stack as Network but with
+// integer axonal delays on every inter-layer edge, modelling asynchronous
+// neuromorphic fabrics (SpiNNaker packets take a nonzero, possibly
+// per-neuron, number of time steps to arrive). A spike fired by layer l
+// at step t is integrated by layer l+1 at step t+delay.
+//
+// With all delays zero the behaviour is exactly Network's synchronous
+// semantics (events traverse the whole stack within one step), which the
+// tests pin down. Per-neuron jitter can be added on top of the base
+// delay to model congestion-dependent delivery.
+type DelayedNetwork struct {
+	Encoder coding.InputEncoder
+	Layers  []Layer
+	Output  *OutputLayer
+
+	// BaseDelay[i] is the delay in steps of the edge feeding Layers[i]
+	// (index len(Layers) feeds the readout). All zero = synchronous.
+	BaseDelay []int
+	// Jitter adds a deterministic per-source-neuron extra delay in
+	// [0, Jitter], drawn from Seed. Zero disables it.
+	Jitter int
+	Seed   uint64
+
+	// inbox[i] is a ring of pending event buffers for stage i; slot
+	// (t % len) holds the events arriving at step t.
+	inbox   [][][]coding.Event
+	jitters [][]int // per stage, per source neuron extra delay
+	maxLag  int
+}
+
+// NewDelayedNetwork wraps the given stages with delays. baseDelay must
+// have len(layers)+1 entries (the last one feeds the readout).
+func NewDelayedNetwork(enc coding.InputEncoder, layers []Layer, out *OutputLayer, baseDelay []int, jitter int, seed uint64) (*DelayedNetwork, error) {
+	if len(baseDelay) != len(layers)+1 {
+		return nil, fmt.Errorf("snn: need %d delays, got %d", len(layers)+1, len(baseDelay))
+	}
+	for i, d := range baseDelay {
+		if d < 0 {
+			return nil, fmt.Errorf("snn: negative delay at edge %d", i)
+		}
+	}
+	if jitter < 0 {
+		return nil, fmt.Errorf("snn: negative jitter")
+	}
+	n := &DelayedNetwork{
+		Encoder:   enc,
+		Layers:    layers,
+		Output:    out,
+		BaseDelay: append([]int(nil), baseDelay...),
+		Jitter:    jitter,
+		Seed:      seed,
+	}
+	n.maxLag = 0
+	for _, d := range baseDelay {
+		if d+jitter > n.maxLag {
+			n.maxLag = d + jitter
+		}
+	}
+	ring := n.maxLag + 1
+	n.inbox = make([][][]coding.Event, len(layers)+1)
+	for i := range n.inbox {
+		n.inbox[i] = make([][]coding.Event, ring)
+	}
+	// Per-source-neuron jitter tables, deterministic from the seed.
+	n.jitters = make([][]int, len(layers)+1)
+	if jitter > 0 {
+		r := mathx.NewRNG(seed ^ 0x517cc1b727220a95)
+		sizes := make([]int, len(layers)+1)
+		sizes[0] = enc.Size()
+		for i, l := range layers {
+			sizes[i+1] = l.NumNeurons()
+		}
+		for i, size := range sizes {
+			if size == 0 {
+				continue
+			}
+			table := make([]int, size)
+			for j := range table {
+				table[j] = r.Intn(jitter + 1)
+			}
+			n.jitters[i] = table
+		}
+	}
+	return n, nil
+}
+
+// FromNetwork builds a DelayedNetwork sharing the layers of a converted
+// synchronous network, with a uniform delay on every edge.
+func FromNetwork(net *Network, uniformDelay, jitter int, seed uint64) (*DelayedNetwork, error) {
+	delays := make([]int, len(net.Layers)+1)
+	for i := range delays {
+		delays[i] = uniformDelay
+	}
+	return NewDelayedNetwork(net.Encoder, net.Layers, net.Output, delays, jitter, seed)
+}
+
+// TotalBaseDelay returns the pipeline fill time: the sum of edge delays.
+func (n *DelayedNetwork) TotalBaseDelay() int {
+	total := 0
+	for _, d := range n.BaseDelay {
+		total += d
+	}
+	return total
+}
+
+// Reset prepares for a new input presentation.
+func (n *DelayedNetwork) Reset(image []float64) {
+	n.Encoder.Reset(image)
+	for _, l := range n.Layers {
+		l.Reset()
+	}
+	n.Output.Reset()
+	for i := range n.inbox {
+		for j := range n.inbox[i] {
+			n.inbox[i][j] = n.inbox[i][j][:0]
+		}
+	}
+}
+
+// deliver schedules events onto stage's inbox at step t+delay(+jitter).
+func (n *DelayedNetwork) deliver(stage, t int, events []coding.Event) {
+	base := n.BaseDelay[stage]
+	ring := len(n.inbox[stage])
+	jt := n.jitters[stage-0]
+	// The jitter table is indexed by the *source* neuron, which lives in
+	// stage-1's population; the table was built per stage edge using the
+	// source sizes, so jitters[stage] is keyed by source index. (For
+	// stage 0 there is no feeding edge; deliver is never called with 0.)
+	for _, ev := range events {
+		d := base
+		if n.Jitter > 0 && jt != nil && ev.Index < len(jt) {
+			d += jt[ev.Index]
+		}
+		slot := (t + d) % ring
+		n.inbox[stage][slot] = append(n.inbox[stage][slot], ev)
+	}
+}
+
+// Step advances one time step and returns the same statistics as the
+// synchronous network.
+func (n *DelayedNetwork) Step(t int) StepStats {
+	// Encoder events enter edge 0 (feeding Layers[0] or the readout).
+	n.deliver(0, t, n.Encoder.Step(t))
+	st := StepStats{}
+	biasScale := n.Encoder.BiasScale(t)
+	ring := 0
+	for li, l := range n.Layers {
+		ring = len(n.inbox[li])
+		slot := t % ring
+		in := n.inbox[li][slot]
+		n.inbox[li][slot] = in[:0:0] // consume; allocate fresh next time
+		if li == 0 {
+			st.InputEvents = len(in)
+		}
+		out := l.Step(t, biasScale, in)
+		st.HiddenSpikes += len(out)
+		n.deliver(li+1, t, out)
+	}
+	last := len(n.Layers)
+	ring = len(n.inbox[last])
+	slot := t % ring
+	in := n.inbox[last][slot]
+	n.inbox[last][slot] = in[:0:0]
+	n.Output.Step(t, biasScale, in)
+	st.Predicted = mathx.ArgMax(n.Output.Potentials())
+	return st
+}
+
+// Run presents image for steps time steps.
+func (n *DelayedNetwork) Run(image []float64, steps int) Result {
+	n.Reset(image)
+	res := Result{Steps: steps, PredictedAt: make([]int, steps)}
+	countInput := n.Encoder.CountsAsSpikes()
+	for t := 0; t < steps; t++ {
+		st := n.Step(t)
+		if countInput {
+			res.InputSpikes += st.InputEvents
+		}
+		res.HiddenSpikes += st.HiddenSpikes
+		res.PredictedAt[t] = st.Predicted
+	}
+	return res
+}

@@ -1,0 +1,151 @@
+package snn
+
+import (
+	"math"
+	"testing"
+
+	"burstsnn/internal/coding"
+)
+
+// buildPair constructs a synchronous network and a delayed twin sharing
+// fresh (identical) layer stacks.
+func buildPair(t *testing.T, hidden coding.Config, delay, jitter int) (*Network, *DelayedNetwork) {
+	t.Helper()
+	mk := func() (*Network, []Layer, coding.InputEncoder, *OutputLayer) {
+		enc, err := coding.NewInputEncoder(coding.DefaultConfig(coding.Real), 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w1 := []float64{
+			0.5, 0.2, 0.1, 0.0,
+			0.0, 0.4, 0.3, 0.2,
+			0.2, 0.0, 0.6, 0.1,
+		}
+		b1 := []float64{0, 0, 0} // zero bias: the delay-shift property is exact only for the signal path
+		w2 := []float64{
+			0.7, 0.1, 0.2,
+			0.1, 0.8, 0.1,
+		}
+		b2 := []float64{0, 0}
+		layers := []Layer{NewSpikingDense(w1, b1, 4, 3, hidden)}
+		out := NewOutputLayer(w2, b2, 3, 2)
+		return &Network{Encoder: enc, Layers: layers, Output: out}, layers, enc, out
+	}
+	sync, _, _, _ := mk()
+	_, layers2, enc2, out2 := mk()
+	delays := []int{delay, delay}
+	dn, err := NewDelayedNetwork(enc2, layers2, out2, delays, jitter, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sync, dn
+}
+
+// Zero delays must reproduce the synchronous semantics exactly, for every
+// hidden coding.
+func TestDelayedZeroEqualsSynchronous(t *testing.T) {
+	for _, scheme := range []coding.Scheme{coding.Rate, coding.Phase, coding.Burst} {
+		sync, dn := buildPair(t, coding.DefaultConfig(scheme), 0, 0)
+		img := []float64{0.9, 0.4, 0.7, 0.2}
+		const T = 60
+		rs := sync.Run(img, T)
+		rd := dn.Run(img, T)
+		if rs.HiddenSpikes != rd.HiddenSpikes {
+			t.Fatalf("%v: spike counts differ: %d vs %d", scheme, rs.HiddenSpikes, rd.HiddenSpikes)
+		}
+		for i := range rs.PredictedAt {
+			if rs.PredictedAt[i] != rd.PredictedAt[i] {
+				t.Fatalf("%v: predictions diverge at step %d", scheme, i)
+			}
+		}
+		ps := sync.Output.Potentials()
+		pd := dn.Output.Potentials()
+		for i := range ps {
+			if math.Abs(ps[i]-pd[i]) > 1e-12 {
+				t.Fatalf("%v: potentials differ: %v vs %v", scheme, ps, pd)
+			}
+		}
+	}
+}
+
+// Under rate coding (time-invariant thresholds) a uniform delay d on both
+// edges shifts the readout by exactly 2d steps.
+func TestDelayedUniformDelayShiftsReadout(t *testing.T) {
+	const d = 3
+	sync, dn := buildPair(t, coding.DefaultConfig(coding.Rate), d, 0)
+	img := []float64{0.8, 0.3, 0.6, 0.1}
+	const T = 80
+
+	// Collect per-step potentials for both.
+	collect := func(step func(int) StepStats, pots func() []float64, reset func()) [][]float64 {
+		reset()
+		out := make([][]float64, T)
+		for t0 := 0; t0 < T; t0++ {
+			step(t0)
+			out[t0] = append([]float64(nil), pots()...)
+		}
+		return out
+	}
+	sp := collect(sync.Step, sync.Output.Potentials, func() { sync.Reset(img) })
+	dp := collect(dn.Step, dn.Output.Potentials, func() { dn.Reset(img) })
+
+	shift := dn.TotalBaseDelay()
+	if shift != 2*d {
+		t.Fatalf("TotalBaseDelay = %d", shift)
+	}
+	for t0 := shift; t0 < T; t0++ {
+		for i := range sp[t0-shift] {
+			if math.Abs(dp[t0][i]-sp[t0-shift][i]) > 1e-12 {
+				t.Fatalf("delayed potential at %d != sync at %d: %v vs %v",
+					t0, t0-shift, dp[t0], sp[t0-shift])
+			}
+		}
+	}
+}
+
+// Jittered delivery must preserve total payload (no event lost within the
+// horizon) and still classify like the synchronous network at the end.
+func TestDelayedJitterPreservesDecision(t *testing.T) {
+	sync, dn := buildPair(t, coding.DefaultConfig(coding.Rate), 1, 2)
+	img := []float64{0.9, 0.2, 0.5, 0.3}
+	const T = 100
+	rs := sync.Run(img, T)
+	rd := dn.Run(img, T)
+	if rs.FinalPrediction() != rd.FinalPrediction() {
+		t.Fatalf("jittered network changed the decision: %d vs %d",
+			rs.FinalPrediction(), rd.FinalPrediction())
+	}
+	// Spike counts stay close: only pipeline-tail events differ.
+	if math.Abs(float64(rs.HiddenSpikes-rd.HiddenSpikes)) > 0.1*float64(rs.HiddenSpikes)+5 {
+		t.Fatalf("spike counts far apart: %d vs %d", rs.HiddenSpikes, rd.HiddenSpikes)
+	}
+}
+
+func TestDelayedValidation(t *testing.T) {
+	enc, _ := coding.NewInputEncoder(coding.DefaultConfig(coding.Real), 1, 0)
+	out := NewOutputLayer([]float64{1}, []float64{0}, 1, 1)
+	if _, err := NewDelayedNetwork(enc, nil, out, []int{1, 2}, 0, 0); err == nil {
+		t.Fatal("wrong delay count accepted")
+	}
+	if _, err := NewDelayedNetwork(enc, nil, out, []int{-1}, 0, 0); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if _, err := NewDelayedNetwork(enc, nil, out, []int{0}, -2, 0); err == nil {
+		t.Fatal("negative jitter accepted")
+	}
+}
+
+func TestFromNetworkWrapper(t *testing.T) {
+	syncNet, _ := buildPair(t, coding.DefaultConfig(coding.Burst), 0, 0)
+	dn, err := FromNetwork(syncNet, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn.TotalBaseDelay() != 4 { // 2 edges × delay 2
+		t.Fatalf("TotalBaseDelay = %d", dn.TotalBaseDelay())
+	}
+	res := dn.Run([]float64{0.5, 0.5, 0.5, 0.5}, 40)
+	if res.HiddenSpikes == 0 {
+		t.Fatal("delayed burst network is silent")
+	}
+}

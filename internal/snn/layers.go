@@ -1,0 +1,350 @@
+package snn
+
+import (
+	"fmt"
+
+	"burstsnn/internal/coding"
+)
+
+// SpikingDense is a fully connected spiking layer: in events scatter
+// through the weight matrix into membrane potentials, then the population
+// fires under its coding dynamics.
+type SpikingDense struct {
+	In, Out int
+	// WT is the transposed weight matrix (In × Out) so one input event
+	// touches a contiguous row — the event-driven hot path.
+	WT   []float64
+	Bias []float64
+
+	pop *population
+	z   []float64
+}
+
+// NewSpikingDense builds the layer from a row-major Out×In weight matrix.
+func NewSpikingDense(w []float64, bias []float64, in, out int, cfg coding.Config) *SpikingDense {
+	if len(w) != in*out || len(bias) != out {
+		panic(fmt.Sprintf("snn: dense weight dims %d/%d do not match %dx%d", len(w), len(bias), out, in))
+	}
+	wt := make([]float64, in*out)
+	for o := 0; o < out; o++ {
+		for i := 0; i < in; i++ {
+			wt[i*out+o] = w[o*in+i]
+		}
+	}
+	return &SpikingDense{
+		In: in, Out: out, WT: wt, Bias: append([]float64(nil), bias...),
+		pop: newPopulation(out, cfg),
+		z:   make([]float64, out),
+	}
+}
+
+// Name implements Layer.
+func (l *SpikingDense) Name() string { return "sdense" }
+
+// NumNeurons implements Layer.
+func (l *SpikingDense) NumNeurons() int { return l.Out }
+
+// Reset implements Layer.
+func (l *SpikingDense) Reset() { l.pop.resetState() }
+
+// Step implements Layer.
+func (l *SpikingDense) Step(t int, biasScale float64, in []coding.Event) []coding.Event {
+	z := l.z
+	// Bias acts as an input current whose per-step magnitude follows the
+	// input encoder's information rate (see coding.InputEncoder.BiasScale).
+	for o, b := range l.Bias {
+		z[o] = b * biasScale
+	}
+	for _, ev := range in {
+		row := l.WT[ev.Index*l.Out : (ev.Index+1)*l.Out]
+		p := ev.Payload
+		for o, w := range row {
+			z[o] += w * p
+		}
+	}
+	for o, v := range z {
+		l.pop.vmem[o] += v
+	}
+	return l.pop.fire(t)
+}
+
+// Potential returns neuron i's membrane potential (test hook).
+func (l *SpikingDense) Potential(i int) float64 { return l.pop.vmem[i] }
+
+// ConvGeom describes a spiking convolution geometry (same semantics as
+// tensor.ConvSpec, duplicated here to keep the event-driven layout local).
+type ConvGeom struct {
+	InC, InH, InW int
+	OutC          int
+	K             int // square kernel
+	Stride, Pad   int
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.K)/g.Stride + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.K)/g.Stride + 1 }
+
+// SpikingConv is a 2-D convolution spiking layer. An input event at
+// (ic, iy, ix) scatters its kernel taps into the affected output membrane
+// positions; weights are stored as [ic][kh][kw][oc] so the innermost
+// output-channel loop is contiguous.
+type SpikingConv struct {
+	Geom ConvGeom
+	// WScatter is the re-laid-out kernel: index ((ic*K+kh)*K+kw)*OutC+oc.
+	WScatter []float64
+	Bias     []float64 // per output channel
+
+	pop  *population
+	bias []float64 // pre-expanded per-neuron bias
+}
+
+// NewSpikingConv builds the layer from a row-major OutC×(InC*K*K) weight
+// matrix (the dnn.Conv2D layout).
+func NewSpikingConv(w []float64, bias []float64, geom ConvGeom, cfg coding.Config) *SpikingConv {
+	k, inC, outC := geom.K, geom.InC, geom.OutC
+	if len(w) != outC*inC*k*k || len(bias) != outC {
+		panic(fmt.Sprintf("snn: conv weight dims %d/%d do not match geom %+v", len(w), len(bias), geom))
+	}
+	ws := make([]float64, len(w))
+	for oc := 0; oc < outC; oc++ {
+		for ic := 0; ic < inC; ic++ {
+			for kh := 0; kh < k; kh++ {
+				for kw := 0; kw < k; kw++ {
+					src := ((oc*inC+ic)*k+kh)*k + kw
+					dst := ((ic*k+kh)*k+kw)*outC + oc
+					ws[dst] = w[src]
+				}
+			}
+		}
+	}
+	n := outC * geom.OutH() * geom.OutW()
+	l := &SpikingConv{
+		Geom: geom, WScatter: ws, Bias: append([]float64(nil), bias...),
+		pop:  newPopulation(n, cfg),
+		bias: make([]float64, n),
+	}
+	outHW := geom.OutH() * geom.OutW()
+	for oc := 0; oc < outC; oc++ {
+		for i := 0; i < outHW; i++ {
+			l.bias[oc*outHW+i] = bias[oc]
+		}
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *SpikingConv) Name() string { return "sconv" }
+
+// NumNeurons implements Layer.
+func (l *SpikingConv) NumNeurons() int { return len(l.pop.vmem) }
+
+// Reset implements Layer.
+func (l *SpikingConv) Reset() { l.pop.resetState() }
+
+// Step implements Layer.
+func (l *SpikingConv) Step(t int, biasScale float64, in []coding.Event) []coding.Event {
+	g := l.Geom
+	outH, outW := g.OutH(), g.OutW()
+	outHW := outH * outW
+	vmem := l.pop.vmem
+	for i, b := range l.bias {
+		vmem[i] += b * biasScale
+	}
+	for _, ev := range in {
+		ic := ev.Index / (g.InH * g.InW)
+		rem := ev.Index % (g.InH * g.InW)
+		iy, ix := rem/g.InW, rem%g.InW
+		p := ev.Payload
+		for kh := 0; kh < g.K; kh++ {
+			oyNum := iy + g.Pad - kh
+			if oyNum < 0 || oyNum%g.Stride != 0 {
+				continue
+			}
+			oy := oyNum / g.Stride
+			if oy >= outH {
+				continue
+			}
+			for kw := 0; kw < g.K; kw++ {
+				oxNum := ix + g.Pad - kw
+				if oxNum < 0 || oxNum%g.Stride != 0 {
+					continue
+				}
+				ox := oxNum / g.Stride
+				if ox >= outW {
+					continue
+				}
+				wRow := l.WScatter[((ic*g.K+kh)*g.K+kw)*g.OutC : ((ic*g.K+kh)*g.K+kw+1)*g.OutC]
+				base := oy*outW + ox
+				for oc, w := range wRow {
+					vmem[oc*outHW+base] += w * p
+				}
+			}
+		}
+	}
+	return l.pop.fire(t)
+}
+
+// SpikingAvgPool is average pooling realized as an IF population: each
+// output neuron integrates 1/window² of every input event in its window
+// and fires under the hidden-layer coding dynamics. Pooling neurons have
+// no bias.
+type SpikingAvgPool struct {
+	C, H, W, Window int
+
+	pop *population
+	inv float64
+}
+
+// NewSpikingAvgPool constructs the pooling layer.
+func NewSpikingAvgPool(c, h, w, window int, cfg coding.Config) *SpikingAvgPool {
+	if h%window != 0 || w%window != 0 {
+		panic(fmt.Sprintf("snn: pool window %d does not divide %dx%d", window, h, w))
+	}
+	outH, outW := h/window, w/window
+	return &SpikingAvgPool{
+		C: c, H: h, W: w, Window: window,
+		pop: newPopulation(c*outH*outW, cfg),
+		inv: 1 / float64(window*window),
+	}
+}
+
+// Name implements Layer.
+func (l *SpikingAvgPool) Name() string { return "savgpool" }
+
+// NumNeurons implements Layer.
+func (l *SpikingAvgPool) NumNeurons() int { return len(l.pop.vmem) }
+
+// Reset implements Layer.
+func (l *SpikingAvgPool) Reset() { l.pop.resetState() }
+
+// Step implements Layer.
+func (l *SpikingAvgPool) Step(t int, _ float64, in []coding.Event) []coding.Event {
+	outH, outW := l.H/l.Window, l.W/l.Window
+	for _, ev := range in {
+		c := ev.Index / (l.H * l.W)
+		rem := ev.Index % (l.H * l.W)
+		iy, ix := rem/l.W, rem%l.W
+		oIdx := (c*outH+iy/l.Window)*outW + ix/l.Window
+		l.pop.vmem[oIdx] += ev.Payload * l.inv
+	}
+	return l.pop.fire(t)
+}
+
+// SpikingMaxPool is the spiking max-pooling gate of Rueckauer et al.:
+// each output position forwards the events of whichever input in its
+// window currently has the largest cumulative payload. It has no neurons
+// of its own (the winner's spikes pass through).
+type SpikingMaxPool struct {
+	C, H, W, Window int
+
+	cum []float64 // cumulative payload per input neuron
+	buf []coding.Event
+}
+
+// NewSpikingMaxPool constructs the gate.
+func NewSpikingMaxPool(c, h, w, window int) *SpikingMaxPool {
+	if h%window != 0 || w%window != 0 {
+		panic(fmt.Sprintf("snn: pool window %d does not divide %dx%d", window, h, w))
+	}
+	return &SpikingMaxPool{C: c, H: h, W: w, Window: window, cum: make([]float64, c*h*w)}
+}
+
+// Name implements Layer.
+func (l *SpikingMaxPool) Name() string { return "smaxpool" }
+
+// NumNeurons implements Layer.
+func (l *SpikingMaxPool) NumNeurons() int { return 0 }
+
+// Reset implements Layer.
+func (l *SpikingMaxPool) Reset() {
+	for i := range l.cum {
+		l.cum[i] = 0
+	}
+}
+
+// Step implements Layer.
+func (l *SpikingMaxPool) Step(t int, _ float64, in []coding.Event) []coding.Event {
+	outH, outW := l.H/l.Window, l.W/l.Window
+	l.buf = l.buf[:0]
+	for _, ev := range in {
+		l.cum[ev.Index] += ev.Payload
+	}
+	// Forward an event when its source is the window's cumulative max.
+	for _, ev := range in {
+		c := ev.Index / (l.H * l.W)
+		rem := ev.Index % (l.H * l.W)
+		iy, ix := rem/l.W, rem%l.W
+		oy, ox := iy/l.Window, ix/l.Window
+		best, bestIdx := -1.0, -1
+		for ky := 0; ky < l.Window; ky++ {
+			for kx := 0; kx < l.Window; kx++ {
+				idx := (c*l.H+oy*l.Window+ky)*l.W + ox*l.Window + kx
+				if l.cum[idx] > best {
+					best, bestIdx = l.cum[idx], idx
+				}
+			}
+		}
+		if bestIdx == ev.Index {
+			l.buf = append(l.buf, coding.Event{
+				Index:   (c*outH+oy)*outW + ox,
+				Payload: ev.Payload,
+			})
+		}
+	}
+	return l.buf
+}
+
+// OutputLayer is the readout: a dense weight matrix whose neurons
+// accumulate membrane potential but never fire. Class scores are the
+// accumulated potentials, the standard decoding for converted SNNs.
+type OutputLayer struct {
+	In, Out int
+	WT      []float64
+	Bias    []float64
+
+	pot []float64
+}
+
+// NewOutputLayer builds the readout from a row-major Out×In matrix.
+func NewOutputLayer(w []float64, bias []float64, in, out int) *OutputLayer {
+	if len(w) != in*out || len(bias) != out {
+		panic(fmt.Sprintf("snn: output weight dims %d/%d do not match %dx%d", len(w), len(bias), out, in))
+	}
+	wt := make([]float64, in*out)
+	for o := 0; o < out; o++ {
+		for i := 0; i < in; i++ {
+			wt[i*out+o] = w[o*in+i]
+		}
+	}
+	return &OutputLayer{In: in, Out: out, WT: wt, Bias: append([]float64(nil), bias...), pot: make([]float64, out)}
+}
+
+// NumNeurons returns the readout population size.
+func (l *OutputLayer) NumNeurons() int { return l.Out }
+
+// Reset clears the accumulators.
+func (l *OutputLayer) Reset() {
+	for i := range l.pot {
+		l.pot[i] = 0
+	}
+}
+
+// Step integrates the incoming events plus the rate-matched bias current.
+func (l *OutputLayer) Step(_ int, biasScale float64, in []coding.Event) {
+	for o, b := range l.Bias {
+		l.pot[o] += b * biasScale
+	}
+	for _, ev := range in {
+		row := l.WT[ev.Index*l.Out : (ev.Index+1)*l.Out]
+		p := ev.Payload
+		for o, w := range row {
+			l.pot[o] += w * p
+		}
+	}
+}
+
+// Potentials returns the accumulated class scores (live slice; callers
+// must not mutate).
+func (l *OutputLayer) Potentials() []float64 { return l.pot }

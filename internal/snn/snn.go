@@ -1,0 +1,217 @@
+// Package snn is the event-driven spiking-network simulator. It executes
+// converted networks of integrate-and-fire neurons with reset-by-
+// subtraction (Eq. 4), payload spikes (Eq. 5), and per-scheme threshold
+// dynamics (Eq. 6-9 via internal/coding).
+//
+// Propagation is event-driven: each layer consumes a sparse list of
+// (index, payload) events, scatters weighted payloads into its membrane
+// accumulators, and emits its own events. Within one time step events
+// flow through the whole stack (no axonal delay), which is the standard
+// synchronous model in the DNN→SNN conversion literature and makes the
+// phase oscillation Π(t) globally consistent across layers.
+package snn
+
+import (
+	"fmt"
+
+	"burstsnn/internal/coding"
+	"burstsnn/internal/mathx"
+)
+
+// population holds the integrate-and-fire state for one layer's neurons:
+// membrane potentials, burst state g, and the previous-step firing flags
+// that drive the burst function (Eq. 8).
+type population struct {
+	cfg       coding.Config
+	vmem      []float64
+	g         []float64
+	firedPrev []bool
+	buf       []coding.Event
+}
+
+func newPopulation(n int, cfg coding.Config) *population {
+	p := &population{
+		cfg:       cfg,
+		vmem:      make([]float64, n),
+		g:         make([]float64, n),
+		firedPrev: make([]bool, n),
+	}
+	p.resetState()
+	return p
+}
+
+func (p *population) resetState() {
+	for i := range p.vmem {
+		p.vmem[i] = 0
+		p.g[i] = 1
+		p.firedPrev[i] = false
+	}
+}
+
+// fire runs the threshold test for every neuron at time t after inputs
+// have been integrated into vmem, applying reset-by-subtraction and the
+// burst update, and returns the emitted events. A neuron fires at most
+// once per time step.
+func (p *population) fire(t int) []coding.Event {
+	p.buf = p.buf[:0]
+	useBurst := p.cfg.UsesBurstState()
+	if p.cfg.Leak > 0 {
+		// Leaky-IF extension: V(t) = (1-ℓ)(V(t-1)+z(t)); inputs were
+		// already integrated into vmem by the layer.
+		keep := 1 - p.cfg.Leak
+		for i := range p.vmem {
+			p.vmem[i] *= keep
+		}
+	}
+	for i := range p.vmem {
+		g := p.g[i]
+		if useBurst {
+			// Eq. 8: g(t) depends on whether the neuron fired at t-1.
+			g = coding.NextG(g, p.firedPrev[i], p.cfg.Beta)
+			p.g[i] = g
+		}
+		th := p.cfg.Threshold(t, g)
+		if p.vmem[i] >= th {
+			// Eq. 4 (reset-by-subtraction): the membrane keeps the
+			// residual, and the spike carries exactly the subtracted
+			// amount (Eq. 5 payload).
+			p.vmem[i] -= th
+			p.firedPrev[i] = true
+			p.buf = append(p.buf, coding.Event{Index: i, Payload: th})
+		} else {
+			p.firedPrev[i] = false
+		}
+	}
+	return p.buf
+}
+
+// Layer is one spiking stage.
+type Layer interface {
+	// Name identifies the layer kind.
+	Name() string
+	// NumNeurons returns the population size (0 for stateless gates).
+	NumNeurons() int
+	// Step consumes the presynaptic events of time t and returns the
+	// layer's own events. biasScale modulates the layer's constant bias
+	// current to match the input encoder's information rate. The
+	// returned slice may be reused.
+	Step(t int, biasScale float64, in []coding.Event) []coding.Event
+	// Reset clears all neuron state for a new input presentation.
+	Reset()
+}
+
+// Probe observes the events a layer emitted at time t.
+type Probe func(t int, events []coding.Event)
+
+// Network is a stack of spiking layers fed by an input encoder and read
+// out by a non-spiking output accumulator.
+type Network struct {
+	Encoder coding.InputEncoder
+	Layers  []Layer
+	Output  *OutputLayer
+
+	probes map[int]Probe // layer index -> probe; -1 probes the encoder
+}
+
+// AttachProbe registers a spike observer for a layer index. Index -1
+// observes the input encoder's events; len(Layers) is invalid because the
+// output layer never spikes.
+func (n *Network) AttachProbe(layer int, p Probe) {
+	if layer < -1 || layer >= len(n.Layers) {
+		panic(fmt.Sprintf("snn: probe index %d out of range", layer))
+	}
+	if n.probes == nil {
+		n.probes = map[int]Probe{}
+	}
+	n.probes[layer] = p
+}
+
+// NumNeurons returns the total neuron count: input, hidden, and output.
+// This is the denominator of the paper's spiking-density metric.
+func (n *Network) NumNeurons() int {
+	total := n.Encoder.Size()
+	for _, l := range n.Layers {
+		total += l.NumNeurons()
+	}
+	total += n.Output.NumNeurons()
+	return total
+}
+
+// Reset prepares the network for a new input image.
+func (n *Network) Reset(image []float64) {
+	n.Encoder.Reset(image)
+	for _, l := range n.Layers {
+		l.Reset()
+	}
+	n.Output.Reset()
+}
+
+// StepStats reports what happened during a single time step.
+type StepStats struct {
+	InputEvents  int
+	HiddenSpikes int
+	// Predicted is the argmax of the output accumulator after the step.
+	Predicted int
+}
+
+// Step advances the network by one time step and returns its statistics.
+func (n *Network) Step(t int) StepStats {
+	events := n.Encoder.Step(t)
+	if p := n.probes[-1]; p != nil {
+		p(t, events)
+	}
+	biasScale := n.Encoder.BiasScale(t)
+	st := StepStats{InputEvents: len(events)}
+	for li, l := range n.Layers {
+		events = l.Step(t, biasScale, events)
+		if p := n.probes[li]; p != nil {
+			p(t, events)
+		}
+		st.HiddenSpikes += len(events)
+	}
+	n.Output.Step(t, biasScale, events)
+	st.Predicted = mathx.ArgMax(n.Output.Potentials())
+	return st
+}
+
+// Result summarizes a full presentation of one input.
+type Result struct {
+	// PredictedAt[t] is the output argmax after step t.
+	PredictedAt []int
+	// InputSpikes counts encoder events over the run (0 when the encoder
+	// is analog, i.e. real coding).
+	InputSpikes int
+	// HiddenSpikes counts all spikes emitted by hidden layers.
+	HiddenSpikes int
+	// Steps is the number of simulated time steps.
+	Steps int
+}
+
+// TotalSpikes returns the spike count the paper reports: input spikes (if
+// the encoder emits physical spikes) plus hidden-layer spikes.
+func (r Result) TotalSpikes() int { return r.InputSpikes + r.HiddenSpikes }
+
+// FinalPrediction returns the prediction after the last step, or -1 for
+// an empty run.
+func (r Result) FinalPrediction() int {
+	if len(r.PredictedAt) == 0 {
+		return -1
+	}
+	return r.PredictedAt[len(r.PredictedAt)-1]
+}
+
+// Run presents image for steps time steps and collects the result.
+func (n *Network) Run(image []float64, steps int) Result {
+	n.Reset(image)
+	res := Result{Steps: steps, PredictedAt: make([]int, steps)}
+	countInput := n.Encoder.CountsAsSpikes()
+	for t := 0; t < steps; t++ {
+		st := n.Step(t)
+		if countInput {
+			res.InputSpikes += st.InputEvents
+		}
+		res.HiddenSpikes += st.HiddenSpikes
+		res.PredictedAt[t] = st.Predicted
+	}
+	return res
+}

@@ -1,0 +1,260 @@
+// Package stdp implements the direct-training alternative the paper's
+// Section 2.3 contrasts conversion against: an unsupervised shallow
+// spiking network trained with spike-timing-dependent plasticity in the
+// style of Diehl & Cook 2015 (the paper's reference [8]).
+//
+// The model is a single excitatory layer of leaky integrate-and-fire
+// neurons with adaptive thresholds and winner-take-all lateral
+// inhibition, driven by Bernoulli (Poisson-like) pixel spike trains.
+// Learning is trace-based: each input synapse keeps a presynaptic trace,
+// and when a postsynaptic neuron fires its weights move toward the
+// recent input pattern (Δw = η·(x_pre − x_tar)·(w_max − w)). After
+// unsupervised training, neurons are assigned to the class they respond
+// to most, and classification is a spike-count vote.
+//
+// It exists as a baseline: the paper's argument is that this route does
+// not scale to deep networks, which is why conversion (and burst coding)
+// matter.
+package stdp
+
+import (
+	"fmt"
+
+	"burstsnn/internal/mathx"
+)
+
+// Config parameterizes the network and its learning rule.
+type Config struct {
+	Inputs  int // input neurons (pixels)
+	Neurons int // excitatory neurons
+
+	// LIF dynamics.
+	MemDecay float64 // per-step membrane retention (e.g. 0.9)
+	VThBase  float64 // resting threshold
+	// Adaptive threshold (homeostasis): each spike adds ThetaPlus, which
+	// decays by ThetaDecay per step, so over-active neurons back off.
+	ThetaPlus  float64
+	ThetaDecay float64
+
+	// Input drive: pixel value v fires with probability v·MaxRate per
+	// step, delivering unit current through the synapse weight.
+	MaxRate float64
+
+	// STDP.
+	TraceDecay float64 // presynaptic trace retention per step
+	LearnRate  float64
+	TraceTar   float64 // x_tar: trace level that leaves a weight unchanged
+	WMax       float64
+
+	// Lateral inhibition: when a neuron fires, every other neuron's
+	// membrane is clamped down by this amount (soft winner-take-all).
+	Inhibition float64
+
+	Seed uint64
+}
+
+// DefaultConfig returns parameters that learn digit prototypes on the
+// synthetic digits workload in a few presentations per class.
+func DefaultConfig(inputs, neurons int) Config {
+	return Config{
+		Inputs: inputs, Neurons: neurons,
+		MemDecay: 0.9, VThBase: 0.6,
+		ThetaPlus: 0.08, ThetaDecay: 0.9995,
+		MaxRate:    0.5,
+		TraceDecay: 0.8, LearnRate: 0.05, TraceTar: 0.2, WMax: 1.0,
+		Inhibition: 2.0,
+		Seed:       1,
+	}
+}
+
+// Validate rejects unusable parameters.
+func (c Config) Validate() error {
+	if c.Inputs <= 0 || c.Neurons <= 0 {
+		return fmt.Errorf("stdp: need positive inputs/neurons, got %d/%d", c.Inputs, c.Neurons)
+	}
+	if c.MemDecay <= 0 || c.MemDecay >= 1 || c.TraceDecay <= 0 || c.TraceDecay >= 1 {
+		return fmt.Errorf("stdp: decays must be in (0,1)")
+	}
+	if c.WMax <= 0 || c.LearnRate <= 0 || c.VThBase <= 0 {
+		return fmt.Errorf("stdp: non-positive learning parameters")
+	}
+	if c.MaxRate <= 0 || c.MaxRate > 1 {
+		return fmt.Errorf("stdp: MaxRate must be in (0,1]")
+	}
+	return nil
+}
+
+// Network is the trainable shallow SNN.
+type Network struct {
+	Cfg Config
+	// W is Neurons × Inputs, each weight in [0, WMax].
+	W []float64
+	// Theta is the adaptive threshold offset per neuron.
+	Theta []float64
+	// Assign maps each neuron to its class after AssignClasses (-1
+	// before).
+	Assign []int
+
+	rng *mathx.RNG
+	// transient state
+	vmem  []float64
+	trace []float64
+}
+
+// New creates a network with uniformly random initial weights.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := mathx.NewRNG(cfg.Seed)
+	n := &Network{
+		Cfg:    cfg,
+		W:      make([]float64, cfg.Neurons*cfg.Inputs),
+		Theta:  make([]float64, cfg.Neurons),
+		Assign: make([]int, cfg.Neurons),
+		rng:    r,
+		vmem:   make([]float64, cfg.Neurons),
+		trace:  make([]float64, cfg.Inputs),
+	}
+	for i := range n.W {
+		n.W[i] = r.Range(0.1, 0.4) * cfg.WMax
+	}
+	for i := range n.Assign {
+		n.Assign[i] = -1
+	}
+	return n, nil
+}
+
+// present runs one image for steps time steps. When learn is true the
+// STDP rule updates weights. It returns each neuron's spike count.
+func (n *Network) present(image []float64, steps int, learn bool) []int {
+	cfg := n.Cfg
+	for i := range n.vmem {
+		n.vmem[i] = 0
+	}
+	for i := range n.trace {
+		n.trace[i] = 0
+	}
+	counts := make([]int, cfg.Neurons)
+
+	inSpikes := make([]int, 0, cfg.Inputs)
+	for t := 0; t < steps; t++ {
+		// Input spikes for this step.
+		inSpikes = inSpikes[:0]
+		for i, v := range image {
+			n.trace[i] *= cfg.TraceDecay
+			if v > 0 && n.rng.Bernoulli(v*cfg.MaxRate) {
+				inSpikes = append(inSpikes, i)
+				n.trace[i] += 1
+			}
+		}
+		// Integrate.
+		for j := 0; j < cfg.Neurons; j++ {
+			n.vmem[j] *= cfg.MemDecay
+			row := n.W[j*cfg.Inputs : (j+1)*cfg.Inputs]
+			sum := 0.0
+			for _, i := range inSpikes {
+				sum += row[i]
+			}
+			n.vmem[j] += sum / float64(cfg.Inputs) * 8 // scale drive to threshold range
+		}
+		// Fire with winner-take-all: highest over-threshold neuron wins.
+		winner, best := -1, 0.0
+		for j := 0; j < cfg.Neurons; j++ {
+			over := n.vmem[j] - (cfg.VThBase + n.Theta[j])
+			if over >= 0 && (winner == -1 || over > best) {
+				winner, best = j, over
+			}
+			n.Theta[j] *= cfg.ThetaDecay
+		}
+		if winner >= 0 {
+			counts[winner]++
+			n.vmem[winner] = 0
+			n.Theta[winner] += cfg.ThetaPlus
+			// Lateral inhibition.
+			for j := 0; j < cfg.Neurons; j++ {
+				if j != winner {
+					n.vmem[j] -= cfg.Inhibition
+					if n.vmem[j] < 0 {
+						n.vmem[j] = 0
+					}
+				}
+			}
+			if learn {
+				row := n.W[winner*cfg.Inputs : (winner+1)*cfg.Inputs]
+				for i := range row {
+					dw := cfg.LearnRate * (n.trace[i] - cfg.TraceTar) * (cfg.WMax - row[i])
+					row[i] = mathx.Clamp(row[i]+dw, 0, cfg.WMax)
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// Train presents the images once each (unsupervised; labels are not
+// used).
+func (n *Network) Train(images [][]float64, stepsPerImage int) {
+	for _, img := range images {
+		n.present(img, stepsPerImage, true)
+	}
+}
+
+// AssignClasses labels every neuron with the class it responds to most
+// over the given labelled set (the supervision-free readout of Diehl &
+// Cook).
+func (n *Network) AssignClasses(images [][]float64, labels []int, classes, stepsPerImage int) {
+	votes := make([][]float64, n.Cfg.Neurons)
+	for j := range votes {
+		votes[j] = make([]float64, classes)
+	}
+	for k, img := range images {
+		counts := n.present(img, stepsPerImage, false)
+		for j, c := range counts {
+			votes[j][labels[k]] += float64(c)
+		}
+	}
+	for j := range votes {
+		n.Assign[j] = mathx.ArgMax(votes[j])
+		total := 0.0
+		for _, v := range votes[j] {
+			total += v
+		}
+		if total == 0 {
+			n.Assign[j] = -1 // silent neuron: no vote
+		}
+	}
+}
+
+// Classify returns the class vote for one image, or -1 when the network
+// is silent.
+func (n *Network) Classify(image []float64, classes, stepsPerImage int) int {
+	counts := n.present(image, stepsPerImage, false)
+	score := make([]float64, classes)
+	any := false
+	for j, c := range counts {
+		if n.Assign[j] >= 0 && c > 0 {
+			score[n.Assign[j]] += float64(c)
+			any = true
+		}
+	}
+	if !any {
+		return -1
+	}
+	return mathx.ArgMax(score)
+}
+
+// Accuracy classifies a labelled set and returns the correct fraction
+// (unclassifiable images count as wrong).
+func (n *Network) Accuracy(images [][]float64, labels []int, classes, stepsPerImage int) float64 {
+	if len(images) == 0 {
+		return 0
+	}
+	correct := 0
+	for k, img := range images {
+		if n.Classify(img, classes, stepsPerImage) == labels[k] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(images))
+}

@@ -1,0 +1,144 @@
+package stdp
+
+import (
+	"testing"
+
+	"burstsnn/internal/dataset"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(784, 20).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Inputs: 0, Neurons: 5},
+		func() Config { c := DefaultConfig(4, 4); c.MemDecay = 1.5; return c }(),
+		func() Config { c := DefaultConfig(4, 4); c.WMax = 0; return c }(),
+		func() Config { c := DefaultConfig(4, 4); c.MaxRate = 0; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWeightsStayBounded(t *testing.T) {
+	cfg := DefaultConfig(16, 6)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]float64, 16)
+	for i := range img {
+		img[i] = float64(i%2) * 0.9
+	}
+	for epoch := 0; epoch < 20; epoch++ {
+		net.present(img, 40, true)
+	}
+	for i, w := range net.W {
+		if w < 0 || w > cfg.WMax {
+			t.Fatalf("weight %d escaped bounds: %v", i, w)
+		}
+	}
+}
+
+func TestLearningMovesWeightsTowardStimulus(t *testing.T) {
+	cfg := DefaultConfig(8, 2)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stimulus lights only the first 4 pixels.
+	img := []float64{1, 1, 1, 1, 0, 0, 0, 0}
+	for epoch := 0; epoch < 30; epoch++ {
+		net.present(img, 40, true)
+	}
+	// Some neuron's receptive field must now prefer the lit half.
+	adapted := false
+	for j := 0; j < cfg.Neurons; j++ {
+		row := net.W[j*cfg.Inputs : (j+1)*cfg.Inputs]
+		lit, dark := 0.0, 0.0
+		for i := 0; i < 4; i++ {
+			lit += row[i]
+			dark += row[4+i]
+		}
+		if lit > dark*1.5 {
+			adapted = true
+		}
+	}
+	if !adapted {
+		t.Fatal("no neuron's receptive field adapted to the stimulus")
+	}
+}
+
+func TestAdaptiveThresholdHomeostasis(t *testing.T) {
+	cfg := DefaultConfig(8, 3)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	net.present(img, 200, false)
+	// The most active neuron must have accumulated threshold offset.
+	maxTheta := 0.0
+	for _, th := range net.Theta {
+		if th > maxTheta {
+			maxTheta = th
+		}
+	}
+	if maxTheta <= 0 {
+		t.Fatal("no adaptive threshold accumulated under strong drive")
+	}
+}
+
+// End-to-end: unsupervised STDP + class assignment must classify a
+// reduced digits task clearly above chance. This is the paper's §2
+// observation in miniature: the approach works for shallow networks on
+// easy tasks (and does not scale, which is why conversion matters).
+func TestSTDPLearnsReducedDigits(t *testing.T) {
+	set := dataset.SynthDigits(dataset.DigitsConfig{
+		TrainPerClass: 25, TestPerClass: 8, Noise: 0.02, Seed: 77,
+	})
+	const classes = 3 // digits 0, 1, 2
+	filter := func(samples []dataset.Sample) ([][]float64, []int) {
+		var imgs [][]float64
+		var labels []int
+		for _, s := range samples {
+			if s.Label < classes {
+				imgs = append(imgs, s.Image)
+				labels = append(labels, s.Label)
+			}
+		}
+		return imgs, labels
+	}
+	trainX, trainY := filter(set.Train)
+	testX, testY := filter(set.Test)
+
+	cfg := DefaultConfig(set.InputSize(), 24)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 60
+	for epoch := 0; epoch < 5; epoch++ {
+		net.Train(trainX, steps)
+	}
+	net.AssignClasses(trainX, trainY, classes, steps)
+
+	acc := net.Accuracy(testX, testY, classes, steps)
+	if acc < 0.55 { // chance is 1/3
+		t.Fatalf("STDP accuracy %.3f, want > 0.55 on 3-class digits", acc)
+	}
+}
+
+func TestClassifySilentReturnsMinusOne(t *testing.T) {
+	net, err := New(DefaultConfig(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero image cannot drive any input spikes.
+	if got := net.Classify([]float64{0, 0, 0, 0}, 2, 20); got != -1 {
+		t.Fatalf("silent classification = %d, want -1", got)
+	}
+}

@@ -1,0 +1,210 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes a 2-D convolution or pooling geometry over CHW
+// tensors. Only square strides/padding are supported because that is all
+// the model zoo uses.
+type ConvSpec struct {
+	InC, InH, InW int // input channels, height, width
+	OutC          int // output channels (ignored by pooling)
+	KH, KW        int // kernel height and width
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height for the spec.
+func (s ConvSpec) OutH() int { return (s.InH+2*s.Pad-s.KH)/s.Stride + 1 }
+
+// OutW returns the output width for the spec.
+func (s ConvSpec) OutW() int { return (s.InW+2*s.Pad-s.KW)/s.Stride + 1 }
+
+// Validate checks that the geometry is internally consistent.
+func (s ConvSpec) Validate() error {
+	if s.InC <= 0 || s.InH <= 0 || s.InW <= 0 {
+		return fmt.Errorf("tensor: invalid input dims %dx%dx%d", s.InC, s.InH, s.InW)
+	}
+	if s.KH <= 0 || s.KW <= 0 || s.Stride <= 0 || s.Pad < 0 {
+		return fmt.Errorf("tensor: invalid kernel %dx%d stride %d pad %d", s.KH, s.KW, s.Stride, s.Pad)
+	}
+	if s.OutH() <= 0 || s.OutW() <= 0 {
+		return fmt.Errorf("tensor: empty output for spec %+v", s)
+	}
+	return nil
+}
+
+// Im2Col expands a CHW input into a (KH*KW*InC) × (OutH*OutW) column
+// matrix so convolution becomes one MatMul. Out-of-bounds (padding)
+// samples are zero.
+func Im2Col(in *Tensor, s ConvSpec) *Tensor {
+	outH, outW := s.OutH(), s.OutW()
+	rows := s.InC * s.KH * s.KW
+	cols := outH * outW
+	out := New(rows, cols)
+	for c := 0; c < s.InC; c++ {
+		chanBase := c * s.InH * s.InW
+		for kh := 0; kh < s.KH; kh++ {
+			for kw := 0; kw < s.KW; kw++ {
+				row := (c*s.KH+kh)*s.KW + kw
+				dst := out.Data[row*cols : (row+1)*cols]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*s.Stride + kh - s.Pad
+					if iy < 0 || iy >= s.InH {
+						continue
+					}
+					srcRow := chanBase + iy*s.InW
+					dstRow := oy * outW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*s.Stride + kw - s.Pad
+						if ix < 0 || ix >= s.InW {
+							continue
+						}
+						dst[dstRow+ox] = in.Data[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im scatters a column matrix produced by Im2Col back into a CHW
+// tensor, accumulating overlapping contributions. It is the adjoint of
+// Im2Col and is used by the convolution backward pass.
+func Col2Im(cols *Tensor, s ConvSpec) *Tensor {
+	outH, outW := s.OutH(), s.OutW()
+	nCols := outH * outW
+	out := New(s.InC, s.InH, s.InW)
+	for c := 0; c < s.InC; c++ {
+		chanBase := c * s.InH * s.InW
+		for kh := 0; kh < s.KH; kh++ {
+			for kw := 0; kw < s.KW; kw++ {
+				row := (c*s.KH+kh)*s.KW + kw
+				src := cols.Data[row*nCols : (row+1)*nCols]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*s.Stride + kh - s.Pad
+					if iy < 0 || iy >= s.InH {
+						continue
+					}
+					dstRow := chanBase + iy*s.InW
+					srcRow := oy * outW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*s.Stride + kw - s.Pad
+						if ix < 0 || ix >= s.InW {
+							continue
+						}
+						out.Data[dstRow+ix] += src[srcRow+ox]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2D applies kernel weights w (OutC × InC*KH*KW) plus per-channel
+// bias to a CHW input, returning an OutC×OutH×OutW tensor. It is the
+// reference dense forward used by the DNN path; the SNN path uses
+// event-driven scattering instead.
+func Conv2D(in *Tensor, w *Tensor, bias []float64, s ConvSpec) *Tensor {
+	cols := Im2Col(in, s)
+	prod := MatMul(w, cols) // OutC × (OutH*OutW)
+	outH, outW := s.OutH(), s.OutW()
+	if bias != nil {
+		for oc := 0; oc < s.OutC; oc++ {
+			b := bias[oc]
+			row := prod.Data[oc*outH*outW : (oc+1)*outH*outW]
+			for i := range row {
+				row[i] += b
+			}
+		}
+	}
+	return prod.Reshape(s.OutC, outH, outW)
+}
+
+// Conv2DNaive is a direct-loop reference implementation used only by tests
+// to validate the im2col path.
+func Conv2DNaive(in *Tensor, w *Tensor, bias []float64, s ConvSpec) *Tensor {
+	outH, outW := s.OutH(), s.OutW()
+	out := New(s.OutC, outH, outW)
+	for oc := 0; oc < s.OutC; oc++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				sum := 0.0
+				if bias != nil {
+					sum = bias[oc]
+				}
+				for ic := 0; ic < s.InC; ic++ {
+					for kh := 0; kh < s.KH; kh++ {
+						iy := oy*s.Stride + kh - s.Pad
+						if iy < 0 || iy >= s.InH {
+							continue
+						}
+						for kw := 0; kw < s.KW; kw++ {
+							ix := ox*s.Stride + kw - s.Pad
+							if ix < 0 || ix >= s.InW {
+								continue
+							}
+							wIdx := ((oc*s.InC+ic)*s.KH+kh)*s.KW + kw
+							sum += w.Data[wIdx] * in.Data[(ic*s.InH+iy)*s.InW+ix]
+						}
+					}
+				}
+				out.Data[(oc*outH+oy)*outW+ox] = sum
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2D applies non-overlapping average pooling with the given window
+// (stride == window) to a CHW tensor.
+func AvgPool2D(in *Tensor, c, h, w, window int) *Tensor {
+	outH, outW := h/window, w/window
+	out := New(c, outH, outW)
+	inv := 1.0 / float64(window*window)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				sum := 0.0
+				for ky := 0; ky < window; ky++ {
+					row := (ch*h + oy*window + ky) * w
+					for kx := 0; kx < window; kx++ {
+						sum += in.Data[row+ox*window+kx]
+					}
+				}
+				out.Data[(ch*outH+oy)*outW+ox] = sum * inv
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies non-overlapping max pooling and also returns the flat
+// input index of each window maximum (for backprop routing).
+func MaxPool2D(in *Tensor, c, h, w, window int) (*Tensor, []int) {
+	outH, outW := h/window, w/window
+	out := New(c, outH, outW)
+	arg := make([]int, c*outH*outW)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				best := -1
+				bestV := 0.0
+				for ky := 0; ky < window; ky++ {
+					row := (ch*h + oy*window + ky) * w
+					for kx := 0; kx < window; kx++ {
+						idx := row + ox*window + kx
+						if best == -1 || in.Data[idx] > bestV {
+							best, bestV = idx, in.Data[idx]
+						}
+					}
+				}
+				o := (ch*outH+oy)*outW + ox
+				out.Data[o] = bestV
+				arg[o] = best
+			}
+		}
+	}
+	return out, arg
+}

@@ -1,0 +1,147 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the amount of multiply-accumulate work below which
+// MatMul stays single-threaded; goroutine fan-out only pays off for the
+// larger convolution matrices.
+const parallelThreshold = 1 << 16
+
+// MatMul computes C = A·B for A (m×k) and B (k×n), returning a new m×n
+// tensor. It uses the cache-friendly ikj loop order and splits rows across
+// goroutines for large products.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMul requires 2-D operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", k, k2))
+	}
+	c := New(m, n)
+	work := m * k * n
+	if work < parallelThreshold || runtime.GOMAXPROCS(0) == 1 {
+		matmulRows(a.Data, b.Data, c.Data, 0, m, k, n)
+		return c
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(a.Data, b.Data, c.Data, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c
+}
+
+// matmulRows computes rows [lo,hi) of the product using ikj ordering so the
+// inner loop walks both B and C contiguously.
+func matmulRows(a, b, c []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ·B for A (k×m) and B (k×n).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMulTransA requires 2-D operands")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	if b.Shape[0] != k {
+		panic("tensor: MatMulTransA inner dim mismatch")
+	}
+	n := b.Shape[1]
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ for A (m×k) and B (n×k).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMulTransB requires 2-D operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k {
+		panic("tensor: MatMulTransB inner dim mismatch")
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		ci := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+	return c
+}
+
+// MatVec computes y = A·x for A (m×n) and x (n).
+func MatVec(a *Tensor, x []float64) []float64 {
+	if a.Dims() != 2 {
+		panic("tensor: MatVec requires a 2-D matrix")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	if len(x) != n {
+		panic("tensor: MatVec length mismatch")
+	}
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		s := 0.0
+		for j, w := range row {
+			s += w * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}

@@ -1,0 +1,212 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"burstsnn/internal/mathx"
+)
+
+func TestNewAndAt(t *testing.T) {
+	a := New(2, 3)
+	if a.Len() != 6 || a.Dims() != 2 {
+		t.Fatalf("unexpected dims: %v", a.Shape)
+	}
+	a.Set(5, 1, 2)
+	if a.At(1, 2) != 5 {
+		t.Fatal("Set/At mismatch")
+	}
+	if a.At(0, 0) != 0 {
+		t.Fatal("new tensor not zeroed")
+	}
+}
+
+func TestAtBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds At did not panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSliceLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched FromSlice did not panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Set(99, 0, 1)
+	if a.At(0, 1) != 99 {
+		t.Fatal("Reshape must share backing data")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := a.Clone()
+	b.Data[0] = 7
+	if a.Data[0] != 1 {
+		t.Fatal("Clone must copy data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{10, 20, 30}, 3)
+	a.AddInPlace(b)
+	if a.Data[2] != 33 {
+		t.Fatalf("AddInPlace: %v", a.Data)
+	}
+	a.Scale(2)
+	if a.Data[0] != 22 {
+		t.Fatalf("Scale: %v", a.Data)
+	}
+	a.AxpyInPlace(-1, b)
+	if a.Data[1] != 24 {
+		t.Fatalf("Axpy: %v", a.Data)
+	}
+	if a.Sum() != 12+24+36 {
+		t.Fatalf("Sum: %v", a.Sum())
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := FromSlice([]float64{1, -9, 3}, 3)
+	if a.MaxAbs() != 9 {
+		t.Fatalf("MaxAbs = %v", a.MaxAbs())
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := mathx.NewRNG(1)
+	a := New(4, 4)
+	a.RandNorm(r, 0, 1)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(1, i, i)
+	}
+	c := MatMul(a, id)
+	for i := range a.Data {
+		if math.Abs(c.Data[i]-a.Data[i]) > 1e-12 {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+// TestMatMulParallelMatchesSerial drives a product large enough to take the
+// parallel path and checks it against the serial kernel.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	r := mathx.NewRNG(2)
+	m, k, n := 64, 64, 64
+	a := New(m, k)
+	b := New(k, n)
+	a.RandNorm(r, 0, 1)
+	b.RandNorm(r, 0, 1)
+	got := MatMul(a, b)
+	want := New(m, n)
+	matmulRows(a.Data, b.Data, want.Data, 0, m, k, n)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+			t.Fatalf("parallel MatMul diverges at %d", i)
+		}
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	r := mathx.NewRNG(3)
+	a := New(5, 3) // k×m
+	b := New(5, 4) // k×n
+	a.RandNorm(r, 0, 1)
+	b.RandNorm(r, 0, 1)
+	got := MatMulTransA(a, b)
+	// Reference: transpose a then multiply.
+	at := New(3, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			at.Set(a.At(i, j), j, i)
+		}
+	}
+	want := MatMul(at, b)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+			t.Fatal("MatMulTransA mismatch")
+		}
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	r := mathx.NewRNG(4)
+	a := New(3, 5)
+	b := New(4, 5)
+	a.RandNorm(r, 0, 1)
+	b.RandNorm(r, 0, 1)
+	got := MatMulTransB(a, b)
+	bt := New(5, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			bt.Set(b.At(i, j), j, i)
+		}
+	}
+	want := MatMul(a, bt)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+			t.Fatal("MatMulTransB mismatch")
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y := MatVec(a, []float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MatVec = %v", y)
+	}
+}
+
+// Property: matmul distributes over addition, (A+B)·C == A·C + B·C.
+func TestMatMulDistributiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		m, k, n := 3+r.Intn(5), 3+r.Intn(5), 3+r.Intn(5)
+		a := New(m, k)
+		b := New(m, k)
+		c := New(k, n)
+		a.RandNorm(r, 0, 1)
+		b.RandNorm(r, 0, 1)
+		c.RandNorm(r, 0, 1)
+		ab := a.Clone()
+		ab.AddInPlace(b)
+		left := MatMul(ab, c)
+		right := MatMul(a, c)
+		right.AddInPlace(MatMul(b, c))
+		for i := range left.Data {
+			if math.Abs(left.Data[i]-right.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
