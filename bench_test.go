@@ -11,10 +11,12 @@
 package burstsnn_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"burstsnn"
 	"burstsnn/internal/experiments"
@@ -269,6 +271,44 @@ func BenchmarkDNNForward(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		burstsnn.EvaluateDNN(net, []burstsnn.Sample{{Image: img, Label: 0}})
 	}
+}
+
+// BenchmarkServingThroughput measures the end-to-end serving path —
+// microbatching queue, replica pool checkout, early-exit engine — as
+// in-process classifications per second on the micro model.
+func BenchmarkServingThroughput(b *testing.B) {
+	net, set := microModel(b)
+	srv := burstsnn.NewServer(burstsnn.ServeConfig{
+		MaxBatch: 8,
+		MaxDelay: time.Millisecond,
+	})
+	model, err := srv.Register(burstsnn.ServeModelConfig{
+		Name:   "micro",
+		Hybrid: burstsnn.NewHybrid(burstsnn.Phase, burstsnn.Burst),
+		Steps:  96,
+	}, net, set.Train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s := set.Test[i%len(set.Test)]
+			if _, err := srv.Classify(ctx, burstsnn.ClassifyRequest{Model: "micro", Image: s.Image}); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	snap := model.Metrics().Snapshot()
+	b.ReportMetric(snap.MeanSteps, "steps/req")
+	b.ReportMetric(snap.MeanSpikes, "spikes/req")
+	b.ReportMetric(snap.EarlyExitRate*100, "early-exit%")
 }
 
 // --- Ablations (design choices called out in DESIGN.md §5) ---

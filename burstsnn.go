@@ -15,7 +15,11 @@
 //   - the event-driven spiking simulator and the Evaluate pipeline that
 //     produces accuracy curves, spike counts, and latency metrics,
 //   - spike-pattern analysis (ISI histograms, burst composition, firing
-//     rate/regularity) and neuromorphic energy estimation.
+//     rate/regularity) and neuromorphic energy estimation,
+//   - an online serving layer (NewServer): a model registry with cached
+//     conversions, pooled simulator replicas, a microbatching request
+//     queue, and an early-exit engine that stops each request as soon as
+//     the readout settles — served over an HTTP JSON API by cmd/snnserve.
 //
 // Quickstart (see examples/quickstart for the runnable version):
 //
@@ -39,6 +43,7 @@ import (
 	"burstsnn/internal/energy"
 	"burstsnn/internal/mathx"
 	"burstsnn/internal/neuromorphic"
+	"burstsnn/internal/serve"
 	"burstsnn/internal/snn"
 )
 
@@ -225,6 +230,34 @@ func NewSingleNeuron(cfg CodingConfig) *SingleNeuron { return snn.NewSingleNeuro
 func WithDelays(net *SNN, uniformDelay, jitter int, seed uint64) (*DelayedSNN, error) {
 	return snn.FromNetwork(net, uniformDelay, jitter, seed)
 }
+
+// Serving types: the online inference layer (see internal/serve and
+// cmd/snnserve).
+type (
+	// Server is the inference-serving frontend: model registry, replica
+	// pools, microbatching queues, and the HTTP JSON API.
+	Server = serve.Server
+	// ServeConfig tunes the server (address, batching, timeouts).
+	ServeConfig = serve.Config
+	// ServeModelConfig declares one servable model (hybrid coding, step
+	// budget, exit policy, replica count).
+	ServeModelConfig = serve.ModelConfig
+	// ExitPolicy controls the early-exit engine.
+	ExitPolicy = serve.ExitPolicy
+	// ClassifyRequest and ClassifyResult are the /v1/classify schema;
+	// snneval -json emits the same result schema per image.
+	ClassifyRequest = serve.ClassifyRequest
+	ClassifyResult  = serve.ClassifyResult
+	// ServeSnapshot is a point-in-time metrics view (/metrics schema).
+	ServeSnapshot = serve.Snapshot
+)
+
+// NewServer builds an inference server with an empty model registry.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// DefaultExitPolicy returns the serving default early-exit policy for a
+// step budget.
+func DefaultExitPolicy(steps int) ExitPolicy { return serve.DefaultExitPolicy(steps) }
 
 // Analysis types.
 type (

@@ -5,28 +5,40 @@
 // Usage:
 //
 //	snneval -model textures10 -input phase -hidden burst -vth 0.125 -steps 192 -images 40
+//
+// With -json, results go to stdout as one JSON document whose per-image
+// entries use the same schema as the serving API's /v1/classify response
+// (see internal/serve.ClassifyResult), so offline and online numbers are
+// directly comparable; -earlyexit additionally enables the serving
+// early-exit engine so the report measures steps-to-exit instead of the
+// fixed budget.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"burstsnn"
 	"burstsnn/internal/experiments"
+	"burstsnn/internal/serve"
 )
 
 func main() {
 	var (
-		model  = flag.String("model", "textures10", "baseline model: digits, textures10, textures100")
-		input  = flag.String("input", "phase", "input coding: real, rate, phase, ttfs")
-		hidden = flag.String("hidden", "burst", "hidden coding: rate, phase, burst")
-		vth    = flag.Float64("vth", 0, "hidden threshold constant v_th (0 = scheme default)")
-		beta   = flag.Float64("beta", 0, "burst constant β (0 = default 2)")
-		steps  = flag.Int("steps", 192, "simulation time steps per image")
-		images = flag.Int("images", 40, "test images to evaluate")
-		dir    = flag.String("dir", "", "model cache directory (default: system temp)")
-		tiny   = flag.Bool("tiny", false, "use the reduced test-scale recipes")
+		model     = flag.String("model", "textures10", "baseline model: digits, textures10, textures100")
+		input     = flag.String("input", "phase", "input coding: real, rate, phase, ttfs")
+		hidden    = flag.String("hidden", "burst", "hidden coding: rate, phase, burst")
+		vth       = flag.Float64("vth", 0, "hidden threshold constant v_th (0 = scheme default)")
+		beta      = flag.Float64("beta", 0, "burst constant β (0 = default 2)")
+		steps     = flag.Int("steps", 192, "simulation time steps per image")
+		images    = flag.Int("images", 40, "test images to evaluate")
+		dir       = flag.String("dir", "", "model cache directory (default: system temp)")
+		tiny      = flag.Bool("tiny", false, "use the reduced test-scale recipes")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON (per-image results in the /v1/classify schema)")
+		earlyExit = flag.Bool("earlyexit", false, "with -json: enable the serving early-exit engine instead of the fixed budget")
 	)
 	flag.Parse()
 
@@ -66,6 +78,13 @@ func main() {
 		hybrid = hybrid.WithBeta(*beta)
 	}
 
+	if *jsonOut {
+		if err := evalJSON(m, hybrid, *steps, *images, *earlyExit); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	res, err := burstsnn.Evaluate(m.Net, m.Set, burstsnn.EvalConfig{
 		Hybrid: hybrid, Steps: *steps, MaxImages: *images,
 	})
@@ -87,4 +106,85 @@ func main() {
 	fmt.Printf("energy (arb.) : TrueNorth %.3g, SpiNNaker %.3g\n",
 		burstsnn.EstimateEnergy(burstsnn.TrueNorth(), w),
 		burstsnn.EstimateEnergy(burstsnn.SpiNNaker(), w))
+}
+
+// evalReport is the -json document. PerImage entries share the schema of
+// the serving API's /v1/classify response, with Label and Correct filled
+// in from ground truth.
+type evalReport struct {
+	Schema      string                 `json:"schema"`
+	Model       string                 `json:"model"`
+	Notation    string                 `json:"notation"`
+	Steps       int                    `json:"steps"`
+	EarlyExit   bool                   `json:"earlyExit"`
+	Images      int                    `json:"images"`
+	DNNAccuracy float64                `json:"dnnAccuracy"`
+	Accuracy    float64                `json:"accuracy"`
+	MeanSteps   float64                `json:"meanSteps"`
+	MeanSpikes  float64                `json:"meanSpikes"`
+	Neurons     int                    `json:"neurons"`
+	PerImage    []serve.ClassifyResult `json:"perImage"`
+}
+
+// evalJSON runs the offline evaluation through the serving stack (one
+// in-process Server, no HTTP) so that each image's result is exactly a
+// /v1/classify response.
+func evalJSON(m *experiments.Model, hybrid burstsnn.Hybrid, steps, images int, earlyExit bool) error {
+	exit := burstsnn.DefaultExitPolicy(steps)
+	if !earlyExit {
+		exit = burstsnn.ExitPolicy{MaxSteps: steps}
+	}
+	srv := burstsnn.NewServer(burstsnn.ServeConfig{MaxBatch: 1})
+	model, err := srv.Register(burstsnn.ServeModelConfig{
+		Name:     m.Name,
+		Hybrid:   hybrid,
+		Steps:    steps,
+		Exit:     exit,
+		Replicas: 1, // the evaluation loop below is serial
+	}, m.Net, m.Set.Train)
+	if err != nil {
+		return err
+	}
+	defer srv.Shutdown(context.Background())
+
+	samples := m.Set.Test
+	if images > 0 && images < len(samples) {
+		samples = samples[:images]
+	}
+	report := evalReport{
+		Schema:      "burstsnn/eval-v1",
+		Model:       m.Name,
+		Notation:    hybrid.Notation(),
+		Steps:       steps,
+		EarlyExit:   earlyExit,
+		Images:      len(samples),
+		DNNAccuracy: burstsnn.EvaluateDNN(m.Net, samples),
+		Neurons:     model.Info().Neurons,
+		PerImage:    make([]serve.ClassifyResult, len(samples)),
+	}
+	ctx := context.Background()
+	correct, totalSteps, totalSpikes := 0, 0, 0
+	for i, s := range samples {
+		res, err := srv.Classify(ctx, burstsnn.ClassifyRequest{Model: m.Name, Image: s.Image})
+		if err != nil {
+			return fmt.Errorf("image %d: %w", i, err)
+		}
+		label := s.Label
+		ok := res.Prediction == label
+		res.Label, res.Correct = &label, &ok
+		report.PerImage[i] = res
+		if ok {
+			correct++
+		}
+		totalSteps += res.Steps
+		totalSpikes += res.Spikes
+	}
+	n := float64(len(samples))
+	report.Accuracy = float64(correct) / n
+	report.MeanSteps = float64(totalSteps) / n
+	report.MeanSpikes = float64(totalSpikes) / n
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }

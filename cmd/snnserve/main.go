@@ -1,0 +1,348 @@
+// Command snnserve serves single-image SNN classification over HTTP.
+//
+// It trains (or loads from the model cache) the named baseline models,
+// converts each under the requested input-hidden coding, and exposes the
+// serving API:
+//
+//	POST /v1/classify   {"model":"digits","image":[...784 floats]}
+//	GET  /v1/models     registered models and their configurations
+//	GET  /healthz       liveness
+//	GET  /metrics       request counts, latency percentiles, mean
+//	                    steps-to-exit, spikes/image
+//
+// Usage:
+//
+//	snnserve -addr :8344 -models digits -input phase -hidden burst -steps 192
+//
+// The early-exit engine stops each request's simulation as soon as the
+// readout prediction has been stable for -window steps, so typical
+// requests cost a fraction of the full -steps budget.
+//
+// Selftest mode (-selftest) builds a LeNetMini/phase-burst digits model,
+// starts the server on an ephemeral port, drives concurrent synthetic
+// traffic through the HTTP API, and reports throughput, latency
+// percentiles, and the early-exit step savings against the full-budget
+// baseline, exiting non-zero if accuracy degrades or early exit fails to
+// beat the budget.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"burstsnn"
+	"burstsnn/internal/experiments"
+	"burstsnn/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8344", "HTTP listen address")
+		models   = flag.String("models", "digits", "comma-separated baseline models to serve: digits, textures10, textures100")
+		input    = flag.String("input", "phase", "input coding: real, rate, phase, ttfs")
+		hidden   = flag.String("hidden", "burst", "hidden coding: rate, phase, burst")
+		vth      = flag.Float64("vth", 0, "hidden threshold constant v_th (0 = scheme default)")
+		beta     = flag.Float64("beta", 0, "burst constant β (0 = default 2)")
+		steps    = flag.Int("steps", 192, "per-request simulation budget")
+		replicas = flag.Int("replicas", 0, "simulator replicas per model (0 = GOMAXPROCS)")
+		window   = flag.Int("window", 12, "early-exit stability window in steps (0 disables early exit)")
+		minSteps = flag.Int("minsteps", 16, "earliest step at which early exit is allowed")
+		margin   = flag.Float64("margin", 0, "required per-step top1-top2 readout margin for early exit (0 = none)")
+		maxBatch = flag.Int("maxbatch", 8, "microbatch size limit")
+		maxDelay = flag.Duration("maxdelay", 2*time.Millisecond, "microbatch max delay")
+		dir      = flag.String("dir", "", "model cache directory (default: system temp)")
+		tiny     = flag.Bool("tiny", false, "use the reduced test-scale model recipes")
+
+		selftest = flag.Bool("selftest", false, "run the deterministic load-generator selftest and exit")
+		requests = flag.Int("requests", 200, "selftest: total classification requests")
+		workers  = flag.Int("workers", 32, "selftest: concurrent load-generator workers")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "snnserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	inScheme, err := burstsnn.ParseScheme(*input)
+	if err != nil {
+		fail(err)
+	}
+	hidScheme, err := burstsnn.ParseScheme(*hidden)
+	if err != nil {
+		fail(err)
+	}
+	hybrid := burstsnn.NewHybrid(inScheme, hidScheme)
+	if *vth > 0 {
+		hybrid = hybrid.WithVTh(*vth)
+	}
+	if *beta > 0 {
+		hybrid = hybrid.WithBeta(*beta)
+	}
+	exit := serve.ExitPolicy{
+		MaxSteps:     *steps,
+		MinSteps:     *minSteps,
+		StableWindow: *window,
+		Margin:       *margin,
+	}
+	if *window == 0 {
+		exit.MinSteps, exit.Margin = 0, 0
+	}
+
+	if *selftest {
+		// The selftest asserts exact accuracy parity with full-budget
+		// inference, so it defaults to a more conservative stability
+		// window than interactive serving; explicit flags still win.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["window"] {
+			exit.StableWindow = 32
+		}
+		if !explicit["minsteps"] {
+			exit.MinSteps = 32
+		}
+		if err := runSelftest(hybrid, exit, *steps, *replicas, *maxBatch, *maxDelay, *requests, *workers); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	settings := experiments.DefaultSettings()
+	settings.Log = os.Stderr
+	settings.Tiny = *tiny
+	if *dir != "" {
+		settings.ModelDir = *dir
+	}
+	lab := experiments.NewLab(settings)
+
+	srv := burstsnn.NewServer(burstsnn.ServeConfig{
+		Addr:     *addr,
+		MaxBatch: *maxBatch,
+		MaxDelay: *maxDelay,
+	})
+	for _, name := range strings.Split(*models, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, err := lab.Model(name)
+		if err != nil {
+			fail(err)
+		}
+		info, err := srv.Register(serve.ModelConfig{
+			Name:     name,
+			Hybrid:   hybrid,
+			Steps:    *steps,
+			Exit:     exit,
+			Replicas: *replicas,
+		}, m.Net, m.Set.Train)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving %s as %s: %d neurons, %d replicas, budget %d steps (DNN acc %.4f)\n",
+			name, hybrid.Notation(), info.Info().Neurons, info.Pool().Size(), *steps, m.DNNAcc)
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM.
+	done := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "listening on %s\n", *addr)
+		done <- srv.ListenAndServe()
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			fail(err)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "received %v, draining...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fail(err)
+		}
+		<-done
+	}
+}
+
+// runSelftest is the deterministic load generator: it proves the serving
+// path end to end (HTTP, batching, pooling, early exit) on a freshly
+// trained LeNetMini digits model and checks the paper's latency win
+// survives serving: mean steps-to-exit strictly below the budget at no
+// loss of accuracy versus full-budget inference.
+func runSelftest(hybrid burstsnn.Hybrid, exit serve.ExitPolicy, steps, replicas, maxBatch int, maxDelay time.Duration, requests, workers int) error {
+	if requests < 100 {
+		requests = 100
+	}
+	if workers < 1 {
+		workers = 16
+	}
+	if exit.StableWindow == 0 {
+		return fmt.Errorf("selftest requires early exit (set -window > 0)")
+	}
+
+	fmt.Println("== snnserve selftest ==")
+	fmt.Printf("training LeNetMini on synthetic digits...\n")
+	set := burstsnn.SynthDigits(burstsnn.DigitsConfig{
+		TrainPerClass: 80, TestPerClass: 20, Noise: 0.04, Seed: 1009,
+	})
+	net, err := burstsnn.BuildDNN(burstsnn.LeNetMini(1, 28, 28, 10), burstsnn.NewRNG(4242))
+	if err != nil {
+		return err
+	}
+	burstsnn.Train(net, set, burstsnn.NewAdam(0.002), burstsnn.TrainConfig{
+		Epochs: 4, BatchSize: 32, Seed: 99,
+	})
+	dnnAcc := burstsnn.EvaluateDNN(net, set.Test)
+	fmt.Printf("DNN accuracy %.4f on %d test images\n", dnnAcc, len(set.Test))
+
+	srv := burstsnn.NewServer(burstsnn.ServeConfig{MaxBatch: maxBatch, MaxDelay: maxDelay})
+	model, err := srv.Register(serve.ModelConfig{
+		Name:     "digits",
+		Hybrid:   hybrid,
+		Steps:    steps,
+		Exit:     exit,
+		Replicas: replicas,
+	}, net, set.Train)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered %s (%d neurons, %d replicas, budget %d steps)\n",
+		hybrid.Notation(), model.Info().Neurons, model.Pool().Size(), steps)
+
+	ln, err := net0()
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	// Full-budget baseline over the distinct test images (in-process: the
+	// HTTP layer adds nothing to simulated accuracy).
+	fullCorrect := 0
+	ctx := context.Background()
+	for _, s := range set.Test {
+		res, err := srv.Classify(ctx, serve.ClassifyRequest{Model: "digits", Image: s.Image, NoEarlyExit: true})
+		if err != nil {
+			return fmt.Errorf("full-budget baseline: %w", err)
+		}
+		if res.Prediction == s.Label {
+			fullCorrect++
+		}
+	}
+	fullAcc := float64(fullCorrect) / float64(len(set.Test))
+	fmt.Printf("full-budget SNN accuracy %.4f at %d steps/request\n", fullAcc, steps)
+
+	// Concurrent load through the real HTTP API, cycling the test set.
+	fmt.Printf("driving %d requests over %d workers at %s ...\n", requests, workers, base)
+	type shot struct {
+		res serve.ClassifyResult
+		err error
+	}
+	shots := make([]shot, requests)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	client := &http.Client{Timeout: 60 * time.Second}
+	began := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s := set.Test[i%len(set.Test)]
+				res, err := classifyHTTP(client, base, serve.ClassifyRequest{Model: "digits", Image: s.Image})
+				shots[i] = shot{res: res, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(began)
+
+	earlyCorrect, totalSteps, totalSpikes, exits := 0, 0, 0, 0
+	latencies := make([]float64, 0, requests)
+	for i, sh := range shots {
+		if sh.err != nil {
+			return fmt.Errorf("request %d: %w", i, sh.err)
+		}
+		if sh.res.Prediction == set.Test[i%len(set.Test)].Label {
+			earlyCorrect++
+		}
+		totalSteps += sh.res.Steps
+		totalSpikes += sh.res.Spikes
+		if sh.res.EarlyExit {
+			exits++
+		}
+		latencies = append(latencies, sh.res.LatencyMs)
+	}
+	sort.Float64s(latencies)
+	earlyAcc := float64(earlyCorrect) / float64(requests)
+	meanSteps := float64(totalSteps) / float64(requests)
+	throughput := float64(requests) / wall.Seconds()
+
+	fmt.Println("-- results --")
+	fmt.Printf("requests      : %d over %d workers in %v\n", requests, workers, wall.Round(time.Millisecond))
+	fmt.Printf("throughput    : %.1f req/s\n", throughput)
+	fmt.Printf("latency       : p50 %.2fms  p99 %.2fms\n",
+		serve.Percentile(latencies, 50), serve.Percentile(latencies, 99))
+	fmt.Printf("accuracy      : %.4f early-exit vs %.4f full-budget\n", earlyAcc, fullAcc)
+	fmt.Printf("steps/request : %.1f mean (budget %d, %.0f%% early exits)\n",
+		meanSteps, steps, 100*float64(exits)/float64(requests))
+	fmt.Printf("spikes/request: %.0f\n", float64(totalSpikes)/float64(requests))
+
+	if earlyAcc < fullAcc {
+		return fmt.Errorf("early-exit accuracy %.4f fell below full-budget accuracy %.4f", earlyAcc, fullAcc)
+	}
+	if meanSteps >= float64(steps) {
+		return fmt.Errorf("mean steps %.1f did not beat the %d-step budget", meanSteps, steps)
+	}
+	fmt.Println("selftest PASS")
+	return nil
+}
+
+func net0() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+
+func classifyHTTP(client *http.Client, base string, req serve.ClassifyRequest) (serve.ClassifyResult, error) {
+	var res serve.ClassifyResult
+	body, err := json.Marshal(req)
+	if err != nil {
+		return res, err
+	}
+	resp, err := client.Post(base+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return res, fmt.Errorf("status %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return res, json.NewDecoder(resp.Body).Decode(&res)
+}

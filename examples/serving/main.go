@@ -1,0 +1,103 @@
+// Serving walkthrough: train a small model, register it with the
+// inference server under the paper's phase-burst hybrid coding, start the
+// HTTP API on an ephemeral port, classify images over HTTP, and read the
+// serving metrics — including the early-exit step savings that turn the
+// paper's accuracy-vs-timestep latency win into a serving win.
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"burstsnn"
+)
+
+func main() {
+	// 1. Train the baseline (a small MLP keeps the example fast; swap in
+	// LeNetMini or VGGMini for the real thing).
+	set := burstsnn.SynthDigits(burstsnn.DigitsConfig{
+		TrainPerClass: 60, TestPerClass: 10, Noise: 0.04, Seed: 1009,
+	})
+	dnnNet, err := burstsnn.BuildDNN(burstsnn.MLP(1, 28, 28, []int{48}, 10), burstsnn.NewRNG(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	burstsnn.Train(dnnNet, set, burstsnn.NewAdam(0.01), burstsnn.TrainConfig{
+		Epochs: 10, BatchSize: 32, Seed: 2,
+	})
+	fmt.Printf("DNN test accuracy: %.4f\n", burstsnn.EvaluateDNN(dnnNet, set.Test))
+
+	// 2. Register the model: the server converts it once under the given
+	// hybrid coding and builds a pool of weight-sharing simulator
+	// replicas. The exit policy stops each request as soon as the
+	// readout's top-1 has been stable for 16 consecutive steps.
+	const budget = 128
+	srv := burstsnn.NewServer(burstsnn.ServeConfig{
+		MaxBatch: 8,
+		MaxDelay: 2 * time.Millisecond,
+	})
+	model, err := srv.Register(burstsnn.ServeModelConfig{
+		Name:   "digits",
+		Hybrid: burstsnn.NewHybrid(burstsnn.Phase, burstsnn.Burst),
+		Steps:  budget,
+		Exit:   burstsnn.ExitPolicy{MaxSteps: budget, MinSteps: 24, StableWindow: 16},
+	}, dnnNet, set.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %q: %d neurons, %d replicas, budget %d steps\n\n",
+		model.Config().Name, model.Info().Neurons, model.Pool().Size(), budget)
+
+	// 3. Start the HTTP API on an ephemeral port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// 4. Classify the first few test images over HTTP — exactly what a
+	// remote client would do.
+	for i, sample := range set.Test[:5] {
+		body, _ := json.Marshal(burstsnn.ClassifyRequest{Model: "digits", Image: sample.Image})
+		resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var res burstsnn.ClassifyResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("image %d: predicted %d (true %d) in %d/%d steps, %d spikes, %.2fms\n",
+			i, res.Prediction, sample.Label, res.Steps, res.MaxSteps, res.Spikes, res.LatencyMs)
+	}
+
+	// 5. The metrics endpoint aggregates the serving behavior: request
+	// counts, latency percentiles, and the mean steps-to-exit that the
+	// early-exit engine saves versus the full budget.
+	snap := model.Metrics().Snapshot()
+	fmt.Printf("\nmetrics: %d requests, p50 %.2fms, mean %.1f steps of %d budget (%.0f%% early exits)\n",
+		snap.Requests, snap.P50Ms, snap.MeanSteps, budget, 100*snap.EarlyExitRate)
+
+	// 6. Graceful shutdown: stop accepting, drain queues.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained and stopped")
+}

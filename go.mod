@@ -1,0 +1,3 @@
+module burstsnn
+
+go 1.24

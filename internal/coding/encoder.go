@@ -38,6 +38,18 @@ type InputEncoder interface {
 	BiasScale(t int) float64
 }
 
+// CloneableEncoder is an InputEncoder that can stamp out an independent
+// copy of itself: same configuration (size, period, seed), fresh
+// per-image state. Serving replica pools use this to share one converted
+// network's weights across concurrent simulator instances. All encoders
+// built by NewInputEncoder implement it.
+type CloneableEncoder interface {
+	InputEncoder
+	// Clone returns an independent encoder equivalent to this one before
+	// any Reset call.
+	Clone() InputEncoder
+}
+
 // NewInputEncoder constructs the encoder for a scheme. Size is the input
 // dimensionality. seed only matters for stochastic encoders (Poisson rate
 // variant); the default encoders are deterministic.
@@ -89,6 +101,7 @@ func (e *realEncoder) Step(int) []Event      { return e.buf }
 func (e *realEncoder) CountsAsSpikes() bool  { return false }
 func (e *realEncoder) Size() int             { return e.size }
 func (e *realEncoder) BiasScale(int) float64 { return 1 }
+func (e *realEncoder) Clone() InputEncoder   { return &realEncoder{size: e.size} }
 
 // rateEncoder emits unit-payload spikes whose frequency equals the pixel
 // value: each pixel fires with Bernoulli probability v per step, the
@@ -146,6 +159,7 @@ func (e *rateEncoder) Step(int) []Event {
 func (e *rateEncoder) CountsAsSpikes() bool  { return true }
 func (e *rateEncoder) Size() int             { return e.size }
 func (e *rateEncoder) BiasScale(int) float64 { return 1 }
+func (e *rateEncoder) Clone() InputEncoder   { return &rateEncoder{size: e.size, seed: e.seed} }
 
 // phaseEncoder implements the weighted-spike input of Kim et al. 2018:
 // the pixel value is quantized to k bits and bit j (MSB first) is
@@ -191,6 +205,9 @@ func (e *phaseEncoder) Step(t int) []Event {
 
 func (e *phaseEncoder) CountsAsSpikes() bool { return true }
 func (e *phaseEncoder) Size() int            { return e.size }
+func (e *phaseEncoder) Clone() InputEncoder {
+	return &phaseEncoder{size: e.size, period: e.period}
+}
 
 // BiasScale spreads the bias over the oscillation: Π(t)/(1-2^-k) sums to
 // exactly 1 over one period, matching the one-value-per-period input rate.
@@ -250,6 +267,9 @@ func (e *ttfsEncoder) Step(t int) []Event {
 
 func (e *ttfsEncoder) CountsAsSpikes() bool { return true }
 func (e *ttfsEncoder) Size() int            { return e.size }
+func (e *ttfsEncoder) Clone() InputEncoder {
+	return &ttfsEncoder{size: e.size, period: e.period}
+}
 
 // BiasScale matches the phase encoder: one value per period.
 func (e *ttfsEncoder) BiasScale(t int) float64 {
@@ -297,3 +317,11 @@ func (e *PoissonEncoder) Size() int { return e.SizeN }
 // BiasScale implements InputEncoder: Poisson rate coding delivers the
 // full value per step in expectation.
 func (e *PoissonEncoder) BiasScale(int) float64 { return 1 }
+
+// Clone implements CloneableEncoder. The copy starts from the current RNG
+// state but advances independently, so clone trains diverge from the
+// original's — the encoder is stream-stateful by design.
+func (e *PoissonEncoder) Clone() InputEncoder {
+	rng := *e.RNG
+	return &PoissonEncoder{SizeN: e.SizeN, RNG: &rng}
+}

@@ -179,15 +179,19 @@ func Evaluate(net *dnn.Network, set *dataset.Set, cfg EvalConfig) (*EvalResult, 
 		NormSamples: cfg.NormSamples,
 	}
 
-	// Each worker needs a private converted network because neuron state
-	// is mutable. Conversion is cheap relative to simulation.
+	// Each worker needs a private simulator because neuron state is
+	// mutable: convert once (the conversion replays NormSamples images to
+	// record activation scales), then stamp out weight-sharing replicas.
+	res, err := convert.Convert(net, set.Train, opts)
+	if err != nil {
+		return nil, err
+	}
 	nets := make([]*snn.Network, workers)
-	for i := range nets {
-		res, err := convert.Convert(net, set.Train, opts)
-		if err != nil {
+	nets[0] = res.Net
+	for i := 1; i < workers; i++ {
+		if nets[i], err = res.Net.Clone(); err != nil {
 			return nil, err
 		}
-		nets[i] = res.Net
 	}
 
 	correctAt := make([]int, cfg.Steps)

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Submit after the batcher has been closed.
+var ErrClosed = errors.New("serve: batcher closed")
+
+// Batcher is the microbatching request queue in front of a replica pool.
+// Requests are grouped into batches of up to MaxBatch, waiting at most
+// MaxDelay after the first request before dispatch; each batch checks out
+// one replica and runs its requests back to back, so a batch amortizes
+// pool checkout and keeps a replica's working set hot while the pool
+// bound still caps concurrent simulation.
+type Batcher struct {
+	pool     *Pool
+	maxBatch int
+	maxDelay time.Duration
+
+	queue chan *batchRequest
+
+	mu      sync.Mutex
+	closed  bool
+	sending sync.WaitGroup // Submits past the closed check, not yet enqueued
+
+	done chan struct{} // dispatcher drained and all batches finished
+}
+
+type batchRequest struct {
+	ctx    context.Context
+	image  []float64
+	policy ExitPolicy
+	done   chan batchResult
+}
+
+type batchResult struct {
+	out Outcome
+	err error
+}
+
+// NewBatcher starts the dispatcher. maxBatch <= 0 defaults to 1 (no
+// batching); maxDelay <= 0 dispatches as soon as the queue momentarily
+// drains; queueDepth <= 0 defaults to 4× maxBatch.
+func NewBatcher(pool *Pool, maxBatch int, maxDelay time.Duration, queueDepth int) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = 4 * maxBatch
+	}
+	b := &Batcher{
+		pool:     pool,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		queue:    make(chan *batchRequest, queueDepth),
+		done:     make(chan struct{}),
+	}
+	go b.dispatch()
+	return b
+}
+
+// Submit enqueues one classification and blocks until its result, the
+// context's cancellation, or batcher shutdown.
+func (b *Batcher) Submit(ctx context.Context, image []float64, p ExitPolicy) (Outcome, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return Outcome{}, ErrClosed
+	}
+	b.sending.Add(1)
+	b.mu.Unlock()
+
+	req := &batchRequest{ctx: ctx, image: image, policy: p, done: make(chan batchResult, 1)}
+	select {
+	case b.queue <- req:
+		b.sending.Done()
+	case <-ctx.Done():
+		b.sending.Done()
+		return Outcome{}, ctx.Err()
+	}
+	select {
+	case res := <-req.done:
+		return res.out, res.err
+	case <-ctx.Done():
+		// The batch may still execute the request; done is buffered so
+		// the runner never blocks on an abandoned request.
+		return Outcome{}, ctx.Err()
+	}
+}
+
+// Close stops accepting requests, drains the queue, and waits for every
+// in-flight batch to finish. It is idempotent.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	b.sending.Wait() // every in-flight Submit has enqueued or bailed
+	close(b.queue)
+	<-b.done
+}
+
+// dispatch collects batches until the queue is closed and drained.
+func (b *Batcher) dispatch() {
+	var batches sync.WaitGroup
+	defer func() {
+		batches.Wait()
+		close(b.done)
+	}()
+	for first := range b.queue {
+		batch := append(make([]*batchRequest, 0, b.maxBatch), first)
+		if b.maxDelay > 0 {
+			timer := time.NewTimer(b.maxDelay)
+		collect:
+			for len(batch) < b.maxBatch {
+				select {
+				case req, ok := <-b.queue:
+					if !ok {
+						break collect
+					}
+					batch = append(batch, req)
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		} else {
+		drain:
+			for len(batch) < b.maxBatch {
+				select {
+				case req, ok := <-b.queue:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, req)
+				default:
+					break drain
+				}
+			}
+		}
+		batches.Add(1)
+		go func(reqs []*batchRequest) {
+			defer batches.Done()
+			b.run(reqs)
+		}(batch)
+	}
+}
+
+// run executes one batch on a single checked-out replica. Checkout uses
+// the background context: replicas always come back (every batch returns
+// its replica), and a canceled request must not fail its batchmates.
+func (b *Batcher) run(reqs []*batchRequest) {
+	net, err := b.pool.Get(context.Background())
+	if err != nil {
+		for _, req := range reqs {
+			req.done <- batchResult{err: fmt.Errorf("serve: replica checkout: %w", err)}
+		}
+		return
+	}
+	defer b.pool.Put(net)
+	for _, req := range reqs {
+		if req.ctx.Err() != nil {
+			req.done <- batchResult{err: req.ctx.Err()}
+			continue
+		}
+		req.done <- batchResult{out: Classify(net, req.image, req.policy)}
+	}
+}

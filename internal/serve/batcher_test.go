@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"burstsnn/internal/coding"
+	"burstsnn/internal/convert"
+	"burstsnn/internal/snn"
+)
+
+// testPool converts the shared test model once and wraps it in a pool.
+func testPool(t *testing.T, size int) (*Pool, []float64) {
+	t.Helper()
+	net, set := testModel(t)
+	conv, err := convert.Convert(net, set.Train, convert.Options{
+		Input:       coding.DefaultConfig(coding.Phase),
+		Hidden:      coding.DefaultConfig(coding.Burst),
+		NormSamples: 32,
+	})
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	pool, err := NewPool(conv.Net, size)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	return pool, set.Test[0].Image
+}
+
+func TestPoolCheckout(t *testing.T) {
+	pool, _ := testPool(t, 2)
+	ctx := context.Background()
+	a, err := pool.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("pool handed out the same replica twice")
+	}
+	// Pool exhausted: Get must respect context cancellation.
+	timeout, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := pool.Get(timeout); err == nil {
+		t.Fatal("Get on an exhausted pool should fail when ctx expires")
+	}
+	pool.Put(a)
+	c, err := pool.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatal("returned replica should be reused")
+	}
+	pool.Put(b)
+	pool.Put(c)
+}
+
+// TestReplicasShareWeightsNotState checks the clone contract the pool
+// depends on: replicas produce identical results but never alias state.
+func TestReplicasShareWeightsNotState(t *testing.T) {
+	pool, image := testPool(t, 3)
+	ctx := context.Background()
+	nets := make([]*snn.Network, 3)
+	for i := range nets {
+		var err error
+		if nets[i], err = pool.Get(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	policy := ExitPolicy{MaxSteps: 48}
+	ref := Classify(nets[0], image, policy)
+	for i, n := range nets[1:] {
+		got := Classify(n, image, policy)
+		if got != ref {
+			t.Errorf("replica %d: outcome %+v differs from %+v", i+1, got, ref)
+		}
+	}
+}
+
+// TestBatcherMaxDelay verifies the flush conditions: a lone request waits
+// out MaxDelay before dispatch, while a full batch dispatches without
+// waiting for the delay to expire.
+func TestBatcherMaxDelay(t *testing.T) {
+	pool, image := testPool(t, 1)
+	policy := ExitPolicy{MaxSteps: 16}
+
+	// A lone request must still complete — the MaxDelay timer flushes the
+	// partial batch. Generous upper bound to stay robust on loaded CI.
+	const delay = 50 * time.Millisecond
+	b := NewBatcher(pool, 8, delay, 0)
+	began := time.Now()
+	if _, err := b.Submit(context.Background(), image, policy); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	elapsed := time.Since(began)
+	if elapsed < delay {
+		t.Errorf("lone request completed in %v, before the %v max-delay flush", elapsed, delay)
+	}
+	if elapsed > delay+2*time.Second {
+		t.Errorf("lone request took %v, max-delay flush appears broken", elapsed)
+	}
+	b.Close()
+
+	// A full batch must not wait for the delay: 8 requests with a huge
+	// MaxDelay complete as soon as the batch fills.
+	b = NewBatcher(pool, 8, time.Hour, 0)
+	began = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), image, policy); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(began); elapsed > 30*time.Second {
+		t.Errorf("full batch took %v, full-batch flush appears broken", elapsed)
+	}
+	b.Close()
+}
+
+func TestBatcherClose(t *testing.T) {
+	pool, image := testPool(t, 1)
+	b := NewBatcher(pool, 4, time.Millisecond, 0)
+	if _, err := b.Submit(context.Background(), image, ExitPolicy{MaxSteps: 8}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	b.Close()
+	if _, err := b.Submit(context.Background(), image, ExitPolicy{MaxSteps: 8}); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics()
+	for i := 1; i <= 100; i++ {
+		m.Observe(Outcome{
+			Prediction: 1, Steps: 10, HiddenSpikes: 50, EarlyExit: i%2 == 0,
+		}, time.Duration(i)*time.Millisecond)
+	}
+	m.ObserveError()
+	s := m.Snapshot()
+	if s.Requests != 100 || s.Errors != 1 {
+		t.Errorf("requests/errors = %d/%d", s.Requests, s.Errors)
+	}
+	if s.MeanSteps != 10 || s.MeanSpikes != 50 {
+		t.Errorf("means = %v steps, %v spikes", s.MeanSteps, s.MeanSpikes)
+	}
+	if s.EarlyExitRate != 0.5 {
+		t.Errorf("early-exit rate = %v, want 0.5", s.EarlyExitRate)
+	}
+	if math.Abs(s.P50Ms-50) > 1 || math.Abs(s.P99Ms-99) > 1 {
+		t.Errorf("p50/p99 = %v/%v, want ≈50/99", s.P50Ms, s.P99Ms)
+	}
+	if s.P50Ms > s.P90Ms || s.P90Ms > s.P99Ms {
+		t.Errorf("percentiles not monotone: %v/%v/%v", s.P50Ms, s.P90Ms, s.P99Ms)
+	}
+}
+
+func TestExitPolicyValidate(t *testing.T) {
+	cases := []struct {
+		p  ExitPolicy
+		ok bool
+	}{
+		{ExitPolicy{MaxSteps: 64}, true},
+		{ExitPolicy{MaxSteps: 64, MinSteps: 16, StableWindow: 8, Margin: 0.1}, true},
+		{ExitPolicy{}, false},
+		{ExitPolicy{MaxSteps: -1}, false},
+		{ExitPolicy{MaxSteps: 8, MinSteps: 9}, false},
+		{ExitPolicy{MaxSteps: 8, Margin: -0.5}, false},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.p, err, c.ok)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// metricsWindow bounds the latency reservoir: percentiles are computed
+// over the most recent metricsWindow requests.
+const metricsWindow = 4096
+
+// Metrics accumulates serving statistics for one model (or globally).
+// All methods are safe for concurrent use.
+type Metrics struct {
+	mu         sync.Mutex
+	requests   int64
+	errors     int64
+	earlyExits int64
+	stepsSum   int64
+	spikesSum  int64
+	latencies  []float64 // ring buffer, milliseconds
+	next       int
+}
+
+// NewMetrics returns an empty accumulator.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// ObserveError records a failed request.
+func (m *Metrics) ObserveError() {
+	m.mu.Lock()
+	m.errors++
+	m.mu.Unlock()
+}
+
+// Observe records one served classification.
+func (m *Metrics) Observe(o Outcome, latency time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	if o.EarlyExit {
+		m.earlyExits++
+	}
+	m.stepsSum += int64(o.Steps)
+	m.spikesSum += int64(o.TotalSpikes())
+	ms := float64(latency) / float64(time.Millisecond)
+	if len(m.latencies) < metricsWindow {
+		m.latencies = append(m.latencies, ms)
+	} else {
+		m.latencies[m.next] = ms
+		m.next = (m.next + 1) % metricsWindow
+	}
+}
+
+// Snapshot is a point-in-time metrics view, JSON-shaped for /metrics.
+type Snapshot struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// EarlyExitRate is the fraction of requests that exited before their
+	// full step budget.
+	EarlyExitRate float64 `json:"earlyExitRate"`
+	// MeanSteps is the mean simulated steps per request — the serving
+	// form of the paper's latency metric.
+	MeanSteps float64 `json:"meanSteps"`
+	// MeanSpikes is the mean total spikes per request — the serving form
+	// of the paper's efficiency metric.
+	MeanSpikes float64 `json:"meanSpikes"`
+	// P50/P90/P99 are wall-clock latency percentiles in milliseconds over
+	// the recent-request window.
+	P50Ms float64 `json:"p50Ms"`
+	P90Ms float64 `json:"p90Ms"`
+	P99Ms float64 `json:"p99Ms"`
+}
+
+// Snapshot computes the current view.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{Requests: m.requests, Errors: m.errors}
+	if m.requests > 0 {
+		s.EarlyExitRate = float64(m.earlyExits) / float64(m.requests)
+		s.MeanSteps = float64(m.stepsSum) / float64(m.requests)
+		s.MeanSpikes = float64(m.spikesSum) / float64(m.requests)
+	}
+	if len(m.latencies) > 0 {
+		sorted := append([]float64(nil), m.latencies...)
+		sort.Float64s(sorted)
+		s.P50Ms = Percentile(sorted, 50)
+		s.P90Ms = Percentile(sorted, 90)
+		s.P99Ms = Percentile(sorted, 99)
+	}
+	return s
+}
+
+// Percentile reads the p-th percentile from an ascending slice using the
+// nearest-rank method (also used by load-generator reporting).
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

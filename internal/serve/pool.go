@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"burstsnn/internal/snn"
+)
+
+// Pool is a fixed-size checkout pool of simulator replicas. The spiking
+// simulator is stateful (Reset/Step mutate membrane potentials), so a
+// request must hold a replica exclusively for its whole run; the pool
+// bounds simulator memory to Size networks while letting Size requests
+// simulate concurrently.
+type Pool struct {
+	ch chan *snn.Network
+}
+
+// NewPool builds a pool holding proto plus size−1 weight-sharing clones.
+func NewPool(proto *snn.Network, size int) (*Pool, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("serve: pool size must be at least 1, got %d", size)
+	}
+	p := &Pool{ch: make(chan *snn.Network, size)}
+	p.ch <- proto
+	for i := 1; i < size; i++ {
+		c, err := proto.Clone()
+		if err != nil {
+			return nil, fmt.Errorf("serve: replica %d: %w", i, err)
+		}
+		p.ch <- c
+	}
+	return p, nil
+}
+
+// Size returns the replica count.
+func (p *Pool) Size() int { return cap(p.ch) }
+
+// Get checks out a replica, blocking until one is free or ctx is done.
+func (p *Pool) Get(ctx context.Context) (*snn.Network, error) {
+	select {
+	case net := <-p.ch:
+		return net, nil
+	default:
+	}
+	select {
+	case net := <-p.ch:
+		return net, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Put returns a replica to the pool. It must only be called with networks
+// obtained from Get.
+func (p *Pool) Put(net *snn.Network) {
+	select {
+	case p.ch <- net:
+	default:
+		panic("serve: pool overflow — Put without matching Get")
+	}
+}

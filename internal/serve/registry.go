@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"burstsnn/internal/convert"
+	"burstsnn/internal/core"
+	"burstsnn/internal/dataset"
+	"burstsnn/internal/dnn"
+)
+
+// ModelConfig declares one servable model: a named DNN plus the coding
+// hybrid it is converted under and the serving knobs.
+type ModelConfig struct {
+	// Name is the registry key exposed by the API.
+	Name string
+	// Hybrid is the input-hidden coding assignment (e.g. phase-burst).
+	Hybrid core.Hybrid
+	// Steps is the default per-request simulation budget.
+	Steps int
+	// Exit is the default early-exit policy; its MaxSteps is filled from
+	// Steps when zero. A fully zero Exit means DefaultExitPolicy(Steps);
+	// to disable early exit, set MaxSteps (or MinSteps) explicitly and
+	// leave StableWindow zero.
+	Exit ExitPolicy
+	// Replicas sizes the simulator pool (default GOMAXPROCS).
+	Replicas int
+	// Norm, Percentile, and NormSamples configure weight normalization
+	// (defaults: percentile 99.9 over 64 samples, as in EvalConfig).
+	Norm        convert.NormMethod
+	Percentile  float64
+	NormSamples int
+}
+
+// DefaultExitPolicy returns the serving default for a step budget: exit
+// after the prediction holds for 12 consecutive steps, but never before
+// two phase periods (16 steps), so periodic encoders deliver the full
+// input at least twice before a verdict. Both bounds are clamped to the
+// budget, so tiny budgets degrade to full-budget inference instead of an
+// invalid policy.
+func DefaultExitPolicy(steps int) ExitPolicy {
+	p := ExitPolicy{MaxSteps: steps, MinSteps: 16, StableWindow: 12}
+	if p.MinSteps > steps {
+		p.MinSteps = steps
+	}
+	if p.StableWindow > steps {
+		p.StableWindow = steps
+	}
+	return p
+}
+
+// Model is one registered, converted, replicated model.
+type Model struct {
+	cfg     ModelConfig
+	conv    *convert.Result
+	pool    *Pool
+	metrics *Metrics
+	inSize  int
+	classes int
+	neurons int
+}
+
+// Config returns the registration config (defaults applied).
+func (m *Model) Config() ModelConfig { return m.cfg }
+
+// Metrics returns the model's serving metrics accumulator.
+func (m *Model) Metrics() *Metrics { return m.metrics }
+
+// Pool returns the model's replica pool.
+func (m *Model) Pool() *Pool { return m.pool }
+
+// InputSize returns the expected image vector length.
+func (m *Model) InputSize() int { return m.inSize }
+
+// Classes returns the readout width.
+func (m *Model) Classes() int { return m.classes }
+
+// Info is the JSON description served by GET /v1/models.
+type Info struct {
+	Name      string     `json:"name"`
+	Notation  string     `json:"notation"`
+	InputSize int        `json:"inputSize"`
+	Classes   int        `json:"classes"`
+	Neurons   int        `json:"neurons"`
+	Steps     int        `json:"steps"`
+	Replicas  int        `json:"replicas"`
+	Exit      ExitPolicy `json:"exit"`
+}
+
+// Info returns the model's description.
+func (m *Model) Info() Info {
+	return Info{
+		Name:      m.cfg.Name,
+		Notation:  m.cfg.Hybrid.Notation(),
+		InputSize: m.inSize,
+		Classes:   m.classes,
+		Neurons:   m.neurons,
+		Steps:     m.cfg.Steps,
+		Replicas:  m.pool.Size(),
+		Exit:      m.cfg.Exit,
+	}
+}
+
+// Registry owns the servable models. Conversion runs once per registered
+// (model, hybrid) configuration; the ConvertResult is cached on the Model
+// and replicas are weight-sharing clones of it.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Model
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: map[string]*Model{}}
+}
+
+// Register converts net under cfg and installs it. normSamples feed the
+// activation-recording pass of weight normalization (typically the
+// model's training split). Registering an existing name replaces the old
+// model atomically but keeps its metrics history.
+func (r *Registry) Register(cfg ModelConfig, net *dnn.Network, normSamples []dataset.Sample) (*Model, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("serve: model name must not be empty")
+	}
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("serve: model %q: Steps must be positive", cfg.Name)
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Exit == (ExitPolicy{}) {
+		cfg.Exit = DefaultExitPolicy(cfg.Steps)
+	} else if cfg.Exit.MaxSteps == 0 {
+		cfg.Exit.MaxSteps = cfg.Steps
+	}
+	if err := cfg.Exit.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", cfg.Name, err)
+	}
+	if cfg.Percentile == 0 {
+		cfg.Percentile = 99.9
+	}
+	conv, err := convert.Convert(net, normSamples, convert.Options{
+		Input:       cfg.Hybrid.Input,
+		Hidden:      cfg.Hybrid.Hidden,
+		Norm:        cfg.Norm,
+		Percentile:  cfg.Percentile,
+		NormSamples: cfg.NormSamples,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", cfg.Name, err)
+	}
+	pool, err := NewPool(conv.Net, cfg.Replicas)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", cfg.Name, err)
+	}
+	m := &Model{
+		cfg:     cfg,
+		conv:    conv,
+		pool:    pool,
+		metrics: NewMetrics(),
+		inSize:  conv.Net.Encoder.Size(),
+		classes: conv.Net.Output.NumNeurons(),
+		neurons: conv.Net.NumNeurons(),
+	}
+	r.mu.Lock()
+	if old, ok := r.models[cfg.Name]; ok {
+		m.metrics = old.metrics
+	}
+	r.models[cfg.Name] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// RegisterFile loads a model written by dnn.SaveModelFile and registers
+// it under cfg.
+func (r *Registry) RegisterFile(cfg ModelConfig, path string, normSamples []dataset.Sample) (*Model, error) {
+	_, net, err := dnn.LoadModelFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", cfg.Name, err)
+	}
+	return r.Register(cfg, net, normSamples)
+}
+
+// Get returns the named model.
+func (r *Registry) Get(name string) (*Model, error) {
+	r.mu.RLock()
+	m, ok := r.models[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	return m, nil
+}
+
+// List returns every registered model's Info, sorted by name.
+func (r *Registry) List() []Info {
+	r.mu.RLock()
+	infos := make([]Info, 0, len(r.models))
+	for _, m := range r.models {
+		infos = append(infos, m.Info())
+	}
+	r.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}

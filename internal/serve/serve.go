@@ -1,0 +1,354 @@
+// Package serve is the online inference-serving subsystem: it turns
+// trained-and-converted spiking networks into a concurrent, low-latency
+// classification service.
+//
+// The pieces, composable on their own or behind the HTTP server:
+//
+//   - Registry: names a trained DNN, converts it once per (model, hybrid)
+//     configuration, and caches the conversion;
+//   - Pool: a checkout pool of weight-sharing simulator replicas (the
+//     simulator is stateful, so a request holds a replica exclusively);
+//   - Classify / ExitPolicy: the early-exit engine — the simulator stops
+//     as soon as the readout's top-1 prediction has been stable for a
+//     configurable window (optionally with a confidence margin), turning
+//     the paper's accuracy-vs-timestep latency win into a serving win;
+//   - Batcher: a microbatching queue (max-batch / max-delay) that
+//     amortizes replica checkout under load;
+//   - Server: the HTTP JSON API (POST /v1/classify, GET /v1/models,
+//     /healthz, /metrics) with per-model metrics and graceful shutdown.
+//
+// Everything is deterministic: the same image and policy produce the same
+// prediction and step count on any replica, regardless of pool contention
+// or batching.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"burstsnn/internal/dataset"
+	"burstsnn/internal/dnn"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8344").
+	Addr string
+	// MaxBatch is the microbatch size limit (default 8).
+	MaxBatch int
+	// MaxDelay is how long a batch waits for company after its first
+	// request (default 2ms). Negative dispatches immediately.
+	MaxDelay time.Duration
+	// QueueDepth bounds each model's request queue; Submits beyond it
+	// block (backpressure). Default 4×MaxBatch.
+	QueueDepth int
+	// RequestTimeout bounds one classification end to end (default 30s).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8344"
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// ClassifyRequest is the POST /v1/classify body.
+type ClassifyRequest struct {
+	// Model names a registered model.
+	Model string `json:"model"`
+	// Image is the flat CHW pixel vector in [0,1]; its length must equal
+	// the model's input size.
+	Image []float64 `json:"image"`
+	// MaxSteps overrides the model's per-request budget (0 = model
+	// default; capped at the model's configured budget).
+	MaxSteps int `json:"maxSteps,omitempty"`
+	// NoEarlyExit forces the full step budget (for A/B-ing the early-exit
+	// engine against fixed-latency inference).
+	NoEarlyExit bool `json:"noEarlyExit,omitempty"`
+}
+
+// ClassifyResult is the POST /v1/classify response. cmd/snneval -json
+// emits the same schema per image, so offline and online results are
+// directly comparable.
+type ClassifyResult struct {
+	Model      string `json:"model"`
+	Prediction int    `json:"prediction"`
+	// Label and Correct are set by offline evaluation (snneval -json),
+	// where ground truth is known; the server omits them.
+	Label   *int  `json:"label,omitempty"`
+	Correct *bool `json:"correct,omitempty"`
+	// Steps is the simulated step count; EarlyExit reports whether the
+	// engine stopped before MaxSteps.
+	Steps     int  `json:"steps"`
+	MaxSteps  int  `json:"maxSteps"`
+	EarlyExit bool `json:"earlyExit"`
+	// Margin is the mean per-step readout gap top1−top2 at exit.
+	Margin float64 `json:"margin"`
+	// Spike counts over the run (the paper's efficiency metric).
+	InputSpikes  int `json:"inputSpikes"`
+	HiddenSpikes int `json:"hiddenSpikes"`
+	Spikes       int `json:"spikes"`
+	// LatencyMs is wall-clock time including queueing and batching.
+	LatencyMs float64 `json:"latencyMs"`
+}
+
+// Server is the inference-serving frontend: a Registry plus one
+// microbatching queue per model and the HTTP API.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	start time.Time
+
+	mu       sync.Mutex
+	batchers map[string]*Batcher
+	httpSrv  *http.Server
+	lnAddr   string
+	closed   bool
+}
+
+// New builds a Server with an empty registry.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg.withDefaults(),
+		reg:      NewRegistry(),
+		start:    time.Now(),
+		batchers: map[string]*Batcher{},
+	}
+}
+
+// Registry exposes the model registry (for listing or direct pool use).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Register converts and installs a model (see Registry.Register) and
+// starts its request queue.
+func (s *Server) Register(cfg ModelConfig, net *dnn.Network, normSamples []dataset.Sample) (*Model, error) {
+	m, err := s.reg.Register(cfg, net, normSamples)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	old := s.batchers[cfg.Name]
+	s.batchers[cfg.Name] = NewBatcher(m.Pool(), s.cfg.MaxBatch, s.cfg.MaxDelay, s.cfg.QueueDepth)
+	s.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return m, nil
+}
+
+// RegisterFile loads a dnn.SaveModelFile model and registers it.
+func (s *Server) RegisterFile(cfg ModelConfig, path string, normSamples []dataset.Sample) (*Model, error) {
+	_, net, err := dnn.LoadModelFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", cfg.Name, err)
+	}
+	return s.Register(cfg, net, normSamples)
+}
+
+// Classify runs one request through the model's batching queue and
+// replica pool. It is the in-process path the HTTP handler, the selftest
+// load generator, and offline evaluation all share.
+func (s *Server) Classify(ctx context.Context, req ClassifyRequest) (ClassifyResult, error) {
+	m, err := s.reg.Get(req.Model)
+	if err != nil {
+		return ClassifyResult{}, err
+	}
+	if len(req.Image) != m.InputSize() {
+		return ClassifyResult{}, fmt.Errorf("serve: model %q expects %d pixels, got %d",
+			req.Model, m.InputSize(), len(req.Image))
+	}
+	policy := m.Config().Exit
+	if req.MaxSteps != 0 {
+		if req.MaxSteps < 0 || req.MaxSteps > m.Config().Steps {
+			return ClassifyResult{}, fmt.Errorf("serve: maxSteps must be in [1,%d], got %d",
+				m.Config().Steps, req.MaxSteps)
+		}
+		policy.MaxSteps = req.MaxSteps
+		if policy.MinSteps > policy.MaxSteps {
+			policy.MinSteps = policy.MaxSteps
+		}
+	}
+	if req.NoEarlyExit {
+		policy.StableWindow = 0
+	}
+	s.mu.Lock()
+	b := s.batchers[req.Model]
+	s.mu.Unlock()
+	if b == nil {
+		return ClassifyResult{}, fmt.Errorf("serve: model %q has no request queue", req.Model)
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	began := time.Now()
+	out, err := b.Submit(ctx, req.Image, policy)
+	if err != nil {
+		m.Metrics().ObserveError()
+		return ClassifyResult{}, err
+	}
+	latency := time.Since(began)
+	m.Metrics().Observe(out, latency)
+	return ClassifyResult{
+		Model:        req.Model,
+		Prediction:   out.Prediction,
+		Steps:        out.Steps,
+		MaxSteps:     policy.MaxSteps,
+		EarlyExit:    out.EarlyExit,
+		Margin:       out.Margin,
+		InputSpikes:  out.InputSpikes,
+		HiddenSpikes: out.HiddenSpikes,
+		Spikes:       out.TotalSpikes(),
+		LatencyMs:    float64(latency) / float64(time.Millisecond),
+	}, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req ClassifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	res, err := s.Classify(r.Context(), req)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrClosed), context.Cause(r.Context()) != nil:
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, context.DeadlineExceeded):
+			// The server-side RequestTimeout expired (overload), not a
+			// malformed request.
+			status = http.StatusGatewayTimeout
+		}
+		if _, getErr := s.reg.Get(req.Model); getErr != nil {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.List()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptimeSec": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	models := map[string]Snapshot{}
+	for _, info := range s.reg.List() {
+		if m, err := s.reg.Get(info.Name); err == nil {
+			models[info.Name] = m.Metrics().Snapshot()
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptimeSec": time.Since(s.start).Seconds(),
+		"models":    models,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// ListenAndServe starts the HTTP server on cfg.Addr and blocks until
+// Shutdown (returning nil) or a listener error.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve runs the HTTP server on an existing listener (useful for
+// ephemeral ports) and blocks like ListenAndServe.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.httpSrv = srv
+	s.lnAddr = ln.Addr().String()
+	s.mu.Unlock()
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Addr returns the bound listen address once Serve is running ("" before).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lnAddr
+}
+
+// Shutdown gracefully stops the server: the HTTP listener stops accepting,
+// in-flight requests finish (bounded by ctx), then every model queue
+// drains. Safe to call without a running HTTP server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	srv := s.httpSrv
+	batchers := make([]*Batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		batchers = append(batchers, b)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	for _, b := range batchers {
+		b.Close()
+	}
+	return err
+}
