@@ -19,7 +19,10 @@ import (
 	"time"
 
 	"burstsnn"
+	"burstsnn/internal/benchkit"
+	"burstsnn/internal/coding"
 	"burstsnn/internal/experiments"
+	"burstsnn/internal/serve"
 )
 
 var (
@@ -225,21 +228,114 @@ func microModel(b *testing.B) (*burstsnn.DNN, *burstsnn.Set) {
 }
 
 // BenchmarkSNNStep measures event-driven simulation throughput per coding
-// configuration (steps/op on one image).
+// configuration (steps/op on one image), on both the optimized path and
+// the retained reference path — the ratio is the hot-path speedup on the
+// conv-bearing LeNetMini model.
 func BenchmarkSNNStep(b *testing.B) {
 	net, set := microModel(b)
 	for _, hidden := range []burstsnn.Scheme{burstsnn.Rate, burstsnn.Phase, burstsnn.Burst} {
-		b.Run("phase-"+hidden.String(), func(b *testing.B) {
-			conv, err := burstsnn.Convert(net, set.Train, burstsnn.DefaultConvertOptions(burstsnn.Phase, hidden))
-			if err != nil {
-				b.Fatal(err)
+		for _, path := range []string{"fast", "ref"} {
+			b.Run("phase-"+hidden.String()+"/"+path, func(b *testing.B) {
+				conv, err := burstsnn.Convert(net, set.Train, burstsnn.DefaultConvertOptions(burstsnn.Phase, hidden))
+				if err != nil {
+					b.Fatal(err)
+				}
+				conv.Net.Ref = path == "ref"
+				img := set.Test[0].Image
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					conv.Net.Run(img, 64)
+				}
+			})
+		}
+	}
+}
+
+// --- Hot-path per-layer micro-benchmarks (fast vs reference path) ---
+//
+// Workloads come from internal/benchkit so `go test -bench Hotpath` and
+// the `snnbench -hotpath` artifact always measure the same thing.
+
+// BenchmarkHotpathConvStep isolates SpikingConv.Step: table-driven
+// scatter + fused bias/fire versus per-event div/mod arithmetic with a
+// full-population bias sweep.
+func BenchmarkHotpathConvStep(b *testing.B) {
+	layer, in := benchkit.HotpathConv()
+	for _, path := range []string{"fast", "ref"} {
+		b.Run(path, func(b *testing.B) {
+			layer.Reset()
+			step := layer.Step
+			if path == "ref" {
+				step = layer.StepSlow
 			}
-			img := set.Test[0].Image
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				conv.Net.Run(img, 64)
+				step(i, 1, in)
 			}
 		})
+	}
+}
+
+// BenchmarkHotpathDenseStep isolates SpikingDense.Step: direct membrane
+// accumulation with fused bias versus the three-pass z-buffer version.
+func BenchmarkHotpathDenseStep(b *testing.B) {
+	layer, evs := benchkit.HotpathDense()
+	for _, path := range []string{"fast", "ref"} {
+		b.Run(path, func(b *testing.B) {
+			layer.Reset()
+			step := layer.Step
+			if path == "ref" {
+				step = layer.StepSlow
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step(i, 1, evs)
+			}
+		})
+	}
+}
+
+// BenchmarkHotpathPoolStep isolates the pooling stages (precomputed
+// window tables versus per-event div/mod).
+func BenchmarkHotpathPoolStep(b *testing.B) {
+	avg, maxp, in := benchkit.HotpathPools()
+	type stepFn func(t int, biasScale float64, in []coding.Event) []coding.Event
+	cases := []struct {
+		name string
+		step stepFn
+	}{
+		{"avg/fast", avg.Step}, {"avg/ref", avg.StepSlow},
+		{"max/fast", maxp.Step}, {"max/ref", maxp.StepSlow},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.step(i, 0, in)
+			}
+		})
+	}
+}
+
+// BenchmarkHotpathClassify measures the early-exit engine directly on a
+// pooled replica (no batching queue), asserting the zero-allocation
+// steady state via allocs/op.
+func BenchmarkHotpathClassify(b *testing.B) {
+	net, set := microModel(b)
+	conv, err := burstsnn.Convert(net, set.Train, burstsnn.DefaultConvertOptions(burstsnn.Phase, burstsnn.Burst))
+	if err != nil {
+		b.Fatal(err)
+	}
+	policy := serve.DefaultExitPolicy(96)
+	img := set.Test[0].Image
+	serve.Classify(conv.Net, img, policy) // reach buffer high-watermark
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serve.Classify(conv.Net, img, policy)
 	}
 }
 

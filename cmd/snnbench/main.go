@@ -6,6 +6,12 @@
 //	snnbench -run all                 # every table and figure
 //	snnbench -run table1,fig4         # a subset
 //	snnbench -run table2 -steps 384   # scale the budget up
+//
+// The hot-path mode skips the exhibits and instead benchmarks the
+// simulator/serving fast paths against the retained reference paths,
+// writing a machine-readable perf-trajectory artifact:
+//
+//	snnbench -hotpath BENCH_hotpath.json
 package main
 
 import (
@@ -19,17 +25,26 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "comma-separated list: fig1,fig2,table1,fig3,fig4,table2,fig5,chip,ablations or all")
-		steps  = flag.Int("steps", 192, "simulation time steps per image")
-		images = flag.Int("images", 40, "test images per configuration")
-		psteps = flag.Int("pattern-steps", 128, "steps per image for spike-pattern recordings")
-		pimgs  = flag.Int("pattern-images", 3, "images per spike-pattern recording")
-		dir    = flag.String("dir", "", "model cache directory (default: system temp)")
-		tiny   = flag.Bool("tiny", false, "use the reduced test-scale recipes")
-		out    = flag.String("o", "", "also write the report to this file")
-		csvDir = flag.String("csv", "", "also export per-exhibit CSV files into this directory")
+		run     = flag.String("run", "all", "comma-separated list: fig1,fig2,table1,fig3,fig4,table2,fig5,chip,ablations or all")
+		steps   = flag.Int("steps", 192, "simulation time steps per image")
+		images  = flag.Int("images", 40, "test images per configuration")
+		psteps  = flag.Int("pattern-steps", 128, "steps per image for spike-pattern recordings")
+		pimgs   = flag.Int("pattern-images", 3, "images per spike-pattern recording")
+		dir     = flag.String("dir", "", "model cache directory (default: system temp)")
+		tiny    = flag.Bool("tiny", false, "use the reduced test-scale recipes")
+		out     = flag.String("o", "", "also write the report to this file")
+		csvDir  = flag.String("csv", "", "also export per-exhibit CSV files into this directory")
+		hotpath = flag.String("hotpath", "", "run the hot-path benchmarks and write the JSON artifact to this path (skips the exhibits)")
 	)
 	flag.Parse()
+
+	if *hotpath != "" {
+		if err := runHotpath(*hotpath); err != nil {
+			fmt.Fprintf(os.Stderr, "snnbench: hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	settings := experiments.DefaultSettings()
 	settings.Log = os.Stderr

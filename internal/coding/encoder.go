@@ -59,13 +59,13 @@ func NewInputEncoder(cfg Config, size int, seed uint64) (InputEncoder, error) {
 	}
 	switch cfg.Scheme {
 	case Real:
-		return &realEncoder{size: size}, nil
+		return newRealEncoder(size), nil
 	case Rate:
-		return &rateEncoder{size: size, seed: seed}, nil
+		return newRateEncoder(size, seed), nil
 	case Phase:
-		return &phaseEncoder{size: size, period: cfg.Period}, nil
+		return newPhaseEncoder(size, cfg.Period), nil
 	case TTFS:
-		return &ttfsEncoder{size: size, period: cfg.Period}, nil
+		return newTTFSEncoder(size, cfg.Period), nil
 	case Burst:
 		// The paper never uses burst as an input coding (the input is
 		// static, so adaptivity buys nothing); reject it explicitly.
@@ -78,10 +78,19 @@ func NewInputEncoder(cfg Config, size int, seed uint64) (InputEncoder, error) {
 // realEncoder transmits the analog pixel value as a constant input
 // current every time step ("real coding" of Rueckauer et al.). Fast and
 // exact, but the events are not spikes.
+//
+// Every encoder pre-sizes its event buffer to the input size — the
+// per-step high-watermark (each pixel emits at most one event per step) —
+// so Reset and Step never allocate in steady state; serving's zero-alloc
+// Classify invariant depends on this (see internal/README.md).
 type realEncoder struct {
 	size  int
 	image []float64
 	buf   []Event
+}
+
+func newRealEncoder(size int) *realEncoder {
+	return &realEncoder{size: size, buf: make([]Event, 0, size)}
 }
 
 func (e *realEncoder) Reset(image []float64) {
@@ -101,7 +110,7 @@ func (e *realEncoder) Step(int) []Event      { return e.buf }
 func (e *realEncoder) CountsAsSpikes() bool  { return false }
 func (e *realEncoder) Size() int             { return e.size }
 func (e *realEncoder) BiasScale(int) float64 { return 1 }
-func (e *realEncoder) Clone() InputEncoder   { return &realEncoder{size: e.size} }
+func (e *realEncoder) Clone() InputEncoder   { return newRealEncoder(e.size) }
 
 // rateEncoder emits unit-payload spikes whose frequency equals the pixel
 // value: each pixel fires with Bernoulli probability v per step, the
@@ -119,8 +128,12 @@ type rateEncoder struct {
 	seed uint64
 
 	image []float64
-	rng   *mathx.RNG
+	rng   mathx.RNG // inline so per-image reseeding does not allocate
 	buf   []Event
+}
+
+func newRateEncoder(size int, seed uint64) *rateEncoder {
+	return &rateEncoder{size: size, seed: seed, buf: make([]Event, 0, size)}
 }
 
 func (e *rateEncoder) Reset(image []float64) {
@@ -137,7 +150,7 @@ func (e *rateEncoder) Reset(image []float64) {
 			h *= 1099511628211
 		}
 	}
-	e.rng = mathx.NewRNG(h ^ e.seed)
+	e.rng.Reseed(h ^ e.seed)
 }
 
 func (e *rateEncoder) Step(int) []Event {
@@ -159,7 +172,7 @@ func (e *rateEncoder) Step(int) []Event {
 func (e *rateEncoder) CountsAsSpikes() bool  { return true }
 func (e *rateEncoder) Size() int             { return e.size }
 func (e *rateEncoder) BiasScale(int) float64 { return 1 }
-func (e *rateEncoder) Clone() InputEncoder   { return &rateEncoder{size: e.size, seed: e.seed} }
+func (e *rateEncoder) Clone() InputEncoder   { return newRateEncoder(e.size, e.seed) }
 
 // phaseEncoder implements the weighted-spike input of Kim et al. 2018:
 // the pixel value is quantized to k bits and bit j (MSB first) is
@@ -172,12 +185,17 @@ type phaseEncoder struct {
 	buf    []Event
 }
 
+func newPhaseEncoder(size, period int) *phaseEncoder {
+	return &phaseEncoder{
+		size: size, period: period,
+		bits: make([]uint64, size),
+		buf:  make([]Event, 0, size),
+	}
+}
+
 func (e *phaseEncoder) Reset(image []float64) {
 	if len(image) != e.size {
 		panic(fmt.Sprintf("coding: phase encoder got %d pixels, want %d", len(image), e.size))
-	}
-	if e.bits == nil {
-		e.bits = make([]uint64, e.size)
 	}
 	levels := math.Pow(2, float64(e.period))
 	for i, v := range image {
@@ -206,7 +224,7 @@ func (e *phaseEncoder) Step(t int) []Event {
 func (e *phaseEncoder) CountsAsSpikes() bool { return true }
 func (e *phaseEncoder) Size() int            { return e.size }
 func (e *phaseEncoder) Clone() InputEncoder {
-	return &phaseEncoder{size: e.size, period: e.period}
+	return newPhaseEncoder(e.size, e.period)
 }
 
 // BiasScale spreads the bias over the oscillation: Π(t)/(1-2^-k) sums to
@@ -227,12 +245,17 @@ type ttfsEncoder struct {
 	buf    []Event
 }
 
+func newTTFSEncoder(size, period int) *ttfsEncoder {
+	return &ttfsEncoder{
+		size: size, period: period,
+		phase: make([]int, size),
+		buf:   make([]Event, 0, size),
+	}
+}
+
 func (e *ttfsEncoder) Reset(image []float64) {
 	if len(image) != e.size {
 		panic(fmt.Sprintf("coding: ttfs encoder got %d pixels, want %d", len(image), e.size))
-	}
-	if e.phase == nil {
-		e.phase = make([]int, e.size)
 	}
 	levels := math.Pow(2, float64(e.period))
 	for i, v := range image {
@@ -268,7 +291,7 @@ func (e *ttfsEncoder) Step(t int) []Event {
 func (e *ttfsEncoder) CountsAsSpikes() bool { return true }
 func (e *ttfsEncoder) Size() int            { return e.size }
 func (e *ttfsEncoder) Clone() InputEncoder {
-	return &ttfsEncoder{size: e.size, period: e.period}
+	return newTTFSEncoder(e.size, e.period)
 }
 
 // BiasScale matches the phase encoder: one value per period.

@@ -211,9 +211,10 @@ func Evaluate(net *dnn.Network, set *dataset.Set, cfg EvalConfig) (*EvalResult, 
 		go func(net *snn.Network, samples []dataset.Sample) {
 			defer wg.Done()
 			localCorrect := make([]int, cfg.Steps)
+			predBuf := make([]int, cfg.Steps) // reused across images
 			var spikes, inSpikes, hidSpikes int64
 			for _, s := range samples {
-				res := net.Run(s.Image, cfg.Steps)
+				res := net.RunInto(s.Image, cfg.Steps, predBuf)
 				for t, pred := range res.PredictedAt {
 					if pred == s.Label {
 						localCorrect[t]++

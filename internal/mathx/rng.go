@@ -22,6 +22,12 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// Reseed rewinds the generator to the start of seed's stream in place,
+// equivalent to replacing it with NewRNG(seed) but without allocating —
+// per-request reseeding (e.g. the deterministic rate input encoder) sits
+// on the serving hot path.
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
 // Uint64 returns the next raw 64-bit value of the stream.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

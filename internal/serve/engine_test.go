@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"testing"
+
+	"burstsnn/internal/coding"
+	"burstsnn/internal/mathx"
+	"burstsnn/internal/snn"
+)
+
+// allocNet builds a conv-bearing network (conv → maxpool → avgpool →
+// dense → output) directly from random weights — no training — so the
+// hot-path tests run in milliseconds.
+func allocNet(t testing.TB, input coding.Scheme, seed uint64) *snn.Network {
+	t.Helper()
+	r := mathx.NewRNG(seed)
+	randn := func(n int, std float64) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = r.Norm(0, std)
+		}
+		return v
+	}
+	g := snn.ConvGeom{InC: 2, InH: 8, InW: 8, OutC: 4, K: 3, Stride: 1, Pad: 1}
+	hidden := coding.DefaultConfig(coding.Burst)
+	enc, err := coding.NewInputEncoder(coding.DefaultConfig(input), g.InC*g.InH*g.InW, seed)
+	if err != nil {
+		t.Fatalf("encoder: %v", err)
+	}
+	denseIn := g.OutC * g.OutH() / 4 * g.OutW() / 4
+	return &snn.Network{
+		Encoder: enc,
+		Layers: []snn.Layer{
+			snn.NewSpikingConv(randn(g.OutC*g.InC*g.K*g.K, 0.35), randn(g.OutC, 0.05), g, hidden),
+			snn.NewSpikingMaxPool(g.OutC, g.OutH(), g.OutW(), 2),
+			snn.NewSpikingAvgPool(g.OutC, g.OutH()/2, g.OutW()/2, 2, hidden),
+			snn.NewSpikingDense(randn(denseIn*12, 0.4), randn(12, 0.05), denseIn, 12, hidden),
+		},
+		Output: snn.NewOutputLayer(randn(12*4, 0.5), randn(4, 0.05), 12, 4),
+	}
+}
+
+func allocImage(seed uint64, n int) []float64 {
+	r := mathx.NewRNG(seed)
+	img := make([]float64, n)
+	for i := range img {
+		img[i] = r.Float64()
+	}
+	return img
+}
+
+// TestClassifyZeroAlloc is the allocation regression gate for the
+// serving hot path: once a replica's buffers have reached their
+// high-watermark, Classify (Reset + Steps + early exit) must not
+// allocate at all, for every input encoder.
+func TestClassifyZeroAlloc(t *testing.T) {
+	for _, scheme := range []coding.Scheme{coding.Real, coding.Rate, coding.Phase, coding.TTFS} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			net := allocNet(t, scheme, 0xA110C)
+			img := allocImage(42, net.Encoder.Size())
+			policy := ExitPolicy{MaxSteps: 48, MinSteps: 8, StableWindow: 6}
+			Classify(net, img, policy) // reach the buffer high-watermark
+			allocs := testing.AllocsPerRun(20, func() {
+				Classify(net, img, policy)
+			})
+			if allocs != 0 {
+				t.Errorf("Classify allocates %.1f objects/run in steady state, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestClassifyFastMatchesReference runs the early-exit engine over both
+// simulator paths and requires identical outcomes: prediction, simulated
+// steps, early-exit flag, and spike counts.
+func TestClassifyFastMatchesReference(t *testing.T) {
+	for _, scheme := range []coding.Scheme{coding.Real, coding.Rate, coding.Phase, coding.TTFS} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			fast := allocNet(t, scheme, 0xEC0)
+			ref, err := fast.Clone()
+			if err != nil {
+				t.Fatalf("clone: %v", err)
+			}
+			ref.Ref = true
+			policy := ExitPolicy{MaxSteps: 64, MinSteps: 8, StableWindow: 6, Margin: 0.01}
+			for i := 0; i < 8; i++ {
+				img := allocImage(uint64(1000+i), fast.Encoder.Size())
+				a := Classify(fast, img, policy)
+				b := Classify(ref, img, policy)
+				if a.Prediction != b.Prediction || a.Steps != b.Steps || a.EarlyExit != b.EarlyExit {
+					t.Fatalf("image %d: fast %+v ref %+v", i, a, b)
+				}
+				if a.InputSpikes != b.InputSpikes || a.HiddenSpikes != b.HiddenSpikes {
+					t.Fatalf("image %d: spikes fast %d/%d ref %d/%d",
+						i, a.InputSpikes, a.HiddenSpikes, b.InputSpikes, b.HiddenSpikes)
+				}
+				if diff := a.Margin - b.Margin; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("image %d: margin fast %v ref %v", i, a.Margin, b.Margin)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -72,18 +73,22 @@ type Snapshot struct {
 	P99Ms float64 `json:"p99Ms"`
 }
 
-// Snapshot computes the current view.
+// Snapshot computes the current view. Only the scalar reads and the
+// reservoir copy happen under the lock; the O(n log n) sort of up to
+// metricsWindow latencies runs outside it so a /metrics scrape never
+// stalls concurrent Observe calls.
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := Snapshot{Requests: m.requests, Errors: m.errors}
 	if m.requests > 0 {
 		s.EarlyExitRate = float64(m.earlyExits) / float64(m.requests)
 		s.MeanSteps = float64(m.stepsSum) / float64(m.requests)
 		s.MeanSpikes = float64(m.spikesSum) / float64(m.requests)
 	}
-	if len(m.latencies) > 0 {
-		sorted := append([]float64(nil), m.latencies...)
+	sorted := append([]float64(nil), m.latencies...)
+	m.mu.Unlock()
+
+	if len(sorted) > 0 {
 		sort.Float64s(sorted)
 		s.P50Ms = Percentile(sorted, 50)
 		s.P90Ms = Percentile(sorted, 90)
@@ -93,12 +98,16 @@ func (m *Metrics) Snapshot() Snapshot {
 }
 
 // Percentile reads the p-th percentile from an ascending slice using the
-// nearest-rank method (also used by load-generator reporting).
+// standard nearest-rank method, rank = ⌈p/100·n⌉ (also used by
+// load-generator reporting). Rounding the rank to nearest instead of up
+// would read one sample too low whenever p/100·n lands on (or just above)
+// an integer — e.g. p99 over 100 samples must be the 99th rank
+// (sorted[98])… and p100 the maximum, never beyond it.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	rank := int(p/100*float64(len(sorted)) + 0.5)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
 	if rank < 1 {
 		rank = 1
 	}

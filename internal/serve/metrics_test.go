@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPercentileNearestRank pins the standard ceil nearest-rank method,
+// rank = ⌈p/100·n⌉, over the window sizes the reservoir actually sees.
+// The old round-half-up rank read one sample low whenever p/100·n had a
+// fractional part below 0.5 (e.g. p99 over the full 4096-entry window).
+func TestPercentileNearestRank(t *testing.T) {
+	seq := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = float64(i + 1) // sorted 1..n, so value == 1-based rank
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"empty", nil, 99, 0},
+		{"n=1 p50", seq(1), 50, 1},
+		{"n=1 p90", seq(1), 90, 1},
+		{"n=1 p99", seq(1), 99, 1},
+		{"n=4 p50", seq(4), 50, 2},
+		{"n=4 p90", seq(4), 90, 4},
+		{"n=100 p50", seq(100), 50, 50},
+		{"n=100 p90", seq(100), 90, 90},
+		{"n=100 p99", seq(100), 99, 99},
+		{"n=100 p100", seq(100), 100, 100},
+		// Full reservoir: 0.99·4096 = 4055.04, so the nearest rank is
+		// 4056; the old rounding read 4055.
+		{"n=4096 p50", seq(4096), 50, 2048},
+		{"n=4096 p90", seq(4096), 90, 3687},
+		{"n=4096 p99", seq(4096), 99, 4056},
+		{"n=4096 p0", seq(4096), 0, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Percentile(c.sorted, c.p); got != c.want {
+				t.Errorf("Percentile(n=%d, p=%v) = %v, want %v", len(c.sorted), c.p, got, c.want)
+			}
+		})
+	}
+}
+
+// TestSnapshotDoesNotBlockObserve floods the metrics with concurrent
+// Observes while scraping Snapshots, as a /metrics endpoint under load
+// does; it guards liveness (and runs under -race in CI).
+func TestSnapshotDoesNotBlockObserve(t *testing.T) {
+	m := NewMetrics()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			m.Observe(Outcome{Steps: 10, HiddenSpikes: 3}, time.Duration(i)*time.Microsecond)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		m.Snapshot()
+	}
+	<-done
+	if s := m.Snapshot(); s.Requests != 2000 {
+		t.Fatalf("requests = %d, want 2000", s.Requests)
+	}
+}
+
+// BenchmarkObserveDuringScrape measures Observe latency while a
+// background goroutine scrapes Snapshot in a tight loop — the case the
+// Snapshot critical-section fix targets. With the sort inside the lock a
+// scrape held the mutex for the whole O(n log n) pass over the 4096-entry
+// reservoir and every Observe stalled behind it; with copy-then-sort the
+// lock covers only the scalar reads and one memmove.
+func BenchmarkObserveDuringScrape(b *testing.B) {
+	m := NewMetrics()
+	for i := 0; i < metricsWindow; i++ { // start from a full reservoir
+		m.Observe(Outcome{Steps: 10}, time.Duration(i)*time.Microsecond)
+	}
+	var stop atomic.Bool
+	scraping := make(chan struct{})
+	go func() {
+		close(scraping)
+		for !stop.Load() {
+			m.Snapshot()
+		}
+	}()
+	<-scraping
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(Outcome{Steps: 10, HiddenSpikes: 5}, time.Millisecond)
+	}
+	b.StopTimer()
+	stop.Store(true)
+}
+
+// BenchmarkSnapshot measures a full scrape against a full reservoir.
+func BenchmarkSnapshot(b *testing.B) {
+	m := NewMetrics()
+	for i := 0; i < metricsWindow; i++ {
+		m.Observe(Outcome{Steps: 10}, time.Duration(i)*time.Microsecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Snapshot()
+	}
+}

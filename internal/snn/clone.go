@@ -33,29 +33,37 @@ func (l *SpikingDense) CloneLayer() Layer {
 	}
 }
 
-// CloneLayer implements CloneableLayer.
+// CloneLayer implements CloneableLayer. The scatter table (taps/tapStart)
+// is immutable after construction, so clones share it like the weights.
 func (l *SpikingConv) CloneLayer() Layer {
 	return &SpikingConv{
 		Geom: l.Geom, WScatter: l.WScatter, Bias: l.Bias,
+		taps: l.taps, tapStart: l.tapStart, outHW: l.outHW,
 		pop:  l.pop.clone(),
 		bias: l.bias,
 	}
 }
 
-// CloneLayer implements CloneableLayer.
+// CloneLayer implements CloneableLayer (the outIdx table is shared).
 func (l *SpikingAvgPool) CloneLayer() Layer {
 	return &SpikingAvgPool{
 		C: l.C, H: l.H, W: l.W, Window: l.Window,
-		pop: l.pop.clone(),
-		inv: l.inv,
+		outIdx: l.outIdx,
+		pop:    l.pop.clone(),
+		inv:    l.inv,
 	}
 }
 
-// CloneLayer implements CloneableLayer.
+// CloneLayer implements CloneableLayer. Window geometry tables are
+// shared; cumulative payloads and the spike stamps are fresh state.
 func (l *SpikingMaxPool) CloneLayer() Layer {
+	nIn := l.C * l.H * l.W
 	return &SpikingMaxPool{
 		C: l.C, H: l.H, W: l.W, Window: l.Window,
-		cum: make([]float64, l.C*l.H*l.W),
+		cum:   make([]float64, nIn),
+		buf:   make([]coding.Event, 0, cap(l.buf)),
+		winOf: l.winOf, winStart: l.winStart, winMembers: l.winMembers,
+		seen: make([]int, nIn),
 	}
 }
 
@@ -71,8 +79,8 @@ func (l *OutputLayer) Clone() *OutputLayer {
 // Clone replicates the network: the copy shares every weight array with
 // the original but has its own encoder, neuron state, and readout
 // accumulators, so the two can simulate different images concurrently.
-// Probes are not copied. It fails if the encoder or a layer does not
-// support replication (all standard converter output does).
+// Probes are not copied (the Ref flag is). It fails if the encoder or a
+// layer does not support replication (all standard converter output does).
 func (n *Network) Clone() (*Network, error) {
 	enc, ok := n.Encoder.(coding.CloneableEncoder)
 	if !ok {
@@ -82,6 +90,7 @@ func (n *Network) Clone() (*Network, error) {
 		Encoder: enc.Clone(),
 		Layers:  make([]Layer, len(n.Layers)),
 		Output:  n.Output.Clone(),
+		Ref:     n.Ref,
 	}
 	for i, l := range n.Layers {
 		c, ok := l.(CloneableLayer)

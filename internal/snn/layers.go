@@ -17,7 +17,7 @@ type SpikingDense struct {
 	Bias []float64
 
 	pop *population
-	z   []float64
+	z   []float64 // reference-path scratch (StepSlow only)
 }
 
 // NewSpikingDense builds the layer from a row-major Out×In weight matrix.
@@ -47,11 +47,27 @@ func (l *SpikingDense) NumNeurons() int { return l.Out }
 // Reset implements Layer.
 func (l *SpikingDense) Reset() { l.pop.resetState() }
 
-// Step implements Layer.
+// Step implements Layer. Events scatter straight into the membrane
+// accumulators and the bias current (scaled to the input encoder's
+// information rate, see coding.InputEncoder.BiasScale) is folded into the
+// population's firing pass, so the whole step is one sweep over the
+// events plus one sweep over the neurons.
 func (l *SpikingDense) Step(t int, biasScale float64, in []coding.Event) []coding.Event {
+	vmem := l.pop.vmem
+	for _, ev := range in {
+		row := l.WT[ev.Index*l.Out : (ev.Index+1)*l.Out]
+		p := ev.Payload
+		for o, w := range row {
+			vmem[o] += w * p
+		}
+	}
+	return l.pop.fire(t, l.Bias, biasScale)
+}
+
+// StepSlow implements RefLayer: the pre-optimization three-pass version
+// (bias into the z scratch, event scatter into z, z into vmem, fire).
+func (l *SpikingDense) StepSlow(t int, biasScale float64, in []coding.Event) []coding.Event {
 	z := l.z
-	// Bias acts as an input current whose per-step magnitude follows the
-	// input encoder's information rate (see coding.InputEncoder.BiasScale).
 	for o, b := range l.Bias {
 		z[o] = b * biasScale
 	}
@@ -65,7 +81,7 @@ func (l *SpikingDense) Step(t int, biasScale float64, in []coding.Event) []codin
 	for o, v := range z {
 		l.pop.vmem[o] += v
 	}
-	return l.pop.fire(t)
+	return l.pop.fireSlow(t)
 }
 
 // Potential returns neuron i's membrane potential (test hook).
@@ -86,15 +102,36 @@ func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.K)/g.Stride + 1 }
 // OutW returns the output width.
 func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.K)/g.Stride + 1 }
 
+// convTap is one precomputed scatter destination of an input pixel: the
+// offset of the kernel row in WScatter (the tap's (ic,kh,kw) block, OutC
+// contiguous weights) and the output spatial base oy*OutW+ox it feeds.
+// Output channel oc's neuron is oc*OutH*OutW+base. Two int32s keep the
+// table at 8 bytes per tap; it is immutable after construction and shared
+// by every clone.
+type convTap struct {
+	wOff, base int32
+}
+
 // SpikingConv is a 2-D convolution spiking layer. An input event at
 // (ic, iy, ix) scatters its kernel taps into the affected output membrane
 // positions; weights are stored as [ic][kh][kw][oc] so the innermost
 // output-channel loop is contiguous.
+//
+// The stride/pad geometry is resolved once at construction into a scatter
+// table (taps/tapStart): Step looks up an event's destinations by input
+// index instead of re-deriving them with div/mod arithmetic and bounds
+// branches per event, which dominated the hot path's cost.
 type SpikingConv struct {
 	Geom ConvGeom
 	// WScatter is the re-laid-out kernel: index ((ic*K+kh)*K+kw)*OutC+oc.
 	WScatter []float64
 	Bias     []float64 // per output channel
+
+	// taps[tapStart[i]:tapStart[i+1]] are input neuron i's scatter
+	// destinations, in (kh,kw) order.
+	taps     []convTap
+	tapStart []int32
+	outHW    int
 
 	pop  *population
 	bias []float64 // pre-expanded per-neuron bias
@@ -119,16 +156,55 @@ func NewSpikingConv(w []float64, bias []float64, geom ConvGeom, cfg coding.Confi
 			}
 		}
 	}
-	n := outC * geom.OutH() * geom.OutW()
+	outH, outW := geom.OutH(), geom.OutW()
+	n := outC * outH * outW
 	l := &SpikingConv{
 		Geom: geom, WScatter: ws, Bias: append([]float64(nil), bias...),
-		pop:  newPopulation(n, cfg),
-		bias: make([]float64, n),
+		outHW: outH * outW,
+		pop:   newPopulation(n, cfg),
+		bias:  make([]float64, n),
 	}
-	outHW := geom.OutH() * geom.OutW()
 	for oc := 0; oc < outC; oc++ {
-		for i := 0; i < outHW; i++ {
-			l.bias[oc*outHW+i] = bias[oc]
+		for i := 0; i < l.outHW; i++ {
+			l.bias[oc*l.outHW+i] = bias[oc]
+		}
+	}
+	// Precompute the scatter table: for every input pixel, the (weight
+	// row, output base) pairs its events touch under the stride/pad
+	// geometry. Same arithmetic as the reference StepSlow, run once.
+	nIn := inC * geom.InH * geom.InW
+	l.tapStart = make([]int32, nIn+1)
+	l.taps = make([]convTap, 0, nIn*k*k)
+	for ic := 0; ic < inC; ic++ {
+		for iy := 0; iy < geom.InH; iy++ {
+			for ix := 0; ix < geom.InW; ix++ {
+				for kh := 0; kh < k; kh++ {
+					oyNum := iy + geom.Pad - kh
+					if oyNum < 0 || oyNum%geom.Stride != 0 {
+						continue
+					}
+					oy := oyNum / geom.Stride
+					if oy >= outH {
+						continue
+					}
+					for kw := 0; kw < k; kw++ {
+						oxNum := ix + geom.Pad - kw
+						if oxNum < 0 || oxNum%geom.Stride != 0 {
+							continue
+						}
+						ox := oxNum / geom.Stride
+						if ox >= outW {
+							continue
+						}
+						l.taps = append(l.taps, convTap{
+							wOff: int32(((ic*k+kh)*k + kw) * outC),
+							base: int32(oy*outW + ox),
+						})
+					}
+				}
+				idx := (ic*geom.InH+iy)*geom.InW + ix
+				l.tapStart[idx+1] = int32(len(l.taps))
+			}
 		}
 	}
 	return l
@@ -143,8 +219,30 @@ func (l *SpikingConv) NumNeurons() int { return len(l.pop.vmem) }
 // Reset implements Layer.
 func (l *SpikingConv) Reset() { l.pop.resetState() }
 
-// Step implements Layer.
+// Step implements Layer: table-driven event scatter (no div/mod or
+// stride/pad branching per event) with the per-neuron bias folded into
+// the firing pass.
 func (l *SpikingConv) Step(t int, biasScale float64, in []coding.Event) []coding.Event {
+	vmem := l.pop.vmem
+	outC := l.Geom.OutC
+	outHW := l.outHW
+	for _, ev := range in {
+		p := ev.Payload
+		for _, tp := range l.taps[l.tapStart[ev.Index]:l.tapStart[ev.Index+1]] {
+			row := l.WScatter[tp.wOff : int(tp.wOff)+outC]
+			idx := int(tp.base)
+			for _, w := range row {
+				vmem[idx] += w * p
+				idx += outHW
+			}
+		}
+	}
+	return l.pop.fire(t, l.bias, biasScale)
+}
+
+// StepSlow implements RefLayer: the pre-optimization version with a full
+// bias sweep up front and per-event stride/pad address arithmetic.
+func (l *SpikingConv) StepSlow(t int, biasScale float64, in []coding.Event) []coding.Event {
 	g := l.Geom
 	outH, outW := g.OutH(), g.OutW()
 	outHW := outH * outW
@@ -183,7 +281,7 @@ func (l *SpikingConv) Step(t int, biasScale float64, in []coding.Event) []coding
 			}
 		}
 	}
-	return l.pop.fire(t)
+	return l.pop.fireSlow(t)
 }
 
 // SpikingAvgPool is average pooling realized as an IF population: each
@@ -193,8 +291,9 @@ func (l *SpikingConv) Step(t int, biasScale float64, in []coding.Event) []coding
 type SpikingAvgPool struct {
 	C, H, W, Window int
 
-	pop *population
-	inv float64
+	outIdx []int32 // input neuron -> pooled output neuron, precomputed
+	pop    *population
+	inv    float64
 }
 
 // NewSpikingAvgPool constructs the pooling layer.
@@ -203,11 +302,20 @@ func NewSpikingAvgPool(c, h, w, window int, cfg coding.Config) *SpikingAvgPool {
 		panic(fmt.Sprintf("snn: pool window %d does not divide %dx%d", window, h, w))
 	}
 	outH, outW := h/window, w/window
-	return &SpikingAvgPool{
+	l := &SpikingAvgPool{
 		C: c, H: h, W: w, Window: window,
-		pop: newPopulation(c*outH*outW, cfg),
-		inv: 1 / float64(window*window),
+		outIdx: make([]int32, c*h*w),
+		pop:    newPopulation(c*outH*outW, cfg),
+		inv:    1 / float64(window*window),
 	}
+	for ch := 0; ch < c; ch++ {
+		for iy := 0; iy < h; iy++ {
+			for ix := 0; ix < w; ix++ {
+				l.outIdx[(ch*h+iy)*w+ix] = int32((ch*outH+iy/window)*outW + ix/window)
+			}
+		}
+	}
+	return l
 }
 
 // Name implements Layer.
@@ -219,8 +327,18 @@ func (l *SpikingAvgPool) NumNeurons() int { return len(l.pop.vmem) }
 // Reset implements Layer.
 func (l *SpikingAvgPool) Reset() { l.pop.resetState() }
 
-// Step implements Layer.
+// Step implements Layer using the precomputed input→output index table.
 func (l *SpikingAvgPool) Step(t int, _ float64, in []coding.Event) []coding.Event {
+	vmem := l.pop.vmem
+	for _, ev := range in {
+		vmem[l.outIdx[ev.Index]] += ev.Payload * l.inv
+	}
+	return l.pop.fire(t, nil, 0)
+}
+
+// StepSlow implements RefLayer with the original per-event div/mod
+// address arithmetic.
+func (l *SpikingAvgPool) StepSlow(t int, _ float64, in []coding.Event) []coding.Event {
 	outH, outW := l.H/l.Window, l.W/l.Window
 	for _, ev := range in {
 		c := ev.Index / (l.H * l.W)
@@ -229,18 +347,37 @@ func (l *SpikingAvgPool) Step(t int, _ float64, in []coding.Event) []coding.Even
 		oIdx := (c*outH+iy/l.Window)*outW + ix/l.Window
 		l.pop.vmem[oIdx] += ev.Payload * l.inv
 	}
-	return l.pop.fire(t)
+	return l.pop.fireSlow(t)
 }
 
 // SpikingMaxPool is the spiking max-pooling gate of Rueckauer et al.:
 // each output position forwards the events of whichever input in its
 // window currently has the largest cumulative payload. It has no neurons
 // of its own (the winner's spikes pass through).
+//
+// Winner rule: among the window inputs whose cumulative payload equals
+// the window maximum, the gate forwards the lowest-indexed one that
+// spiked this step. The spiking requirement is the tie-break fix: a
+// silent input that merely ties the maximum must not mute an equally
+// maximal input that is actually spiking, otherwise the window goes
+// silent for the step and the pooled signal is lost.
 type SpikingMaxPool struct {
 	C, H, W, Window int
 
 	cum []float64 // cumulative payload per input neuron
 	buf []coding.Event
+
+	// Precomputed window geometry: winOf[i] is input i's window (== the
+	// gate's output index); winMembers[winStart[w]:winStart[w+1]] are
+	// window w's input indices in ascending order.
+	winOf      []int32
+	winStart   []int32
+	winMembers []int32
+
+	// seen[i] == stamp marks inputs that spiked during the current Step
+	// call (stamp increments per call, so no per-step clearing sweep).
+	seen  []int
+	stamp int
 }
 
 // NewSpikingMaxPool constructs the gate.
@@ -248,7 +385,33 @@ func NewSpikingMaxPool(c, h, w, window int) *SpikingMaxPool {
 	if h%window != 0 || w%window != 0 {
 		panic(fmt.Sprintf("snn: pool window %d does not divide %dx%d", window, h, w))
 	}
-	return &SpikingMaxPool{C: c, H: h, W: w, Window: window, cum: make([]float64, c*h*w)}
+	outH, outW := h/window, w/window
+	nIn, nWin := c*h*w, c*outH*outW
+	l := &SpikingMaxPool{
+		C: c, H: h, W: w, Window: window,
+		cum:        make([]float64, nIn),
+		buf:        make([]coding.Event, 0, nWin), // ≤ one event per window per step
+		winOf:      make([]int32, nIn),
+		winStart:   make([]int32, nWin+1),
+		winMembers: make([]int32, 0, nIn),
+		seen:       make([]int, nIn),
+	}
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				win := (ch*outH+oy)*outW + ox
+				for ky := 0; ky < window; ky++ {
+					for kx := 0; kx < window; kx++ {
+						idx := (ch*h+oy*window+ky)*w + ox*window + kx
+						l.winOf[idx] = int32(win)
+						l.winMembers = append(l.winMembers, int32(idx))
+					}
+				}
+				l.winStart[win+1] = int32(len(l.winMembers))
+			}
+		}
+	}
+	return l
 }
 
 // Name implements Layer.
@@ -264,29 +427,77 @@ func (l *SpikingMaxPool) Reset() {
 	}
 }
 
-// Step implements Layer.
+// winner returns the input index the window forwards this step: the
+// lowest-indexed member at the cumulative maximum that spiked (seen ==
+// stamp), or -1 when every maximal member is silent.
+func (l *SpikingMaxPool) winner(members []int32) int {
+	best := l.cum[members[0]]
+	for _, idx := range members[1:] {
+		if c := l.cum[idx]; c > best {
+			best = c
+		}
+	}
+	for _, idx := range members {
+		if l.cum[idx] == best && l.seen[idx] == l.stamp {
+			return int(idx)
+		}
+	}
+	return -1
+}
+
+// Step implements Layer using the precomputed window tables.
 func (l *SpikingMaxPool) Step(t int, _ float64, in []coding.Event) []coding.Event {
-	outH, outW := l.H/l.Window, l.W/l.Window
 	l.buf = l.buf[:0]
+	l.stamp++
 	for _, ev := range in {
 		l.cum[ev.Index] += ev.Payload
+		l.seen[ev.Index] = l.stamp
 	}
-	// Forward an event when its source is the window's cumulative max.
+	// Forward an event when its source is the window's spiking winner.
+	for _, ev := range in {
+		w := l.winOf[ev.Index]
+		members := l.winMembers[l.winStart[w]:l.winStart[w+1]]
+		if l.winner(members) == ev.Index {
+			l.buf = append(l.buf, coding.Event{Index: int(w), Payload: ev.Payload})
+		}
+	}
+	return l.buf
+}
+
+// StepSlow implements RefLayer with the original per-event div/mod window
+// arithmetic (and the same fixed winner rule as Step).
+func (l *SpikingMaxPool) StepSlow(t int, _ float64, in []coding.Event) []coding.Event {
+	outH, outW := l.H/l.Window, l.W/l.Window
+	l.buf = l.buf[:0]
+	l.stamp++
+	for _, ev := range in {
+		l.cum[ev.Index] += ev.Payload
+		l.seen[ev.Index] = l.stamp
+	}
 	for _, ev := range in {
 		c := ev.Index / (l.H * l.W)
 		rem := ev.Index % (l.H * l.W)
 		iy, ix := rem/l.W, rem%l.W
 		oy, ox := iy/l.Window, ix/l.Window
-		best, bestIdx := -1.0, -1
+		best, winner := -1.0, -1
 		for ky := 0; ky < l.Window; ky++ {
 			for kx := 0; kx < l.Window; kx++ {
 				idx := (c*l.H+oy*l.Window+ky)*l.W + ox*l.Window + kx
 				if l.cum[idx] > best {
-					best, bestIdx = l.cum[idx], idx
+					best = l.cum[idx]
 				}
 			}
 		}
-		if bestIdx == ev.Index {
+		for ky := 0; ky < l.Window && winner < 0; ky++ {
+			for kx := 0; kx < l.Window; kx++ {
+				idx := (c*l.H+oy*l.Window+ky)*l.W + ox*l.Window + kx
+				if l.cum[idx] == best && l.seen[idx] == l.stamp {
+					winner = idx
+					break
+				}
+			}
+		}
+		if winner == ev.Index {
 			l.buf = append(l.buf, coding.Event{
 				Index:   (c*outH+oy)*outW + ox,
 				Payload: ev.Payload,
@@ -331,8 +542,27 @@ func (l *OutputLayer) Reset() {
 	}
 }
 
-// Step integrates the incoming events plus the rate-matched bias current.
+// Step integrates the incoming events plus the rate-matched bias current,
+// in the same events-then-bias order the fused hidden layers use. The
+// readout has no firing pass to fold the bias into, but it is O(classes),
+// not O(population), so it stays a plain sweep.
 func (l *OutputLayer) Step(_ int, biasScale float64, in []coding.Event) {
+	pot := l.pot
+	for _, ev := range in {
+		row := l.WT[ev.Index*l.Out : (ev.Index+1)*l.Out]
+		p := ev.Payload
+		for o, w := range row {
+			pot[o] += w * p
+		}
+	}
+	for o, b := range l.Bias {
+		pot[o] += b * biasScale
+	}
+}
+
+// StepSlow is the reference readout step (bias sweep before the event
+// scatter, as in the pre-optimization implementation).
+func (l *OutputLayer) StepSlow(_ int, biasScale float64, in []coding.Event) {
 	for o, b := range l.Bias {
 		l.pot[o] += b * biasScale
 	}

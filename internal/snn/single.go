@@ -19,7 +19,7 @@ func NewSingleNeuron(cfg coding.Config) *SingleNeuron {
 // the neuron fired and with what payload (0 when silent).
 func (n *SingleNeuron) Step(current float64) (fired bool, payload float64) {
 	n.pop.vmem[0] += current
-	events := n.pop.fire(n.t)
+	events := n.pop.fire(n.t, nil, 0)
 	n.t++
 	if len(events) == 0 {
 		return false, 0

@@ -35,6 +35,10 @@ func newPopulation(n int, cfg coding.Config) *population {
 		vmem:      make([]float64, n),
 		g:         make([]float64, n),
 		firedPrev: make([]bool, n),
+		// A neuron fires at most once per step, so n is the event-buffer
+		// high-watermark; pre-sizing keeps the steady-state hot path
+		// allocation-free (see internal/README.md).
+		buf: make([]coding.Event, 0, n),
 	}
 	p.resetState()
 	return p
@@ -48,16 +52,124 @@ func (p *population) resetState() {
 	}
 }
 
-// fire runs the threshold test for every neuron at time t after inputs
-// have been integrated into vmem, applying reset-by-subtraction and the
-// burst update, and returns the emitted events. A neuron fires at most
-// once per time step.
-func (p *population) fire(t int) []coding.Event {
+// fire runs the threshold test for every neuron at time t after the
+// layer's synaptic events have been scattered into vmem, and returns the
+// emitted events. A neuron fires at most once per time step.
+//
+// This is the fused hot path: the layer's constant bias current
+// (bias[i]·biasScale; bias may be nil for bias-free layers), the leaky-IF
+// decay, the burst update, and the reset-by-subtraction threshold test all
+// happen in one pass over the population instead of one full sweep each.
+// For non-burst schemes the threshold does not depend on per-neuron state,
+// so it is computed once per step — this hoists the math.Pow inside the
+// phase oscillation Π(t) out of the per-neuron loop.
+func (p *population) fire(t int, bias []float64, biasScale float64) []coding.Event {
+	p.buf = p.buf[:0]
+	useBurst := p.cfg.UsesBurstState()
+	leak := p.cfg.Leak
+	vmem := p.vmem
+	if !useBurst && leak == 0 {
+		// Pure-IF, scheme-constant threshold (rate/phase/TTFS): no
+		// per-neuron state beyond the membrane, so the loop is branch-
+		// minimal. firedPrev is only read by the burst update and is left
+		// untouched here.
+		th := p.cfg.Threshold(t, 1)
+		if bias == nil {
+			for i, v := range vmem {
+				if v >= th {
+					vmem[i] = v - th
+					p.buf = append(p.buf, coding.Event{Index: i, Payload: th})
+				}
+			}
+			return p.buf
+		}
+		bias = bias[:len(vmem)]
+		for i, v := range vmem {
+			v += bias[i] * biasScale
+			if v >= th {
+				// Eq. 4 (reset-by-subtraction): the membrane keeps the
+				// residual, and the spike carries exactly the subtracted
+				// amount (Eq. 5 payload).
+				v -= th
+				p.buf = append(p.buf, coding.Event{Index: i, Payload: th})
+			}
+			vmem[i] = v
+		}
+		return p.buf
+	}
+	if useBurst && leak == 0 {
+		// Pure-IF burst (the paper's configuration): hoist the burst
+		// constants and state slices; Eq. 8/9 inlined.
+		beta, vth := p.cfg.Beta, p.cfg.VTh
+		gs := p.g[:len(vmem)]
+		fp := p.firedPrev[:len(vmem)]
+		if bias != nil {
+			bias = bias[:len(vmem)]
+		}
+		for i, v := range vmem {
+			if bias != nil {
+				v += bias[i] * biasScale
+			}
+			g := 1.0
+			if fp[i] {
+				g = beta * gs[i]
+			}
+			gs[i] = g
+			th := g * vth
+			if v >= th {
+				v -= th
+				fp[i] = true
+				p.buf = append(p.buf, coding.Event{Index: i, Payload: th})
+			} else {
+				fp[i] = false
+			}
+			vmem[i] = v
+		}
+		return p.buf
+	}
+	keep := 1 - leak
+	var thConst float64
+	if !useBurst {
+		thConst = p.cfg.Threshold(t, 1)
+	}
+	for i := range vmem {
+		v := vmem[i]
+		if bias != nil {
+			v += bias[i] * biasScale
+		}
+		if leak > 0 {
+			// Leaky-IF extension: V(t) = (1-ℓ)(V(t-1)+z(t)).
+			v *= keep
+		}
+		th := thConst
+		if useBurst {
+			// Eq. 8: g(t) depends on whether the neuron fired at t-1;
+			// Eq. 9: V_th(t) = g(t)·v_th.
+			g := coding.NextG(p.g[i], p.firedPrev[i], p.cfg.Beta)
+			p.g[i] = g
+			th = g * p.cfg.VTh
+		}
+		if v >= th {
+			v -= th
+			p.firedPrev[i] = true
+			p.buf = append(p.buf, coding.Event{Index: i, Payload: th})
+		} else {
+			p.firedPrev[i] = false
+		}
+		vmem[i] = v
+	}
+	return p.buf
+}
+
+// fireSlow is the pre-optimization reference implementation of fire: the
+// layer has already integrated bias and inputs into vmem, and leak,
+// burst update, and threshold test run as separate full-population passes
+// with a coding.Threshold call per neuron. Kept verbatim so the
+// equivalence suite can pin the fused path against it.
+func (p *population) fireSlow(t int) []coding.Event {
 	p.buf = p.buf[:0]
 	useBurst := p.cfg.UsesBurstState()
 	if p.cfg.Leak > 0 {
-		// Leaky-IF extension: V(t) = (1-ℓ)(V(t-1)+z(t)); inputs were
-		// already integrated into vmem by the layer.
 		keep := 1 - p.cfg.Leak
 		for i := range p.vmem {
 			p.vmem[i] *= keep
@@ -66,15 +178,11 @@ func (p *population) fire(t int) []coding.Event {
 	for i := range p.vmem {
 		g := p.g[i]
 		if useBurst {
-			// Eq. 8: g(t) depends on whether the neuron fired at t-1.
 			g = coding.NextG(g, p.firedPrev[i], p.cfg.Beta)
 			p.g[i] = g
 		}
 		th := p.cfg.Threshold(t, g)
 		if p.vmem[i] >= th {
-			// Eq. 4 (reset-by-subtraction): the membrane keeps the
-			// residual, and the spike carries exactly the subtracted
-			// amount (Eq. 5 payload).
 			p.vmem[i] -= th
 			p.firedPrev[i] = true
 			p.buf = append(p.buf, coding.Event{Index: i, Payload: th})
@@ -100,6 +208,19 @@ type Layer interface {
 	Reset()
 }
 
+// RefLayer is a Layer that also retains the pre-optimization reference
+// implementation of Step. StepSlow must be semantically equivalent to
+// Step — same spikes, same payloads, same early-exit behaviour — while
+// keeping the original algorithmic structure (per-event div/mod address
+// arithmetic, separate bias/integration/fire passes). Every layer the
+// converter builds implements it; the equivalence suite runs whole
+// networks through both paths and asserts identical outcomes.
+type RefLayer interface {
+	Layer
+	// StepSlow is the reference implementation of Step.
+	StepSlow(t int, biasScale float64, in []coding.Event) []coding.Event
+}
+
 // Probe observes the events a layer emitted at time t.
 type Probe func(t int, events []coding.Event)
 
@@ -109,6 +230,11 @@ type Network struct {
 	Encoder coding.InputEncoder
 	Layers  []Layer
 	Output  *OutputLayer
+
+	// Ref switches every layer to its reference (slow) Step
+	// implementation — the equivalence-testing and benchmarking baseline.
+	// Layers that do not implement RefLayer make Step panic under Ref.
+	Ref bool
 
 	probes map[int]Probe // layer index -> probe; -1 probes the encoder
 }
@@ -163,13 +289,25 @@ func (n *Network) Step(t int) StepStats {
 	biasScale := n.Encoder.BiasScale(t)
 	st := StepStats{InputEvents: len(events)}
 	for li, l := range n.Layers {
-		events = l.Step(t, biasScale, events)
+		if n.Ref {
+			r, ok := l.(RefLayer)
+			if !ok {
+				panic(fmt.Sprintf("snn: layer %d (%s) has no reference path", li, l.Name()))
+			}
+			events = r.StepSlow(t, biasScale, events)
+		} else {
+			events = l.Step(t, biasScale, events)
+		}
 		if p := n.probes[li]; p != nil {
 			p(t, events)
 		}
 		st.HiddenSpikes += len(events)
 	}
-	n.Output.Step(t, biasScale, events)
+	if n.Ref {
+		n.Output.StepSlow(t, biasScale, events)
+	} else {
+		n.Output.Step(t, biasScale, events)
+	}
 	st.Predicted = mathx.ArgMax(n.Output.Potentials())
 	return st
 }
@@ -202,8 +340,19 @@ func (r Result) FinalPrediction() int {
 
 // Run presents image for steps time steps and collects the result.
 func (n *Network) Run(image []float64, steps int) Result {
+	return n.RunInto(image, steps, make([]int, steps))
+}
+
+// RunInto is Run with a caller-owned per-step prediction buffer, so tight
+// evaluation loops can present many images without a per-image
+// allocation. predictedAt must have length steps; the returned Result
+// aliases it.
+func (n *Network) RunInto(image []float64, steps int, predictedAt []int) Result {
+	if len(predictedAt) != steps {
+		panic(fmt.Sprintf("snn: prediction buffer holds %d steps, want %d", len(predictedAt), steps))
+	}
 	n.Reset(image)
-	res := Result{Steps: steps, PredictedAt: make([]int, steps)}
+	res := Result{Steps: steps, PredictedAt: predictedAt}
 	countInput := n.Encoder.CountsAsSpikes()
 	for t := 0; t < steps; t++ {
 		st := n.Step(t)

@@ -16,7 +16,7 @@ func drive(cfg coding.Config, current float64, T int) ([]coding.Event, float64) 
 	var events []coding.Event
 	for t := 0; t < T; t++ {
 		pop.vmem[0] += current
-		for _, ev := range pop.fire(t) {
+		for _, ev := range pop.fire(t, nil, 0) {
 			events = append(events, coding.Event{Index: ev.Index, Payload: ev.Payload})
 		}
 	}
@@ -87,7 +87,7 @@ func TestBurstDrainsLargeMembraneFast(t *testing.T) {
 	firstBurst := true
 	var burst []float64
 	for t0 := 0; t0 < 30; t0++ {
-		evs := pop.fire(t0)
+		evs := pop.fire(t0, nil, 0)
 		if len(evs) == 0 {
 			firstBurst = false
 		} else if firstBurst {
@@ -124,13 +124,13 @@ func TestBurstStateResetsAfterSilence(t *testing.T) {
 	pop.vmem[0] = 1.0
 	var first []float64
 	for t0 := 0; t0 < 10; t0++ {
-		for _, ev := range pop.fire(t0) {
+		for _, ev := range pop.fire(t0, nil, 0) {
 			first = append(first, ev.Payload)
 		}
 	}
 	// Now silent for a while, then a new charge.
 	pop.vmem[0] = 1.0
-	ev2 := pop.fire(50)
+	ev2 := pop.fire(50, nil, 0)
 	if len(ev2) != 1 || ev2[0].Payload != 0.125 {
 		t.Fatalf("after silence the first spike must carry v_th, got %+v", ev2)
 	}
