@@ -23,6 +23,7 @@ import (
 	"burstsnn/internal/coding"
 	"burstsnn/internal/experiments"
 	"burstsnn/internal/serve"
+	"burstsnn/internal/snn"
 )
 
 var (
@@ -337,6 +338,79 @@ func BenchmarkHotpathClassify(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		serve.Classify(conv.Net, img, policy)
 	}
+}
+
+// BenchmarkHotpathBatchStep isolates the batched per-layer scatter+fire
+// on the canonical benchkit column streams (B = 8 lanes per step): the
+// per-layer counterpart of the Hotpath*Step benchmarks, with lane-events
+// per op reported so the per-spike cost is comparable across B.
+func BenchmarkHotpathBatchStep(b *testing.B) {
+	const B = benchkit.HotpathBatchB
+	conv, convIn := benchkit.HotpathConvBatch(B)
+	dense, denseIn := benchkit.HotpathDenseBatch(B)
+	cases := []struct {
+		name  string
+		layer snn.BatchLayer
+		in    *coding.BatchEvents
+	}{
+		{"conv", conv, convIn},
+		{"dense", dense, denseIn},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			c.layer.Reset()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.layer.Step(i, 1, B, c.in)
+			}
+			b.ReportMetric(float64(c.in.LaneEvents()), "laneEvents/op")
+		})
+	}
+}
+
+// BenchmarkBatchedThroughput measures the lockstep batch simulator
+// against back-to-back sequential classification on the conv-bearing
+// micro model: the same 8 images, the same early-exit policy, one
+// replica. Per-lane results are bit-identical between the two paths
+// (equivalence suites pin this), so the images/sec ratio is pure
+// amortization: shared scatter-table walks, weight-row loads, and
+// threshold computation across the batch.
+func BenchmarkBatchedThroughput(b *testing.B) {
+	net, set := microModel(b)
+	conv, err := burstsnn.Convert(net, set.Train, burstsnn.DefaultConvertOptions(burstsnn.Phase, burstsnn.Burst))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const B = 8
+	images := make([][]float64, B)
+	for i := range images {
+		images[i] = set.Test[i%len(set.Test)].Image
+	}
+	policies := make([]serve.ExitPolicy, B)
+	for i := range policies {
+		policies[i] = serve.DefaultExitPolicy(96)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, img := range images {
+				serve.Classify(conv.Net, img, policies[0])
+			}
+		}
+		b.ReportMetric(float64(B*b.N)/b.Elapsed().Seconds(), "images/sec")
+	})
+	b.Run("lockstep", func(b *testing.B) {
+		bn, err := snn.NewBatchNetwork(conv.Net, B)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serve.ClassifyBatch(bn, images, policies)
+		}
+		b.ReportMetric(float64(B*b.N)/b.Elapsed().Seconds(), "images/sec")
+	})
 }
 
 // BenchmarkAsyncDelivery measures the asynchronous execution mode

@@ -259,6 +259,26 @@ func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 // step budget.
 func DefaultExitPolicy(steps int) ExitPolicy { return serve.DefaultExitPolicy(steps) }
 
+// BatchSNN is the lockstep batch simulator: up to B images stepped
+// through one set of weights and scatter tables at once, bit-identical
+// per lane to the sequential simulator. The serving batcher uses it to
+// execute whole microbatches in one pass.
+type BatchSNN = snn.BatchNetwork
+
+// NewBatchSNN builds a B-lane lockstep simulator over a converted
+// network (weights and precomputed tables are shared, state is fresh).
+func NewBatchSNN(net *SNN, b int) (*BatchSNN, error) { return snn.NewBatchNetwork(net, b) }
+
+// ClassifyBatch runs a batch of images lockstep under per-lane exit
+// policies, returning per-image outcomes identical to sequential
+// classification plus the batch's lockstep step count.
+func ClassifyBatch(bn *BatchSNN, images [][]float64, policies []ExitPolicy) ([]ServeOutcome, int) {
+	return serve.ClassifyBatch(bn, images, policies)
+}
+
+// ServeOutcome is the transport-independent result of one classification.
+type ServeOutcome = serve.Outcome
+
 // Analysis types.
 type (
 	// SpikeTrain is the ordered firing times of one neuron.

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"burstsnn/internal/coding"
+	"burstsnn/internal/convert"
+	"burstsnn/internal/serve"
+	"burstsnn/internal/snn"
+)
+
+// The batch benchmark mode (-batch FILE) measures the lockstep batch
+// simulator against back-to-back sequential classification on the
+// conv-bearing hot-path model, across a batch-size sweep, and writes a
+// machine-readable artifact so the perf trajectory captures batching —
+// not just single-image latency.
+
+type batchPoint struct {
+	B int `json:"b"`
+	// SeqImagesPerSec is the back-to-back baseline (one replica classifies
+	// the batch's images sequentially); LockstepImagesPerSec runs the same
+	// images through ClassifyBatch on the same weights. Results are
+	// bit-identical between the two paths, so the ratio is pure execution
+	// efficiency.
+	SeqImagesPerSec      float64 `json:"seqImagesPerSec"`
+	LockstepImagesPerSec float64 `json:"lockstepImagesPerSec"`
+	Speedup              float64 `json:"speedup"`
+	// MeanOccupancy is the mean lanes per event column over the run — the
+	// amortization factor the lockstep scatter actually saw.
+	MeanOccupancy float64 `json:"meanOccupancy"`
+	// BatchSteps is the lockstep step count (slowest lane); LaneStepsSum
+	// totals the per-lane early-exit steps, so LaneStepsSum/B compares to
+	// BatchSteps as the retirement win.
+	BatchSteps   int `json:"batchSteps"`
+	LaneStepsSum int `json:"laneStepsSum"`
+}
+
+type batchArtifact struct {
+	Schema    string       `json:"schema"`
+	When      string       `json:"when"`
+	GoVersion string       `json:"goVersion"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	CPUs      int          `json:"cpus"`
+	Model     string       `json:"model"`
+	Points    []batchPoint `json:"points"`
+}
+
+func runBatchBench(outPath string) error {
+	net, set, err := hotpathModel()
+	if err != nil {
+		return err
+	}
+	conv, err := convert.Convert(net, set.Train, convert.DefaultOptions(coding.Phase, coding.Burst))
+	if err != nil {
+		return err
+	}
+	art := batchArtifact{
+		Schema:    "burstsnn/bench-batch/v1",
+		When:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Model:     "lenet-mini phase-burst (hotpath model)",
+	}
+	for _, B := range []int{1, 2, 4, 8} {
+		fmt.Fprintf(os.Stderr, "batch: B=%d...\n", B)
+		images := make([][]float64, B)
+		policies := make([]serve.ExitPolicy, B)
+		for i := range images {
+			images[i] = set.Test[i%len(set.Test)].Image
+			policies[i] = serve.DefaultExitPolicy(96)
+		}
+		bn, err := snn.NewBatchNetwork(conv.Net, B)
+		if err != nil {
+			return err
+		}
+
+		// Occupancy + step accounting from one instrumented run.
+		var cols, laneEvents int
+		for li := -1; li < len(bn.Layers); li++ {
+			bn.AttachProbe(li, func(_ int, ev *coding.BatchEvents) {
+				cols += ev.Cols()
+				laneEvents += ev.LaneEvents()
+			})
+		}
+		outs, batchSteps := serve.ClassifyBatch(bn, images, policies)
+		pt := batchPoint{B: B, BatchSteps: batchSteps}
+		for _, o := range outs {
+			pt.LaneStepsSum += o.Steps
+		}
+		if cols > 0 {
+			pt.MeanOccupancy = float64(laneEvents) / float64(cols)
+		}
+		for li := -1; li < len(bn.Layers); li++ {
+			bn.AttachProbe(li, nil)
+		}
+
+		seq := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, img := range images {
+					serve.Classify(conv.Net, img, policies[0])
+				}
+			}
+		})
+		lock := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				serve.ClassifyBatch(bn, images, policies)
+			}
+		})
+		perOp := func(r testing.BenchmarkResult) float64 {
+			return float64(B) * float64(r.N) / r.T.Seconds()
+		}
+		pt.SeqImagesPerSec = perOp(seq)
+		pt.LockstepImagesPerSec = perOp(lock)
+		if pt.SeqImagesPerSec > 0 {
+			pt.Speedup = pt.LockstepImagesPerSec / pt.SeqImagesPerSec
+		}
+		art.Points = append(art.Points, pt)
+		fmt.Fprintf(os.Stderr, "batch: B=%d seq %.1f img/s, lockstep %.1f img/s (%.2fx), occupancy %.2f\n",
+			B, pt.SeqImagesPerSec, pt.LockstepImagesPerSec, pt.Speedup, pt.MeanOccupancy)
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "batch: artifact written to %s\n", outPath)
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -197,6 +198,63 @@ func runHotpath(outPath string) error {
 	fmt.Fprintf(os.Stderr, "hotpath: artifact written to %s\n", outPath)
 	for fam, s := range art.Speedups {
 		fmt.Fprintf(os.Stderr, "hotpath: %-12s %.2fx\n", fam, s)
+	}
+	return nil
+}
+
+// compareHotpath is the perf-trajectory regression gate: it reads a
+// previous BENCH_hotpath.json and the one just written and fails when a
+// gated benchmark's ns/op regressed by more than tolerance (fractional,
+// e.g. 0.20 = 20%). Reference-path benchmarks are informational and the
+// parallel serving-throughput benchmark is too machine-sensitive, so
+// only the fast-path/serve benchmarks gate.
+func compareHotpath(prevPath, newPath string, tolerance float64) error {
+	load := func(path string) (map[string]hotpathBench, string, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, "", err
+		}
+		var art hotpathArtifact
+		if err := json.Unmarshal(data, &art); err != nil {
+			return nil, "", fmt.Errorf("%s: %w", path, err)
+		}
+		m := map[string]hotpathBench{}
+		for _, b := range art.Benchmarks {
+			m[b.Name] = b
+		}
+		return m, art.Schema, nil
+	}
+	prev, prevSchema, err := load(prevPath)
+	if err != nil {
+		return err
+	}
+	cur, curSchema, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	if prevSchema != curSchema {
+		fmt.Fprintf(os.Stderr, "hotpath: schema changed (%s -> %s), skipping comparison\n", prevSchema, curSchema)
+		return nil
+	}
+	gated := func(name string) bool {
+		return !strings.HasSuffix(name, "/ref") && name != "serving-throughput"
+	}
+	var failures []string
+	for name, c := range cur {
+		p, ok := prev[name]
+		if !ok || !gated(name) || p.NsPerOp <= 0 {
+			continue
+		}
+		ratio := c.NsPerOp/p.NsPerOp - 1
+		mark := " "
+		if ratio > tolerance {
+			mark = "!"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", name, p.NsPerOp, c.NsPerOp, ratio*100))
+		}
+		fmt.Fprintf(os.Stderr, "hotpath:%s %-18s %+.1f%% vs previous\n", mark, name, ratio*100)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("hot-path regression beyond %.0f%%:\n  %s", tolerance*100, strings.Join(failures, "\n  "))
 	}
 	return nil
 }

@@ -25,22 +25,38 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated list: fig1,fig2,table1,fig3,fig4,table2,fig5,chip,ablations or all")
-		steps   = flag.Int("steps", 192, "simulation time steps per image")
-		images  = flag.Int("images", 40, "test images per configuration")
-		psteps  = flag.Int("pattern-steps", 128, "steps per image for spike-pattern recordings")
-		pimgs   = flag.Int("pattern-images", 3, "images per spike-pattern recording")
-		dir     = flag.String("dir", "", "model cache directory (default: system temp)")
-		tiny    = flag.Bool("tiny", false, "use the reduced test-scale recipes")
-		out     = flag.String("o", "", "also write the report to this file")
-		csvDir  = flag.String("csv", "", "also export per-exhibit CSV files into this directory")
-		hotpath = flag.String("hotpath", "", "run the hot-path benchmarks and write the JSON artifact to this path (skips the exhibits)")
+		run      = flag.String("run", "all", "comma-separated list: fig1,fig2,table1,fig3,fig4,table2,fig5,chip,ablations or all")
+		steps    = flag.Int("steps", 192, "simulation time steps per image")
+		images   = flag.Int("images", 40, "test images per configuration")
+		psteps   = flag.Int("pattern-steps", 128, "steps per image for spike-pattern recordings")
+		pimgs    = flag.Int("pattern-images", 3, "images per spike-pattern recording")
+		dir      = flag.String("dir", "", "model cache directory (default: system temp)")
+		tiny     = flag.Bool("tiny", false, "use the reduced test-scale recipes")
+		out      = flag.String("o", "", "also write the report to this file")
+		csvDir   = flag.String("csv", "", "also export per-exhibit CSV files into this directory")
+		hotpath  = flag.String("hotpath", "", "run the hot-path benchmarks and write the JSON artifact to this path (skips the exhibits)")
+		hotPrev  = flag.String("hotpath-prev", "", "previous BENCH_hotpath.json to gate against after -hotpath (exit nonzero on regression)")
+		hotTol   = flag.Float64("hotpath-tolerance", 0.20, "allowed fractional ns/op regression vs -hotpath-prev")
+		batchOut = flag.String("batch", "", "run the batched-throughput sweep and write the JSON artifact to this path (skips the exhibits)")
 	)
 	flag.Parse()
 
 	if *hotpath != "" {
 		if err := runHotpath(*hotpath); err != nil {
 			fmt.Fprintf(os.Stderr, "snnbench: hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		if *hotPrev != "" {
+			if err := compareHotpath(*hotPrev, *hotpath, *hotTol); err != nil {
+				fmt.Fprintf(os.Stderr, "snnbench: hotpath gate: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if *batchOut != "" {
+		if err := runBatchBench(*batchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "snnbench: batch: %v\n", err)
 			os.Exit(1)
 		}
 		return

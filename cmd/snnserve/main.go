@@ -63,6 +63,7 @@ func main() {
 		margin   = flag.Float64("margin", 0, "required per-step top1-top2 readout margin for early exit (0 = none)")
 		maxBatch = flag.Int("maxbatch", 8, "microbatch size limit")
 		maxDelay = flag.Duration("maxdelay", 2*time.Millisecond, "microbatch max delay")
+		lockstep = flag.Bool("lockstep", false, "execute microbatches through the lockstep batch simulator (bit-identical results; pays off for high-occupancy/repeated-image traffic)")
 		dir      = flag.String("dir", "", "model cache directory (default: system temp)")
 		tiny     = flag.Bool("tiny", false, "use the reduced test-scale model recipes")
 
@@ -129,9 +130,10 @@ func main() {
 	lab := experiments.NewLab(settings)
 
 	srv := burstsnn.NewServer(burstsnn.ServeConfig{
-		Addr:     *addr,
-		MaxBatch: *maxBatch,
-		MaxDelay: *maxDelay,
+		Addr:          *addr,
+		MaxBatch:      *maxBatch,
+		MaxDelay:      *maxDelay,
+		LockstepBatch: *lockstep,
 	})
 	for _, name := range strings.Split(*models, ",") {
 		name = strings.TrimSpace(name)

@@ -72,3 +72,48 @@ func HotpathPools() (*snn.SpikingAvgPool, *snn.SpikingMaxPool, []coding.Event) {
 	maxp := snn.NewSpikingMaxPool(HotpathPoolC, HotpathPoolH, HotpathPoolW, 2)
 	return avg, maxp, Events(HotpathPoolC*HotpathPoolH*HotpathPoolW, 0.15, 7)
 }
+
+// HotpathBatchB is the canonical lane count of the batched hot-path
+// workloads (the serving default MaxBatch).
+const HotpathBatchB = 8
+
+// BatchEventStream builds a deterministic column stream over n neuron
+// indices and b lanes: each (index, lane) spikes with probability frac,
+// with the per-lane payload perturbation making a perLane fraction of
+// columns non-uniform (the mid-burst case). The stream exercises every
+// scatter specialization: single-lane, partial, and full-uniform columns.
+func BatchEventStream(n, b int, frac float64, seed uint64) *coding.BatchEvents {
+	r := mathx.NewRNG(seed)
+	ev := &coding.BatchEvents{}
+	ev.Grow(n, n*b)
+	for i := 0; i < n; i++ {
+		pay := 0.25 * float64(1+r.Intn(3))
+		for s := 0; s < b; s++ {
+			if r.Bernoulli(frac) {
+				p := pay
+				if r.Bernoulli(0.25) {
+					p *= 2 // non-uniform lane payload
+				}
+				ev.Add(int32(s), p)
+			}
+		}
+		ev.Commit(int32(i))
+	}
+	return ev
+}
+
+// HotpathConvBatch builds the B-lane batched variant of the canonical
+// conv layer and a 40%-per-lane-density column stream (the occupancy a
+// phase-coded input presents).
+func HotpathConvBatch(b int) (snn.BatchLayer, *coding.BatchEvents) {
+	g := HotpathConvGeom
+	layer, _ := HotpathConv()
+	return layer.NewBatch(b), BatchEventStream(g.InC*g.InH*g.InW, b, 0.4, 8)
+}
+
+// HotpathDenseBatch builds the B-lane batched variant of the canonical
+// dense layer and its column stream.
+func HotpathDenseBatch(b int) (snn.BatchLayer, *coding.BatchEvents) {
+	layer, _ := HotpathDense()
+	return layer.NewBatch(b), BatchEventStream(HotpathDenseIn, b, 0.4, 9)
+}

@@ -1,0 +1,371 @@
+package coding
+
+import (
+	"fmt"
+
+	"burstsnn/internal/mathx"
+)
+
+// BatchEvents is the column-form event stream of the batched lockstep
+// simulator: one presentation of B images advances through the network
+// together, and the spikes of one time step are grouped by neuron index
+// into columns. Column c is
+//
+//	Index[c]                      — the neuron that spiked,
+//	Lane[Start[c]:Start[c+1]]     — the batch lanes in which it spiked
+//	                                (ascending slot order), and
+//	Payload[Start[c]:Start[c+1]]  — the per-lane spike payloads.
+//
+// Columns are ordered by ascending neuron index, so projecting a single
+// lane out of a BatchEvents stream yields exactly the (index-ordered)
+// event list the sequential simulator emits for that lane's image. That
+// projection property is what lets the batched path stay bit-identical
+// per lane: a downstream layer walking columns in order applies each
+// lane's contributions in the same order the sequential path would.
+//
+// The point of the representation is amortization: a layer consuming a
+// column resolves the scatter-table taps and loads the weight rows for
+// Index[c] once, then applies them to every lane in the column.
+type BatchEvents struct {
+	Index   []int32
+	Start   []int32 // len(Index)+1; Start[0] == 0
+	Lane    []int32
+	Payload []float64
+}
+
+// Grow pre-sizes the buffers for up to cols columns and laneEvents total
+// lane entries, so steady-state appends never allocate.
+func (e *BatchEvents) Grow(cols, laneEvents int) {
+	if cap(e.Index) < cols {
+		e.Index = make([]int32, 0, cols)
+	}
+	if cap(e.Start) < cols+1 {
+		e.Start = make([]int32, 1, cols+1)
+	}
+	if cap(e.Lane) < laneEvents {
+		e.Lane = make([]int32, 0, laneEvents)
+	}
+	if cap(e.Payload) < laneEvents {
+		e.Payload = make([]float64, 0, laneEvents)
+	}
+	e.Reset()
+}
+
+// Reset empties the stream, keeping capacity.
+func (e *BatchEvents) Reset() {
+	e.Index = e.Index[:0]
+	if cap(e.Start) == 0 {
+		e.Start = append(e.Start, 0)
+	}
+	e.Start = e.Start[:1]
+	e.Start[0] = 0
+	e.Lane = e.Lane[:0]
+	e.Payload = e.Payload[:0]
+}
+
+// Cols returns the number of columns.
+func (e *BatchEvents) Cols() int { return len(e.Index) }
+
+// LaneEvents returns the total number of (lane, payload) entries — the
+// batch's spike count for the step.
+func (e *BatchEvents) LaneEvents() int { return len(e.Lane) }
+
+// Column returns column c's neuron index, lanes, and payloads.
+func (e *BatchEvents) Column(c int) (index int32, lanes []int32, payloads []float64) {
+	s, t := e.Start[c], e.Start[c+1]
+	return e.Index[c], e.Lane[s:t], e.Payload[s:t]
+}
+
+// Add stages one lane entry for the column being built. Lanes must be
+// staged in ascending slot order.
+func (e *BatchEvents) Add(lane int32, payload float64) {
+	e.Lane = append(e.Lane, lane)
+	e.Payload = append(e.Payload, payload)
+}
+
+// Commit closes the column under construction: if any lane entries were
+// staged since the previous Commit, a column with the given neuron index
+// is recorded. Indices must be committed in ascending order.
+func (e *BatchEvents) Commit(index int32) {
+	if int(e.Start[len(e.Start)-1]) == len(e.Lane) {
+		return
+	}
+	e.Index = append(e.Index, index)
+	e.Start = append(e.Start, int32(len(e.Lane)))
+}
+
+// AppendLane projects one lane's events out of the stream, appending them
+// to dst in column (that is, neuron-index) order — the sequential event
+// list for that lane.
+func (e *BatchEvents) AppendLane(lane int32, dst []Event) []Event {
+	for c := range e.Index {
+		s, t := e.Start[c], e.Start[c+1]
+		for k := s; k < t; k++ {
+			if e.Lane[k] == lane {
+				dst = append(dst, Event{Index: int(e.Index[c]), Payload: e.Payload[k]})
+				break
+			}
+		}
+	}
+	return dst
+}
+
+// BatchEncoder is the batched counterpart of InputEncoder: it holds up to
+// B images (one per lane slot) and emits their per-step events as a
+// single column stream. Slots [0, lanes) are active; the batched network
+// physically compacts lanes, so a retired slot's state is overwritten by
+// Retire and never stepped again.
+type BatchEncoder interface {
+	// Size returns the number of input neurons.
+	Size() int
+	// Lanes returns the lane capacity B.
+	Lanes() int
+	// CountsAsSpikes mirrors InputEncoder.CountsAsSpikes.
+	CountsAsSpikes() bool
+	// BiasScale mirrors InputEncoder.BiasScale (it depends only on the
+	// scheme and t, never on the images, so one value serves every lane).
+	BiasScale(t int) float64
+	// SetLane loads an image into a lane slot, equivalent to Reset on a
+	// sequential encoder.
+	SetLane(lane int, image []float64)
+	// Step appends the events of time t for slots [0, lanes) into out
+	// (which is Reset first).
+	Step(t int, lanes int, out *BatchEvents)
+	// Retire copies slot src's encoder state over slot dst (lane
+	// compaction after an early exit).
+	Retire(dst, src int)
+}
+
+// BatchableEncoder is an InputEncoder that can stamp out a batched
+// variant of itself with the same configuration (size, period, seed,
+// quantization cache). All encoders built by NewInputEncoder implement
+// it; stream-stateful encoders like PoissonEncoder do not, because their
+// lanes could not reproduce the sequential trains.
+type BatchableEncoder interface {
+	InputEncoder
+	// NewBatch returns a batched encoder with b lane slots.
+	NewBatch(b int) BatchEncoder
+}
+
+func checkLaneImage(size, b, lane int, image []float64) {
+	if lane < 0 || lane >= b {
+		panic(fmt.Sprintf("coding: lane %d out of range [0,%d)", lane, b))
+	}
+	if len(image) != size {
+		panic(fmt.Sprintf("coding: batch encoder got %d pixels, want %d", len(image), size))
+	}
+}
+
+// batchRealEncoder is the batched real (analog-current) encoder: pixel
+// values are stored lane-striped and every nonzero pixel emits its value
+// as payload each step.
+type batchRealEncoder struct {
+	size, b int
+	px      []float64 // px[i*b+lane]
+}
+
+func newBatchRealEncoder(size, b int) *batchRealEncoder {
+	return &batchRealEncoder{size: size, b: b, px: make([]float64, size*b)}
+}
+
+func (e *batchRealEncoder) Size() int             { return e.size }
+func (e *batchRealEncoder) Lanes() int            { return e.b }
+func (e *batchRealEncoder) CountsAsSpikes() bool  { return false }
+func (e *batchRealEncoder) BiasScale(int) float64 { return 1 }
+
+func (e *batchRealEncoder) SetLane(lane int, image []float64) {
+	checkLaneImage(e.size, e.b, lane, image)
+	for i, v := range image {
+		e.px[i*e.b+lane] = v
+	}
+}
+
+func (e *batchRealEncoder) Step(_ int, lanes int, out *BatchEvents) {
+	out.Reset()
+	for i := 0; i < e.size; i++ {
+		row := e.px[i*e.b : i*e.b+lanes]
+		for s, v := range row {
+			if v != 0 {
+				out.Add(int32(s), v)
+			}
+		}
+		out.Commit(int32(i))
+	}
+}
+
+func (e *batchRealEncoder) Retire(dst, src int) {
+	for i := 0; i < e.size; i++ {
+		e.px[i*e.b+dst] = e.px[i*e.b+src]
+	}
+}
+
+// batchRateEncoder is the batched Bernoulli rate encoder. Each lane owns
+// an RNG reseeded from its image hash exactly like the sequential
+// encoder, and Step consumes each lane's draws in pixel order, so every
+// lane's train is bit-identical to the train the sequential encoder
+// produces for the same image.
+type batchRateEncoder struct {
+	size, b int
+	seed    uint64
+	px      []float64
+	rngs    []mathx.RNG // inline states, so Retire copies by assignment
+}
+
+func newBatchRateEncoder(size, b int, seed uint64) *batchRateEncoder {
+	return &batchRateEncoder{
+		size: size, b: b, seed: seed,
+		px:   make([]float64, size*b),
+		rngs: make([]mathx.RNG, b),
+	}
+}
+
+func (e *batchRateEncoder) Size() int             { return e.size }
+func (e *batchRateEncoder) Lanes() int            { return e.b }
+func (e *batchRateEncoder) CountsAsSpikes() bool  { return true }
+func (e *batchRateEncoder) BiasScale(int) float64 { return 1 }
+
+func (e *batchRateEncoder) SetLane(lane int, image []float64) {
+	checkLaneImage(e.size, e.b, lane, image)
+	for i, v := range image {
+		e.px[i*e.b+lane] = v
+	}
+	e.rngs[lane].Reseed(imageHash(image) ^ e.seed)
+}
+
+func (e *batchRateEncoder) Step(_ int, lanes int, out *BatchEvents) {
+	out.Reset()
+	for i := 0; i < e.size; i++ {
+		row := e.px[i*e.b : i*e.b+lanes]
+		for s, v := range row {
+			if v <= 0 {
+				continue
+			}
+			if v > 1 {
+				v = 1
+			}
+			if e.rngs[s].Bernoulli(v) {
+				out.Add(int32(s), 1)
+			}
+		}
+		out.Commit(int32(i))
+	}
+}
+
+func (e *batchRateEncoder) Retire(dst, src int) {
+	for i := 0; i < e.size; i++ {
+		e.px[i*e.b+dst] = e.px[i*e.b+src]
+	}
+	e.rngs[dst] = e.rngs[src]
+}
+
+// batchPhaseEncoder is the batched weighted-spike encoder: the quantized
+// bit patterns are lane-striped and one period carries each lane's whole
+// value, with the per-step payload Π(t) shared by every lane in a column.
+type batchPhaseEncoder struct {
+	size, b, period int
+	bits            []uint64 // bits[i*b+lane]
+	scratch         []uint64 // quantization staging (cache-miss path)
+	quant           *QuantCache
+}
+
+func newBatchPhaseEncoder(size, b, period int, quant *QuantCache) *batchPhaseEncoder {
+	return &batchPhaseEncoder{
+		size: size, b: b, period: period,
+		bits:    make([]uint64, size*b),
+		scratch: make([]uint64, size),
+		quant:   quant,
+	}
+}
+
+func (e *batchPhaseEncoder) Size() int            { return e.size }
+func (e *batchPhaseEncoder) Lanes() int           { return e.b }
+func (e *batchPhaseEncoder) CountsAsSpikes() bool { return true }
+func (e *batchPhaseEncoder) BiasScale(t int) float64 {
+	return phaseBiasScale(t, e.period)
+}
+func (e *batchPhaseEncoder) SetQuantCache(c *QuantCache) { e.quant = c }
+
+func (e *batchPhaseEncoder) SetLane(lane int, image []float64) {
+	checkLaneImage(e.size, e.b, lane, image)
+	q := quantizedBits(image, e.period, e.quant, e.scratch)
+	for i, b := range q {
+		e.bits[i*e.b+lane] = b
+	}
+}
+
+func (e *batchPhaseEncoder) Step(t int, lanes int, out *BatchEvents) {
+	out.Reset()
+	shift := uint(e.period - 1 - t%e.period)
+	payload := Pi(t, e.period)
+	for i := 0; i < e.size; i++ {
+		row := e.bits[i*e.b : i*e.b+lanes]
+		for s, bv := range row {
+			if bv>>shift&1 == 1 {
+				out.Add(int32(s), payload)
+			}
+		}
+		out.Commit(int32(i))
+	}
+}
+
+func (e *batchPhaseEncoder) Retire(dst, src int) {
+	for i := 0; i < e.size; i++ {
+		e.bits[i*e.b+dst] = e.bits[i*e.b+src]
+	}
+}
+
+// batchTTFSEncoder is the batched time-to-first-spike encoder: per-lane
+// firing phases are lane-striped; a pixel's lane entry is phase+1 with 0
+// meaning silent (the same packing the quantization cache stores).
+type batchTTFSEncoder struct {
+	size, b, period int
+	phase           []uint64 // phase[i*b+lane]; value = firing phase + 1, 0 = silent
+	scratch         []uint64
+	quant           *QuantCache
+}
+
+func newBatchTTFSEncoder(size, b, period int, quant *QuantCache) *batchTTFSEncoder {
+	return &batchTTFSEncoder{
+		size: size, b: b, period: period,
+		phase:   make([]uint64, size*b),
+		scratch: make([]uint64, size),
+		quant:   quant,
+	}
+}
+
+func (e *batchTTFSEncoder) Size() int            { return e.size }
+func (e *batchTTFSEncoder) Lanes() int           { return e.b }
+func (e *batchTTFSEncoder) CountsAsSpikes() bool { return true }
+func (e *batchTTFSEncoder) BiasScale(t int) float64 {
+	return phaseBiasScale(t, e.period)
+}
+func (e *batchTTFSEncoder) SetQuantCache(c *QuantCache) { e.quant = c }
+
+func (e *batchTTFSEncoder) SetLane(lane int, image []float64) {
+	checkLaneImage(e.size, e.b, lane, image)
+	q := quantizedPhases(image, e.period, e.quant, e.scratch)
+	for i, p := range q {
+		e.phase[i*e.b+lane] = p
+	}
+}
+
+func (e *batchTTFSEncoder) Step(t int, lanes int, out *BatchEvents) {
+	out.Reset()
+	want := uint64(t%e.period) + 1
+	payload := Pi(t, e.period)
+	for i := 0; i < e.size; i++ {
+		row := e.phase[i*e.b : i*e.b+lanes]
+		for s, p := range row {
+			if p == want {
+				out.Add(int32(s), payload)
+			}
+		}
+		out.Commit(int32(i))
+	}
+}
+
+func (e *batchTTFSEncoder) Retire(dst, src int) {
+	for i := 0; i < e.size; i++ {
+		e.phase[i*e.b+dst] = e.phase[i*e.b+src]
+	}
+}

@@ -3,6 +3,7 @@ package coding
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"burstsnn/internal/mathx"
 )
@@ -112,6 +113,9 @@ func (e *realEncoder) Size() int             { return e.size }
 func (e *realEncoder) BiasScale(int) float64 { return 1 }
 func (e *realEncoder) Clone() InputEncoder   { return newRealEncoder(e.size) }
 
+// NewBatch implements BatchableEncoder.
+func (e *realEncoder) NewBatch(b int) BatchEncoder { return newBatchRealEncoder(e.size, b) }
+
 // rateEncoder emits unit-payload spikes whose frequency equals the pixel
 // value: each pixel fires with Bernoulli probability v per step, the
 // Poisson-like input of the rate-coding conversion literature (Diehl et
@@ -141,7 +145,13 @@ func (e *rateEncoder) Reset(image []float64) {
 		panic(fmt.Sprintf("coding: rate encoder got %d pixels, want %d", len(image), e.size))
 	}
 	e.image = image
-	// FNV-1a over the pixel bits, mixed with the configured seed.
+	e.rng.Reseed(imageHash(image) ^ e.seed)
+}
+
+// imageHash is FNV-1a over the pixel bit patterns: the content hash the
+// rate encoder reseeds from (so identical images always produce identical
+// trains) and the quantization-cache key.
+func imageHash(image []float64) uint64 {
 	h := uint64(14695981039346656037)
 	for _, v := range image {
 		bits := math.Float64bits(v)
@@ -150,7 +160,7 @@ func (e *rateEncoder) Reset(image []float64) {
 			h *= 1099511628211
 		}
 	}
-	e.rng.Reseed(h ^ e.seed)
+	return h
 }
 
 func (e *rateEncoder) Step(int) []Event {
@@ -174,6 +184,80 @@ func (e *rateEncoder) Size() int             { return e.size }
 func (e *rateEncoder) BiasScale(int) float64 { return 1 }
 func (e *rateEncoder) Clone() InputEncoder   { return newRateEncoder(e.size, e.seed) }
 
+// NewBatch implements BatchableEncoder.
+func (e *rateEncoder) NewBatch(b int) BatchEncoder { return newBatchRateEncoder(e.size, b, e.seed) }
+
+// quantizeBits fills dst with each pixel's period-bit quantization
+// (round(clamp(v)·2^k), saturating at all-ones for v = 1.0).
+func quantizeBits(dst []uint64, image []float64, period int) {
+	levels := math.Pow(2, float64(period))
+	for i, v := range image {
+		q := uint64(math.Round(mathx.Clamp(v, 0, 1) * levels))
+		if q >= uint64(levels) {
+			q = uint64(levels) - 1 // value 1.0 saturates to all-ones
+		}
+		dst[i] = q
+	}
+}
+
+// quantizedBits returns the image's quantized bit patterns, consulting
+// cache when non-nil. On a hit the returned slice aliases the immutable
+// cache entry (no per-pixel work, no copy); on a miss or with no cache it
+// is quantized into scratch, and on a miss a copy is stored. Callers must
+// treat the result as read-only.
+func quantizedBits(image []float64, period int, cache *QuantCache, scratch []uint64) []uint64 {
+	if cache == nil {
+		quantizeBits(scratch, image, period)
+		return scratch
+	}
+	k := quantKey{hash: imageHash(image), scheme: Phase, size: len(image), period: period}
+	q, ok, promote := cache.lookup(k, image)
+	if ok {
+		return q
+	}
+	quantizeBits(scratch, image, period)
+	if promote {
+		cache.store(k, image, append([]uint64(nil), scratch...))
+	}
+	return scratch
+}
+
+// quantizedPhases returns the image's TTFS firing phases packed as
+// phase+1 (0 = silent), with the same cache/scratch contract as
+// quantizedBits.
+func quantizedPhases(image []float64, period int, cache *QuantCache, scratch []uint64) []uint64 {
+	var k quantKey
+	promote := false
+	if cache != nil {
+		k = quantKey{hash: imageHash(image), scheme: TTFS, size: len(image), period: period}
+		var q []uint64
+		var ok bool
+		if q, ok, promote = cache.lookup(k, image); ok {
+			return q
+		}
+	}
+	quantizeBits(scratch, image, period)
+	for i, q := range scratch {
+		if q == 0 {
+			continue
+		}
+		// Most significant set bit determines the firing phase.
+		msb := bits.Len64(q) - 1
+		scratch[i] = uint64(period-1-msb) + 1
+	}
+	if promote {
+		cache.store(k, image, append([]uint64(nil), scratch...))
+	}
+	return scratch
+}
+
+// phaseBiasScale spreads the bias over the oscillation: Π(t)/(1-2^-k)
+// sums to exactly 1 over one period, matching the one-value-per-period
+// input rate of the phase and TTFS encoders.
+func phaseBiasScale(t, period int) float64 {
+	return Pi(t, period) / (1 - math.Pow(2, -float64(period)))
+}
+
 // phaseEncoder implements the weighted-spike input of Kim et al. 2018:
 // the pixel value is quantized to k bits and bit j (MSB first) is
 // transmitted at phase j with payload Π(t) = 2^-(1+j). One period carries
@@ -181,30 +265,33 @@ func (e *rateEncoder) Clone() InputEncoder   { return newRateEncoder(e.size, e.s
 type phaseEncoder struct {
 	size   int
 	period int
-	bits   []uint64 // per pixel, quantized bit pattern (MSB = phase 0)
-	buf    []Event
+	// bits holds the quantized bit pattern per pixel (MSB = phase 0). It
+	// aliases either the owned scratch buffer or an immutable QuantCache
+	// entry and is never written outside Reset.
+	bits    []uint64
+	scratch []uint64
+	quant   *QuantCache
+	buf     []Event
 }
 
 func newPhaseEncoder(size, period int) *phaseEncoder {
+	scratch := make([]uint64, size)
 	return &phaseEncoder{
 		size: size, period: period,
-		bits: make([]uint64, size),
-		buf:  make([]Event, 0, size),
+		bits:    scratch,
+		scratch: scratch,
+		buf:     make([]Event, 0, size),
 	}
 }
+
+// SetQuantCache implements QuantCached.
+func (e *phaseEncoder) SetQuantCache(c *QuantCache) { e.quant = c }
 
 func (e *phaseEncoder) Reset(image []float64) {
 	if len(image) != e.size {
 		panic(fmt.Sprintf("coding: phase encoder got %d pixels, want %d", len(image), e.size))
 	}
-	levels := math.Pow(2, float64(e.period))
-	for i, v := range image {
-		q := uint64(math.Round(mathx.Clamp(v, 0, 1) * levels))
-		if q >= uint64(levels) {
-			q = uint64(levels) - 1 // value 1.0 saturates to all-ones
-		}
-		e.bits[i] = q
-	}
+	e.bits = quantizedBits(image, e.period, e.quant, e.scratch)
 }
 
 func (e *phaseEncoder) Step(t int) []Event {
@@ -224,13 +311,20 @@ func (e *phaseEncoder) Step(t int) []Event {
 func (e *phaseEncoder) CountsAsSpikes() bool { return true }
 func (e *phaseEncoder) Size() int            { return e.size }
 func (e *phaseEncoder) Clone() InputEncoder {
-	return newPhaseEncoder(e.size, e.period)
+	c := newPhaseEncoder(e.size, e.period)
+	c.quant = e.quant
+	return c
+}
+
+// NewBatch implements BatchableEncoder.
+func (e *phaseEncoder) NewBatch(b int) BatchEncoder {
+	return newBatchPhaseEncoder(e.size, b, e.period, e.quant)
 }
 
 // BiasScale spreads the bias over the oscillation: Π(t)/(1-2^-k) sums to
 // exactly 1 over one period, matching the one-value-per-period input rate.
 func (e *phaseEncoder) BiasScale(t int) float64 {
-	return Pi(t, e.period) / (1 - math.Pow(2, -float64(e.period)))
+	return phaseBiasScale(t, e.period)
 }
 
 // ttfsEncoder is the time-to-first-spike extension: each pixel emits a
@@ -241,47 +335,41 @@ func (e *phaseEncoder) BiasScale(t int) float64 {
 type ttfsEncoder struct {
 	size   int
 	period int
-	phase  []int // firing phase per pixel, -1 for silent
-	buf    []Event
+	// phase holds each pixel's firing phase packed as phase+1, 0 for
+	// silent (the QuantCache representation); it aliases the scratch
+	// buffer or an immutable cache entry, like phaseEncoder.bits.
+	phase   []uint64
+	scratch []uint64
+	quant   *QuantCache
+	buf     []Event
 }
 
 func newTTFSEncoder(size, period int) *ttfsEncoder {
+	scratch := make([]uint64, size)
 	return &ttfsEncoder{
 		size: size, period: period,
-		phase: make([]int, size),
-		buf:   make([]Event, 0, size),
+		phase:   scratch,
+		scratch: scratch,
+		buf:     make([]Event, 0, size),
 	}
 }
+
+// SetQuantCache implements QuantCached.
+func (e *ttfsEncoder) SetQuantCache(c *QuantCache) { e.quant = c }
 
 func (e *ttfsEncoder) Reset(image []float64) {
 	if len(image) != e.size {
 		panic(fmt.Sprintf("coding: ttfs encoder got %d pixels, want %d", len(image), e.size))
 	}
-	levels := math.Pow(2, float64(e.period))
-	for i, v := range image {
-		q := uint64(math.Round(mathx.Clamp(v, 0, 1) * levels))
-		if q >= uint64(levels) {
-			q = uint64(levels) - 1
-		}
-		if q == 0 {
-			e.phase[i] = -1
-			continue
-		}
-		// Most significant set bit determines the firing phase.
-		msb := 63
-		for q>>uint(msb)&1 == 0 {
-			msb--
-		}
-		e.phase[i] = e.period - 1 - msb
-	}
+	e.phase = quantizedPhases(image, e.period, e.quant, e.scratch)
 }
 
 func (e *ttfsEncoder) Step(t int) []Event {
 	e.buf = e.buf[:0]
-	phase := t % e.period
+	want := uint64(t%e.period) + 1
 	payload := Pi(t, e.period)
 	for i, p := range e.phase {
-		if p == phase {
+		if p == want {
 			e.buf = append(e.buf, Event{Index: i, Payload: payload})
 		}
 	}
@@ -291,12 +379,19 @@ func (e *ttfsEncoder) Step(t int) []Event {
 func (e *ttfsEncoder) CountsAsSpikes() bool { return true }
 func (e *ttfsEncoder) Size() int            { return e.size }
 func (e *ttfsEncoder) Clone() InputEncoder {
-	return newTTFSEncoder(e.size, e.period)
+	c := newTTFSEncoder(e.size, e.period)
+	c.quant = e.quant
+	return c
+}
+
+// NewBatch implements BatchableEncoder.
+func (e *ttfsEncoder) NewBatch(b int) BatchEncoder {
+	return newBatchTTFSEncoder(e.size, b, e.period, e.quant)
 }
 
 // BiasScale matches the phase encoder: one value per period.
 func (e *ttfsEncoder) BiasScale(t int) float64 {
-	return Pi(t, e.period) / (1 - math.Pow(2, -float64(e.period)))
+	return phaseBiasScale(t, e.period)
 }
 
 // PoissonEncoder is a stream-stateful rate encoder: unlike the default

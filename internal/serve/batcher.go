@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"burstsnn/internal/snn"
 )
 
 // ErrClosed is returned by Submit after the batcher has been closed.
@@ -14,11 +16,16 @@ var ErrClosed = errors.New("serve: batcher closed")
 // Batcher is the microbatching request queue in front of a replica pool.
 // Requests are grouped into batches of up to MaxBatch, waiting at most
 // MaxDelay after the first request before dispatch; each batch checks out
-// one replica and runs its requests back to back, so a batch amortizes
-// pool checkout and keeps a replica's working set hot while the pool
-// bound still caps concurrent simulation.
+// one replica and steps every request through the replica's lockstep
+// batch simulator at once (ClassifyBatch), so a microbatch amortizes the
+// scatter-table walks, weight loads, and threshold computation across its
+// lanes — not just the pool checkout. Networks that cannot batch (and
+// single-request dispatches) fall back to the sequential engine; both
+// paths produce bit-identical outcomes.
 type Batcher struct {
 	pool     *Pool
+	metrics  *Metrics // batch-occupancy/steps-saved gauges; may be nil
+	lockstep bool
 	maxBatch int
 	maxDelay time.Duration
 
@@ -43,10 +50,13 @@ type batchResult struct {
 	err error
 }
 
-// NewBatcher starts the dispatcher. maxBatch <= 0 defaults to 1 (no
-// batching); maxDelay <= 0 dispatches as soon as the queue momentarily
-// drains; queueDepth <= 0 defaults to 4× maxBatch.
-func NewBatcher(pool *Pool, maxBatch int, maxDelay time.Duration, queueDepth int) *Batcher {
+// NewBatcher starts the dispatcher. metrics receives the batch gauges
+// (nil disables them); lockstep routes multi-request batches through the
+// replica's lockstep batch simulator (see Config.LockstepBatch for the
+// trade-off — results are bit-identical either way); maxBatch <= 0
+// defaults to 1 (no batching); maxDelay <= 0 dispatches as soon as the
+// queue momentarily drains; queueDepth <= 0 defaults to 4× maxBatch.
+func NewBatcher(pool *Pool, metrics *Metrics, lockstep bool, maxBatch int, maxDelay time.Duration, queueDepth int) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 1
 	}
@@ -55,6 +65,8 @@ func NewBatcher(pool *Pool, maxBatch int, maxDelay time.Duration, queueDepth int
 	}
 	b := &Batcher{
 		pool:     pool,
+		metrics:  metrics,
+		lockstep: lockstep,
 		maxBatch: maxBatch,
 		maxDelay: maxDelay,
 		queue:    make(chan *batchRequest, queueDepth),
@@ -158,20 +170,63 @@ func (b *Batcher) dispatch() {
 // run executes one batch on a single checked-out replica. Checkout uses
 // the background context: replicas always come back (every batch returns
 // its replica), and a canceled request must not fail its batchmates.
+//
+// Multi-request batches run lockstep through the replica's batch
+// simulator; a single live request — or a model whose encoder cannot
+// batch — runs through the sequential engine. The two paths are
+// bit-identical per request, so callers cannot observe which one served
+// them (beyond latency).
 func (b *Batcher) run(reqs []*batchRequest) {
-	net, err := b.pool.Get(context.Background())
+	rep, err := b.pool.Get(context.Background())
 	if err != nil {
 		for _, req := range reqs {
 			req.done <- batchResult{err: fmt.Errorf("serve: replica checkout: %w", err)}
 		}
 		return
 	}
-	defer b.pool.Put(net)
+	defer b.pool.Put(rep)
+	live := reqs[:0]
 	for _, req := range reqs {
 		if req.ctx.Err() != nil {
 			req.done <- batchResult{err: req.ctx.Err()}
 			continue
 		}
-		req.done <- batchResult{out: Classify(net, req.image, req.policy)}
+		live = append(live, req)
+	}
+	if b.lockstep && len(live) > 1 {
+		// The lockstep simulator caps a batch at snn.MaxBatchLanes lanes;
+		// a MaxBatch configured beyond that runs in chunks rather than
+		// silently degrading to sequential execution.
+		laneCap := b.maxBatch
+		if laneCap > snn.MaxBatchLanes {
+			laneCap = snn.MaxBatchLanes
+		}
+		if bn, err := rep.Batch(laneCap); err == nil {
+			for len(live) > 1 {
+				chunk := live
+				if len(chunk) > laneCap {
+					chunk = chunk[:laneCap]
+				}
+				live = live[len(chunk):]
+				images := make([][]float64, len(chunk))
+				policies := make([]ExitPolicy, len(chunk))
+				for i, req := range chunk {
+					images[i] = req.image
+					policies[i] = req.policy
+				}
+				outs, batchSteps := ClassifyBatch(bn, images, policies)
+				saved := 0
+				for i, req := range chunk {
+					saved += batchSteps - outs[i].Steps
+					req.done <- batchResult{out: outs[i]}
+				}
+				if b.metrics != nil {
+					b.metrics.ObserveBatch(len(chunk), saved)
+				}
+			}
+		}
+	}
+	for _, req := range live {
+		req.done <- batchResult{out: Classify(rep.Net, req.image, req.policy)}
 	}
 }

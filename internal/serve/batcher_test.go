@@ -9,7 +9,6 @@ import (
 
 	"burstsnn/internal/coding"
 	"burstsnn/internal/convert"
-	"burstsnn/internal/snn"
 )
 
 // testPool converts the shared test model once and wraps it in a pool.
@@ -68,17 +67,17 @@ func TestPoolCheckout(t *testing.T) {
 func TestReplicasShareWeightsNotState(t *testing.T) {
 	pool, image := testPool(t, 3)
 	ctx := context.Background()
-	nets := make([]*snn.Network, 3)
-	for i := range nets {
+	reps := make([]*Replica, 3)
+	for i := range reps {
 		var err error
-		if nets[i], err = pool.Get(ctx); err != nil {
+		if reps[i], err = pool.Get(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}
 	policy := ExitPolicy{MaxSteps: 48}
-	ref := Classify(nets[0], image, policy)
-	for i, n := range nets[1:] {
-		got := Classify(n, image, policy)
+	ref := Classify(reps[0].Net, image, policy)
+	for i, rep := range reps[1:] {
+		got := Classify(rep.Net, image, policy)
 		if got != ref {
 			t.Errorf("replica %d: outcome %+v differs from %+v", i+1, got, ref)
 		}
@@ -95,7 +94,7 @@ func TestBatcherMaxDelay(t *testing.T) {
 	// A lone request must still complete — the MaxDelay timer flushes the
 	// partial batch. Generous upper bound to stay robust on loaded CI.
 	const delay = 50 * time.Millisecond
-	b := NewBatcher(pool, 8, delay, 0)
+	b := NewBatcher(pool, nil, false, 8, delay, 0)
 	began := time.Now()
 	if _, err := b.Submit(context.Background(), image, policy); err != nil {
 		t.Fatalf("Submit: %v", err)
@@ -111,7 +110,7 @@ func TestBatcherMaxDelay(t *testing.T) {
 
 	// A full batch must not wait for the delay: 8 requests with a huge
 	// MaxDelay complete as soon as the batch fills.
-	b = NewBatcher(pool, 8, time.Hour, 0)
+	b = NewBatcher(pool, nil, false, 8, time.Hour, 0)
 	began = time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
@@ -132,7 +131,7 @@ func TestBatcherMaxDelay(t *testing.T) {
 
 func TestBatcherClose(t *testing.T) {
 	pool, image := testPool(t, 1)
-	b := NewBatcher(pool, 4, time.Millisecond, 0)
+	b := NewBatcher(pool, nil, false, 4, time.Millisecond, 0)
 	if _, err := b.Submit(context.Background(), image, ExitPolicy{MaxSteps: 8}); err != nil {
 		t.Fatalf("Submit: %v", err)
 	}

@@ -94,6 +94,95 @@ func Classify(net *snn.Network, image []float64, p ExitPolicy) Outcome {
 	return o
 }
 
+// ClassifyBatch presents a batch of images lockstep through a
+// snn.BatchNetwork under per-lane exit policies and returns one Outcome
+// per image, plus the number of lockstep steps the batch ran (the
+// slowest lane's step count — used for the steps-saved gauge).
+//
+// Every outcome is bit-identical to Classify(net, images[i], policies[i])
+// on the sequential simulator the batch network was built from: the
+// lockstep state is per-lane disjoint, the early-exit test below mirrors
+// Classify's step for step, and a lane that exits is retired from the
+// batch immediately (physical compaction), exactly as the sequential
+// engine stops simulating. The caller owns bn for the duration of the
+// call, like Classify.
+//
+// Unlike Classify (zero-alloc in steady state), ClassifyBatch allocates
+// its per-batch bookkeeping (outcomes, trackers, score scratch) — a
+// handful of allocations per dispatched batch, not per request, which is
+// in line with the batcher's own per-request queueing allocations.
+func ClassifyBatch(bn *snn.BatchNetwork, images [][]float64, policies []ExitPolicy) ([]Outcome, int) {
+	n := len(images)
+	if n == 0 {
+		return nil, 0
+	}
+	if len(policies) != n {
+		panic(fmt.Sprintf("serve: %d policies for %d images", len(policies), n))
+	}
+	bn.Reset(images)
+	countInput := bn.Encoder.CountsAsSpikes()
+	outs := make([]Outcome, n)
+	type tracker struct{ stable, last int }
+	tracks := make([]tracker, n)
+	for lane := range tracks {
+		tracks[lane].last = -1
+	}
+	scores := make([]float64, bn.Output.Classes())
+	var retire []int
+	// Lanes with a non-positive budget never step, exactly like
+	// Classify's zero-iteration loop: retire them (descending) before the
+	// first lockstep step, leaving their zero-value Outcomes.
+	for slot := bn.NumActive() - 1; slot >= 0; slot-- {
+		if policies[bn.LaneID(slot)].MaxSteps <= 0 {
+			bn.Retire(slot)
+		}
+	}
+	batchSteps := 0
+	for t := 0; bn.NumActive() > 0; t++ {
+		st := bn.Step(t)
+		batchSteps = t + 1
+		retire = retire[:0]
+		for slot := 0; slot < bn.NumActive(); slot++ {
+			lane := bn.LaneID(slot)
+			o, p, tr := &outs[lane], &policies[lane], &tracks[lane]
+			if countInput {
+				o.InputSpikes += st.InputEvents[slot]
+			}
+			o.HiddenSpikes += st.HiddenSpikes[slot]
+			o.Steps = t + 1
+			pred := bn.Output.Predicted(slot)
+			o.Prediction = pred
+			if pred == tr.last {
+				tr.stable++
+			} else {
+				tr.stable, tr.last = 1, pred
+			}
+			exit := false
+			if p.StableWindow > 0 && o.Steps >= p.MinSteps && tr.stable >= p.StableWindow {
+				if m := stepMargin(bn.Output.PotentialsInto(slot, scores), o.Steps); p.Margin <= 0 || m >= p.Margin {
+					o.Margin = m
+					o.EarlyExit = o.Steps < p.MaxSteps
+					exit = true
+				}
+			}
+			if !exit && o.Steps >= p.MaxSteps {
+				o.Margin = stepMargin(bn.Output.PotentialsInto(slot, scores), o.Steps)
+				exit = true
+			}
+			if exit {
+				retire = append(retire, slot)
+			}
+		}
+		// Retire in descending slot order: compaction moves the current
+		// last slot into the freed one, and every slot above the one being
+		// retired has already been handled (or retired) this step.
+		for i := len(retire) - 1; i >= 0; i-- {
+			bn.Retire(retire[i])
+		}
+	}
+	return outs, batchSteps
+}
+
 // stepMargin returns (top1 − top2) / steps of the readout potentials:
 // accumulated potentials track the DNN logits times the step count, so
 // dividing by steps yields a time-invariant confidence gap.

@@ -1,7 +1,10 @@
 package serve
 
 import (
+	"context"
+	"sync"
 	"testing"
+	"time"
 
 	"burstsnn/internal/coding"
 	"burstsnn/internal/mathx"
@@ -67,6 +70,147 @@ func TestClassifyZeroAlloc(t *testing.T) {
 				t.Errorf("Classify allocates %.1f objects/run in steady state, want 0", allocs)
 			}
 		})
+	}
+}
+
+// TestClassifyBatchMatchesSequential pins the batched engine to the
+// sequential one: for every input encoder, a full 8-lane batch with
+// per-lane policies (different budgets, stable windows, margins, and
+// disabled early exit) must produce bit-identical Outcomes — prediction,
+// steps, early-exit flag, margin, spike counts — to Classify run lane by
+// lane, and the reported batch step count must be the slowest lane's.
+func TestClassifyBatchMatchesSequential(t *testing.T) {
+	for _, scheme := range []coding.Scheme{coding.Real, coding.Rate, coding.Phase, coding.TTFS} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			net := allocNet(t, scheme, 0xBA7C4)
+			seq, err := net.Clone()
+			if err != nil {
+				t.Fatalf("clone: %v", err)
+			}
+			bn, err := snn.NewBatchNetwork(net, 8)
+			if err != nil {
+				t.Fatalf("NewBatchNetwork: %v", err)
+			}
+			policies := []ExitPolicy{
+				{MaxSteps: 64, MinSteps: 8, StableWindow: 6},
+				{MaxSteps: 64, MinSteps: 8, StableWindow: 6, Margin: 0.01},
+				{MaxSteps: 24}, // no early exit, short budget
+				{MaxSteps: 64, StableWindow: 3},
+				{MaxSteps: 48, MinSteps: 16, StableWindow: 10},
+				{MaxSteps: 64, MinSteps: 8, StableWindow: 6, Margin: 10}, // unreachable margin
+				{MaxSteps: 33, MinSteps: 4, StableWindow: 2},
+				{}, // zero budget: never steps, zero-value outcome like Classify
+			}
+			images := make([][]float64, len(policies))
+			for i := range images {
+				images[i] = allocImage(uint64(0xBEE0+i), net.Encoder.Size())
+			}
+			outs, batchSteps := ClassifyBatch(bn, images, policies)
+			slowest := 0
+			for i := range images {
+				want := Classify(seq, images[i], policies[i])
+				if outs[i] != want {
+					t.Errorf("lane %d: batch %+v, sequential %+v", i, outs[i], want)
+				}
+				if outs[i].Steps > slowest {
+					slowest = outs[i].Steps
+				}
+			}
+			if batchSteps != slowest {
+				t.Errorf("batch ran %d steps, slowest lane took %d", batchSteps, slowest)
+			}
+			// Second batch on the same network: no state bleed.
+			outs2, _ := ClassifyBatch(bn, images[:3], policies[:3])
+			for i := range outs2 {
+				want := Classify(seq, images[i], policies[i])
+				if outs2[i] != want {
+					t.Errorf("reused batch lane %d: %+v, want %+v", i, outs2[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestBatcherRunsLockstepBatches checks the serving integration: a
+// filled microbatch is executed through the lockstep simulator (visible
+// in the batch gauges) and every request still gets the exact outcome
+// the sequential engine would produce.
+func TestBatcherRunsLockstepBatches(t *testing.T) {
+	pool, image := testPool(t, 1)
+	metrics := NewMetrics()
+	// Distinct images: perturb a few pixels so lanes differ.
+	images := make([][]float64, 4)
+	for i := range images {
+		img := append([]float64(nil), image...)
+		for j := 0; j <= i; j++ {
+			img[j*7] = float64(j+1) / 8
+		}
+		images[i] = img
+	}
+	policy := ExitPolicy{MaxSteps: 48, MinSteps: 8, StableWindow: 6}
+	want := make([]Outcome, len(images))
+	func() {
+		rep, err := pool.Get(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Put(rep)
+		for i, img := range images {
+			want[i] = Classify(rep.Net, img, policy)
+		}
+	}()
+
+	// Generous delay so all four submissions join one batch.
+	b := NewBatcher(pool, metrics, true, 4, 300*time.Millisecond, 0)
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := range images {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := b.Submit(context.Background(), images[i], policy)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			if out != want[i] {
+				t.Errorf("request %d: batched %+v, sequential %+v", i, out, want[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := metrics.Snapshot()
+	if s.Batches < 1 {
+		t.Errorf("no lockstep batches recorded: %+v", s)
+	}
+	if s.MeanBatchOccupancy < 2 {
+		t.Errorf("mean batch occupancy %.1f, want >= 2 (requests were concurrent)", s.MeanBatchOccupancy)
+	}
+}
+
+// TestBatcherClampsLaneCap guards the MaxBatch > snn.MaxBatchLanes case:
+// the lockstep simulator caps at 64 lanes, and a larger configured batch
+// must be clamped (and chunked), not silently degraded to sequential
+// execution via a sticky construction error.
+func TestBatcherClampsLaneCap(t *testing.T) {
+	pool, image := testPool(t, 1)
+	metrics := NewMetrics()
+	b := NewBatcher(pool, metrics, true, 128, 300*time.Millisecond, 0)
+	defer b.Close()
+	policy := ExitPolicy{MaxSteps: 16}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), image, policy); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := metrics.Snapshot(); s.Batches < 1 {
+		t.Errorf("MaxBatch beyond the lane cap disabled lockstep batching: %+v", s)
 	}
 }
 

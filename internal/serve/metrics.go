@@ -4,16 +4,27 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"burstsnn/internal/coding"
 )
 
 // metricsWindow bounds the latency reservoir: percentiles are computed
-// over the most recent metricsWindow requests.
+// over (approximately) the most recent metricsWindow requests, split
+// evenly across the stripes.
 const metricsWindow = 4096
 
-// Metrics accumulates serving statistics for one model (or globally).
-// All methods are safe for concurrent use.
-type Metrics struct {
+// metricsStripes is the default Observe shard count. Observes are spread
+// round-robin over independently locked stripes, so concurrent requests
+// almost never contend on the same mutex; Snapshot merges the stripes
+// outside any lock. Must be a power of two (the stripe pick is a mask).
+const metricsStripes = 8
+
+// metricsStripe is one locked shard of the accumulator. The trailing pad
+// keeps hot stripes on separate cache lines so round-robin Observes don't
+// false-share.
+type metricsStripe struct {
 	mu         sync.Mutex
 	requests   int64
 	errors     int64
@@ -22,36 +33,88 @@ type Metrics struct {
 	spikesSum  int64
 	latencies  []float64 // ring buffer, milliseconds
 	next       int
+	_          [48]byte // rounds the struct to 128 bytes (2 cache lines)
 }
 
-// NewMetrics returns an empty accumulator.
-func NewMetrics() *Metrics { return &Metrics{} }
+// Metrics accumulates serving statistics for one model (or globally).
+// All methods are safe for concurrent use.
+type Metrics struct {
+	stripes []metricsStripe
+	tick    atomic.Uint64
+	window  int // per-stripe reservoir bound
+
+	// Batch execution gauges (see Batcher): how full microbatches run and
+	// how many lockstep steps lane retirement avoided versus running every
+	// lane to the batch's slowest exit.
+	batches         atomic.Int64
+	batchLanes      atomic.Int64
+	batchStepsSaved atomic.Int64
+
+	// quant is the model's encoder quantization cache, if any; Snapshot
+	// surfaces its hit/miss counters.
+	quant atomic.Pointer[coding.QuantCache]
+}
+
+// NewMetrics returns an empty accumulator with the default stripe count.
+func NewMetrics() *Metrics { return newMetricsStriped(metricsStripes) }
+
+// newMetricsStriped builds an accumulator with n stripes (a power of
+// two). Exposed internally so the contention benchmark can compare a
+// single-stripe reservoir against the striped default.
+func newMetricsStriped(n int) *Metrics {
+	w := metricsWindow / n
+	if w < 1 {
+		w = 1
+	}
+	return &Metrics{stripes: make([]metricsStripe, n), window: w}
+}
+
+// stripe picks the next shard round-robin.
+func (m *Metrics) stripe() *metricsStripe {
+	return &m.stripes[m.tick.Add(1)&uint64(len(m.stripes)-1)]
+}
 
 // ObserveError records a failed request.
 func (m *Metrics) ObserveError() {
-	m.mu.Lock()
-	m.errors++
-	m.mu.Unlock()
+	s := m.stripe()
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
 }
 
 // Observe records one served classification.
 func (m *Metrics) Observe(o Outcome, latency time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests++
+	s := m.stripe()
+	s.mu.Lock()
+	s.requests++
 	if o.EarlyExit {
-		m.earlyExits++
+		s.earlyExits++
 	}
-	m.stepsSum += int64(o.Steps)
-	m.spikesSum += int64(o.TotalSpikes())
+	s.stepsSum += int64(o.Steps)
+	s.spikesSum += int64(o.TotalSpikes())
 	ms := float64(latency) / float64(time.Millisecond)
-	if len(m.latencies) < metricsWindow {
-		m.latencies = append(m.latencies, ms)
+	if len(s.latencies) < m.window {
+		s.latencies = append(s.latencies, ms)
 	} else {
-		m.latencies[m.next] = ms
-		m.next = (m.next + 1) % metricsWindow
+		s.latencies[s.next] = ms
+		s.next = (s.next + 1) % m.window
 	}
+	s.mu.Unlock()
 }
+
+// ObserveBatch records one executed microbatch: how many lanes it
+// carried and how many lockstep steps per-lane early-exit retirement
+// saved versus running every lane to the batch's final step.
+func (m *Metrics) ObserveBatch(lanes, stepsSaved int) {
+	m.batches.Add(1)
+	m.batchLanes.Add(int64(lanes))
+	m.batchStepsSaved.Add(int64(stepsSaved))
+}
+
+// AttachQuantCache points the snapshot's encoder-cache counters at the
+// model's quantization cache (idempotent; survives model re-registration
+// because the registry re-attaches the fresh cache).
+func (m *Metrics) AttachQuantCache(c *coding.QuantCache) { m.quant.Store(c) }
 
 // Snapshot is a point-in-time metrics view, JSON-shaped for /metrics.
 type Snapshot struct {
@@ -71,28 +134,60 @@ type Snapshot struct {
 	P50Ms float64 `json:"p50Ms"`
 	P90Ms float64 `json:"p90Ms"`
 	P99Ms float64 `json:"p99Ms"`
+	// Batches counts executed lockstep microbatches (single-request
+	// dispatches run sequentially and don't count); MeanBatchOccupancy is
+	// the mean lanes per batch, and BatchStepsSaved totals the lockstep
+	// steps avoided by retiring early-exited lanes instead of stepping
+	// them to the batch's end.
+	Batches            int64   `json:"batches"`
+	MeanBatchOccupancy float64 `json:"meanBatchOccupancy"`
+	BatchStepsSaved    int64   `json:"batchStepsSaved"`
+	// EncoderCacheHits/Misses are the model's quantization-cache counters
+	// (phase/TTFS input encoders; zero when the scheme has no Reset-time
+	// quantization to cache).
+	EncoderCacheHits   int64 `json:"encoderCacheHits"`
+	EncoderCacheMisses int64 `json:"encoderCacheMisses"`
 }
 
-// Snapshot computes the current view. Only the scalar reads and the
-// reservoir copy happen under the lock; the O(n log n) sort of up to
-// metricsWindow latencies runs outside it so a /metrics scrape never
-// stalls concurrent Observe calls.
+// Snapshot computes the current view. Each stripe is locked only for its
+// scalar reads and reservoir copy; the O(n log n) sort over the merged
+// reservoirs runs outside every lock, so a /metrics scrape never stalls
+// concurrent Observe calls.
 func (m *Metrics) Snapshot() Snapshot {
-	m.mu.Lock()
-	s := Snapshot{Requests: m.requests, Errors: m.errors}
-	if m.requests > 0 {
-		s.EarlyExitRate = float64(m.earlyExits) / float64(m.requests)
-		s.MeanSteps = float64(m.stepsSum) / float64(m.requests)
-		s.MeanSpikes = float64(m.spikesSum) / float64(m.requests)
+	var s Snapshot
+	var earlyExits int64
+	sorted := make([]float64, 0, metricsWindow)
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		s.Requests += st.requests
+		s.Errors += st.errors
+		earlyExits += st.earlyExits
+		s.MeanSteps += float64(st.stepsSum)
+		s.MeanSpikes += float64(st.spikesSum)
+		sorted = append(sorted, st.latencies...)
+		st.mu.Unlock()
 	}
-	sorted := append([]float64(nil), m.latencies...)
-	m.mu.Unlock()
-
+	if s.Requests > 0 {
+		s.EarlyExitRate = float64(earlyExits) / float64(s.Requests)
+		s.MeanSteps /= float64(s.Requests)
+		s.MeanSpikes /= float64(s.Requests)
+	} else {
+		s.MeanSteps, s.MeanSpikes = 0, 0
+	}
 	if len(sorted) > 0 {
 		sort.Float64s(sorted)
 		s.P50Ms = Percentile(sorted, 50)
 		s.P90Ms = Percentile(sorted, 90)
 		s.P99Ms = Percentile(sorted, 99)
+	}
+	s.Batches = m.batches.Load()
+	if s.Batches > 0 {
+		s.MeanBatchOccupancy = float64(m.batchLanes.Load()) / float64(s.Batches)
+	}
+	s.BatchStepsSaved = m.batchStepsSaved.Load()
+	if q := m.quant.Load(); q != nil {
+		s.EncoderCacheHits, s.EncoderCacheMisses = q.Stats()
 	}
 	return s
 }

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+	"unsafe"
 )
 
 // TestPercentileNearestRank pins the standard ceil nearest-rank method,
@@ -68,6 +70,86 @@ func TestSnapshotDoesNotBlockObserve(t *testing.T) {
 	<-done
 	if s := m.Snapshot(); s.Requests != 2000 {
 		t.Fatalf("requests = %d, want 2000", s.Requests)
+	}
+}
+
+// TestMetricsStripeSize pins the false-sharing pad: stripes must occupy
+// whole cache lines or neighboring stripes in the slice bounce shared
+// lines under round-robin Observes.
+func TestMetricsStripeSize(t *testing.T) {
+	if sz := unsafe.Sizeof(metricsStripe{}); sz%64 != 0 {
+		t.Errorf("metricsStripe is %d bytes, want a multiple of 64", sz)
+	}
+}
+
+// TestMetricsBatchGauges pins the batch-execution gauges and the
+// encoder-cache passthrough.
+func TestMetricsBatchGauges(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveBatch(4, 30) // 4 lanes, 30 lockstep steps saved by retirement
+	m.ObserveBatch(8, 50)
+	s := m.Snapshot()
+	if s.Batches != 2 {
+		t.Errorf("batches = %d, want 2", s.Batches)
+	}
+	if s.MeanBatchOccupancy != 6 {
+		t.Errorf("mean occupancy = %v, want 6", s.MeanBatchOccupancy)
+	}
+	if s.BatchStepsSaved != 80 {
+		t.Errorf("steps saved = %d, want 80", s.BatchStepsSaved)
+	}
+	if s.EncoderCacheHits != 0 || s.EncoderCacheMisses != 0 {
+		t.Errorf("cache counters with no cache attached: %+v", s)
+	}
+}
+
+// TestStripedObserveCountsExact floods Observe from many goroutines and
+// checks nothing is lost across the stripes.
+func TestStripedObserveCountsExact(t *testing.T) {
+	m := NewMetrics()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Observe(Outcome{Steps: 7, HiddenSpikes: 3, EarlyExit: true}, time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Requests != workers*per {
+		t.Fatalf("requests = %d, want %d", s.Requests, workers*per)
+	}
+	if s.MeanSteps != 7 || s.MeanSpikes != 3 || s.EarlyExitRate != 1 {
+		t.Fatalf("aggregates wrong: %+v", s)
+	}
+	if s.P50Ms != 1 || s.P99Ms != 1 {
+		t.Fatalf("percentiles wrong: %+v", s)
+	}
+}
+
+// BenchmarkObserveParallel measures contended Observe throughput with a
+// single-stripe reservoir (the pre-striping design: one mutex, one ring)
+// against the striped default — the win the sharding buys under
+// concurrent serving load.
+func BenchmarkObserveParallel(b *testing.B) {
+	for _, stripes := range []int{1, metricsStripes} {
+		name := "stripes=1"
+		if stripes != 1 {
+			name = "stripes=default"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := newMetricsStriped(stripes)
+			o := Outcome{Steps: 10, HiddenSpikes: 5}
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					m.Observe(o, time.Millisecond)
+				}
+			})
+		})
 	}
 }
 

@@ -7,13 +7,47 @@ import (
 	"burstsnn/internal/snn"
 )
 
+// Replica is one checkout unit of a Pool: a weight-sharing sequential
+// simulator plus, built lazily on first use, its batched lockstep variant
+// (which shares the same weights and scatter tables again). A request —
+// or a whole microbatch — holds the Replica exclusively, so neither
+// simulator needs internal locking.
+type Replica struct {
+	// Net is the sequential simulator (single-image path).
+	Net *snn.Network
+
+	batch    *snn.BatchNetwork
+	batchErr error
+}
+
+// Batch returns the replica's lockstep simulator with at least b lanes,
+// constructing (or widening) it on first use. The error is sticky: a
+// network whose encoder cannot batch (e.g. a stream-stateful Poisson
+// encoder) fails once and the batcher falls back to sequential execution
+// without re-probing.
+func (r *Replica) Batch(b int) (*snn.BatchNetwork, error) {
+	if r.batch != nil && r.batch.B() >= b {
+		return r.batch, nil
+	}
+	if r.batchErr != nil {
+		return nil, r.batchErr
+	}
+	bn, err := snn.NewBatchNetwork(r.Net, b)
+	if err != nil {
+		r.batchErr = err
+		return nil, err
+	}
+	r.batch = bn
+	return bn, nil
+}
+
 // Pool is a fixed-size checkout pool of simulator replicas. The spiking
 // simulator is stateful (Reset/Step mutate membrane potentials), so a
 // request must hold a replica exclusively for its whole run; the pool
 // bounds simulator memory to Size networks while letting Size requests
-// simulate concurrently.
+// (or microbatches) simulate concurrently.
 type Pool struct {
-	ch chan *snn.Network
+	ch chan *Replica
 }
 
 // NewPool builds a pool holding proto plus size−1 weight-sharing clones.
@@ -21,14 +55,14 @@ func NewPool(proto *snn.Network, size int) (*Pool, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("serve: pool size must be at least 1, got %d", size)
 	}
-	p := &Pool{ch: make(chan *snn.Network, size)}
-	p.ch <- proto
+	p := &Pool{ch: make(chan *Replica, size)}
+	p.ch <- &Replica{Net: proto}
 	for i := 1; i < size; i++ {
 		c, err := proto.Clone()
 		if err != nil {
 			return nil, fmt.Errorf("serve: replica %d: %w", i, err)
 		}
-		p.ch <- c
+		p.ch <- &Replica{Net: c}
 	}
 	return p, nil
 }
@@ -37,25 +71,25 @@ func NewPool(proto *snn.Network, size int) (*Pool, error) {
 func (p *Pool) Size() int { return cap(p.ch) }
 
 // Get checks out a replica, blocking until one is free or ctx is done.
-func (p *Pool) Get(ctx context.Context) (*snn.Network, error) {
+func (p *Pool) Get(ctx context.Context) (*Replica, error) {
 	select {
-	case net := <-p.ch:
-		return net, nil
+	case rep := <-p.ch:
+		return rep, nil
 	default:
 	}
 	select {
-	case net := <-p.ch:
-		return net, nil
+	case rep := <-p.ch:
+		return rep, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 }
 
-// Put returns a replica to the pool. It must only be called with networks
+// Put returns a replica to the pool. It must only be called with replicas
 // obtained from Get.
-func (p *Pool) Put(net *snn.Network) {
+func (p *Pool) Put(rep *Replica) {
 	select {
-	case p.ch <- net:
+	case p.ch <- rep:
 	default:
 		panic("serve: pool overflow — Put without matching Get")
 	}

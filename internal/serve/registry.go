@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"burstsnn/internal/coding"
 	"burstsnn/internal/convert"
 	"burstsnn/internal/core"
 	"burstsnn/internal/dataset"
@@ -152,6 +153,14 @@ func (r *Registry) Register(cfg ModelConfig, net *dnn.Network, normSamples []dat
 	if err != nil {
 		return nil, fmt.Errorf("serve: model %q: %w", cfg.Name, err)
 	}
+	// One quantization cache per registered model, attached to the proto
+	// encoder before the pool clones it so every replica (sequential and
+	// batched) shares it. Schemes without Reset-time quantization (real,
+	// rate) simply don't implement QuantCached.
+	quant := coding.NewQuantCache(0)
+	if qc, ok := conv.Net.Encoder.(coding.QuantCached); ok {
+		qc.SetQuantCache(quant)
+	}
 	pool, err := NewPool(conv.Net, cfg.Replicas)
 	if err != nil {
 		return nil, fmt.Errorf("serve: model %q: %w", cfg.Name, err)
@@ -169,6 +178,7 @@ func (r *Registry) Register(cfg ModelConfig, net *dnn.Network, normSamples []dat
 	if old, ok := r.models[cfg.Name]; ok {
 		m.metrics = old.metrics
 	}
+	m.metrics.AttachQuantCache(quant)
 	r.models[cfg.Name] = m
 	r.mu.Unlock()
 	return m, nil

@@ -48,6 +48,15 @@ type Config struct {
 	// QueueDepth bounds each model's request queue; Submits beyond it
 	// block (backpressure). Default 4×MaxBatch.
 	QueueDepth int
+	// LockstepBatch executes multi-request microbatches through the
+	// lockstep batch simulator (snn.BatchNetwork) instead of back to back
+	// on the replica. Results are bit-identical either way. Lockstep
+	// amortizes scatter-table walks and weight loads across the batch's
+	// lanes, which pays off for high-occupancy traffic (correlated or
+	// repeated images); for fully distinct images on scalar CPUs the
+	// back-to-back path is currently faster (see BENCH_batch.json and
+	// internal/README.md "When lockstep pays"), so the default is off.
+	LockstepBatch bool
 	// RequestTimeout bounds one classification end to end (default 30s).
 	RequestTimeout time.Duration
 }
@@ -144,7 +153,7 @@ func (s *Server) Register(cfg ModelConfig, net *dnn.Network, normSamples []datas
 	}
 	s.mu.Lock()
 	old := s.batchers[cfg.Name]
-	s.batchers[cfg.Name] = NewBatcher(m.Pool(), s.cfg.MaxBatch, s.cfg.MaxDelay, s.cfg.QueueDepth)
+	s.batchers[cfg.Name] = NewBatcher(m.Pool(), m.Metrics(), s.cfg.LockstepBatch, s.cfg.MaxBatch, s.cfg.MaxDelay, s.cfg.QueueDepth)
 	s.mu.Unlock()
 	if old != nil {
 		old.Close()

@@ -105,7 +105,9 @@ func TestClassifyValidation(t *testing.T) {
 // count, and spike count no matter which replica runs it, how requests
 // are batched, or how many run concurrently.
 func TestDeterminismUnderContention(t *testing.T) {
-	s := testServer(t, Config{MaxBatch: 4})
+	// Lockstep batching on: the invariant must hold regardless of which
+	// execution path (lockstep or sequential fallback) serves a request.
+	s := testServer(t, Config{MaxBatch: 4, LockstepBatch: true})
 	_, set := testModel(t)
 	images := set.Test[:8]
 	ctx := context.Background()

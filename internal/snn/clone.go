@@ -58,12 +58,16 @@ func (l *SpikingAvgPool) CloneLayer() Layer {
 // shared; cumulative payloads and the spike stamps are fresh state.
 func (l *SpikingMaxPool) CloneLayer() Layer {
 	nIn := l.C * l.H * l.W
+	nWin := len(l.winStart) - 1
 	return &SpikingMaxPool{
 		C: l.C, H: l.H, W: l.W, Window: l.Window,
-		cum:   make([]float64, nIn),
-		buf:   make([]coding.Event, 0, cap(l.buf)),
-		winOf: l.winOf, winStart: l.winStart, winMembers: l.winMembers,
-		seen: make([]int, nIn),
+		cum:     make([]float64, nIn),
+		lastPay: make([]float64, nIn),
+		buf:     make([]coding.Event, 0, cap(l.buf)),
+		winOf:   l.winOf, winStart: l.winStart, winMembers: l.winMembers,
+		seen:     make([]int, nIn),
+		winStamp: make([]int, nWin),
+		touched:  make([]int32, 0, nWin),
 	}
 }
 

@@ -361,11 +361,19 @@ func (l *SpikingAvgPool) StepSlow(t int, _ float64, in []coding.Event) []coding.
 // silent input that merely ties the maximum must not mute an equally
 // maximal input that is actually spiking, otherwise the window goes
 // silent for the step and the pooled signal is lost.
+//
+// Emission order: forwarded events are emitted in ascending window index
+// order (not input-event order). Every other layer already emits in
+// ascending neuron order, and the batched lockstep simulator relies on
+// that invariant — a lane projected out of a batch column stream must see
+// events in exactly the sequential order, or downstream float
+// accumulation diverges (see internal/README.md).
 type SpikingMaxPool struct {
 	C, H, W, Window int
 
-	cum []float64 // cumulative payload per input neuron
-	buf []coding.Event
+	cum     []float64 // cumulative payload per input neuron
+	lastPay []float64 // payload of input i's most recent spike
+	buf     []coding.Event
 
 	// Precomputed window geometry: winOf[i] is input i's window (== the
 	// gate's output index); winMembers[winStart[w]:winStart[w+1]] are
@@ -376,8 +384,11 @@ type SpikingMaxPool struct {
 
 	// seen[i] == stamp marks inputs that spiked during the current Step
 	// call (stamp increments per call, so no per-step clearing sweep).
-	seen  []int
-	stamp int
+	// winStamp does the same per window, deduplicating the touched list.
+	seen     []int
+	winStamp []int
+	touched  []int32 // windows touched this step, kept sorted
+	stamp    int
 }
 
 // NewSpikingMaxPool constructs the gate.
@@ -390,11 +401,14 @@ func NewSpikingMaxPool(c, h, w, window int) *SpikingMaxPool {
 	l := &SpikingMaxPool{
 		C: c, H: h, W: w, Window: window,
 		cum:        make([]float64, nIn),
+		lastPay:    make([]float64, nIn),
 		buf:        make([]coding.Event, 0, nWin), // ≤ one event per window per step
 		winOf:      make([]int32, nIn),
 		winStart:   make([]int32, nWin+1),
 		winMembers: make([]int32, 0, nIn),
 		seen:       make([]int, nIn),
+		winStamp:   make([]int, nWin),
+		touched:    make([]int32, 0, nWin),
 	}
 	for ch := 0; ch < c; ch++ {
 		for oy := 0; oy < outH; oy++ {
@@ -445,27 +459,50 @@ func (l *SpikingMaxPool) winner(members []int32) int {
 	return -1
 }
 
-// Step implements Layer using the precomputed window tables.
+// insertSorted inserts w into the ascending slice s and returns it.
+// Callers never insert duplicates (they dedupe with a stamp first). The
+// input events arrive in ascending neuron order, so the windows are
+// discovered nearly sorted and the memmove is almost always empty.
+func insertSorted(s []int32, w int32) []int32 {
+	i := len(s)
+	for i > 0 && s[i-1] > w {
+		i--
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = w
+	return s
+}
+
+// Step implements Layer using the precomputed window tables: accumulate
+// the step's events, then forward each touched window's spiking winner,
+// in ascending window order.
 func (l *SpikingMaxPool) Step(t int, _ float64, in []coding.Event) []coding.Event {
 	l.buf = l.buf[:0]
 	l.stamp++
+	l.touched = l.touched[:0]
 	for _, ev := range in {
 		l.cum[ev.Index] += ev.Payload
 		l.seen[ev.Index] = l.stamp
+		l.lastPay[ev.Index] = ev.Payload
+		if w := l.winOf[ev.Index]; l.winStamp[w] != l.stamp {
+			l.winStamp[w] = l.stamp
+			l.touched = insertSorted(l.touched, w)
+		}
 	}
-	// Forward an event when its source is the window's spiking winner.
-	for _, ev := range in {
-		w := l.winOf[ev.Index]
+	for _, w := range l.touched {
 		members := l.winMembers[l.winStart[w]:l.winStart[w+1]]
-		if l.winner(members) == ev.Index {
-			l.buf = append(l.buf, coding.Event{Index: int(w), Payload: ev.Payload})
+		if win := l.winner(members); win >= 0 {
+			l.buf = append(l.buf, coding.Event{Index: int(w), Payload: l.lastPay[win]})
 		}
 	}
 	return l.buf
 }
 
 // StepSlow implements RefLayer with the original per-event div/mod window
-// arithmetic (and the same fixed winner rule as Step).
+// arithmetic (and the same winner rule and ascending-window emission
+// order as Step): after accumulating the step's events it scans every
+// window in index order and forwards its spiking winner, if any.
 func (l *SpikingMaxPool) StepSlow(t int, _ float64, in []coding.Event) []coding.Event {
 	outH, outW := l.H/l.Window, l.W/l.Window
 	l.buf = l.buf[:0]
@@ -473,35 +510,37 @@ func (l *SpikingMaxPool) StepSlow(t int, _ float64, in []coding.Event) []coding.
 	for _, ev := range in {
 		l.cum[ev.Index] += ev.Payload
 		l.seen[ev.Index] = l.stamp
+		l.lastPay[ev.Index] = ev.Payload
 	}
-	for _, ev := range in {
-		c := ev.Index / (l.H * l.W)
-		rem := ev.Index % (l.H * l.W)
-		iy, ix := rem/l.W, rem%l.W
-		oy, ox := iy/l.Window, ix/l.Window
-		best, winner := -1.0, -1
-		for ky := 0; ky < l.Window; ky++ {
-			for kx := 0; kx < l.Window; kx++ {
-				idx := (c*l.H+oy*l.Window+ky)*l.W + ox*l.Window + kx
-				if l.cum[idx] > best {
-					best = l.cum[idx]
+	for c := 0; c < l.C; c++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				first := (c*l.H+oy*l.Window)*l.W + ox*l.Window
+				best, winner := l.cum[first], -1
+				for ky := 0; ky < l.Window; ky++ {
+					for kx := 0; kx < l.Window; kx++ {
+						idx := (c*l.H+oy*l.Window+ky)*l.W + ox*l.Window + kx
+						if l.cum[idx] > best {
+							best = l.cum[idx]
+						}
+					}
+				}
+				for ky := 0; ky < l.Window && winner < 0; ky++ {
+					for kx := 0; kx < l.Window; kx++ {
+						idx := (c*l.H+oy*l.Window+ky)*l.W + ox*l.Window + kx
+						if l.cum[idx] == best && l.seen[idx] == l.stamp {
+							winner = idx
+							break
+						}
+					}
+				}
+				if winner >= 0 {
+					l.buf = append(l.buf, coding.Event{
+						Index:   (c*outH+oy)*outW + ox,
+						Payload: l.lastPay[winner],
+					})
 				}
 			}
-		}
-		for ky := 0; ky < l.Window && winner < 0; ky++ {
-			for kx := 0; kx < l.Window; kx++ {
-				idx := (c*l.H+oy*l.Window+ky)*l.W + ox*l.Window + kx
-				if l.cum[idx] == best && l.seen[idx] == l.stamp {
-					winner = idx
-					break
-				}
-			}
-		}
-		if winner == ev.Index {
-			l.buf = append(l.buf, coding.Event{
-				Index:   (c*outH+oy)*outW + ox,
-				Payload: ev.Payload,
-			})
 		}
 	}
 	return l.buf
