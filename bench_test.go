@@ -369,13 +369,15 @@ func BenchmarkHotpathBatchStep(b *testing.B) {
 	}
 }
 
-// BenchmarkBatchedThroughput measures the lockstep batch simulator
+// BenchmarkBatchedThroughput measures the lockstep batch simulators
 // against back-to-back sequential classification on the conv-bearing
 // micro model: the same 8 images, the same early-exit policy, one
-// replica. Per-lane results are bit-identical between the two paths
-// (equivalence suites pin this), so the images/sec ratio is pure
+// replica. Per-lane results agree across all paths (bit-identical for
+// the float64 plane, the tolerance contract for the float32 kernels —
+// the equivalence suites pin both), so the images/sec ratio is pure
 // amortization: shared scatter-table walks, weight-row loads, and
-// threshold computation across the batch.
+// threshold computation across the batch, plus SIMD lane packing on the
+// float32 plane.
 func BenchmarkBatchedThroughput(b *testing.B) {
 	net, set := microModel(b)
 	conv, err := burstsnn.Convert(net, set.Train, burstsnn.DefaultConvertOptions(burstsnn.Phase, burstsnn.Burst))
@@ -400,17 +402,19 @@ func BenchmarkBatchedThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(B*b.N)/b.Elapsed().Seconds(), "images/sec")
 	})
-	b.Run("lockstep", func(b *testing.B) {
-		bn, err := snn.NewBatchNetwork(conv.Net, B)
+	for _, f32 := range []bool{false, true} {
+		bn, err := snn.NewLockstep(conv.Net, B, f32)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			serve.ClassifyBatch(bn, images, policies)
-		}
-		b.ReportMetric(float64(B*b.N)/b.Elapsed().Seconds(), "images/sec")
-	})
+		b.Run("lockstep-"+bn.Kernel(), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				serve.ClassifyBatch(bn, images, policies)
+			}
+			b.ReportMetric(float64(B*b.N)/b.Elapsed().Seconds(), "images/sec")
+		})
+	}
 }
 
 // BenchmarkAsyncDelivery measures the asynchronous execution mode

@@ -259,20 +259,45 @@ func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 // step budget.
 func DefaultExitPolicy(steps int) ExitPolicy { return serve.DefaultExitPolicy(steps) }
 
-// BatchSNN is the lockstep batch simulator: up to B images stepped
-// through one set of weights and scatter tables at once, bit-identical
-// per lane to the sequential simulator. The serving batcher uses it to
-// execute whole microbatches in one pass.
-type BatchSNN = snn.BatchNetwork
+// BatchSNN is the float64 lockstep batch simulator: up to B images
+// stepped through one set of weights and scatter tables at once,
+// bit-identical per lane to the sequential simulator. The float32 plane
+// (BatchSNN32) trades bit-identity for the kernel-backed tolerance
+// contract; Lockstep is the plane-independent face the serving batcher
+// drives.
+type (
+	BatchSNN   = snn.BatchNetwork
+	BatchSNN32 = snn.BatchNetwork32
+	Lockstep   = snn.Lockstep
+)
 
-// NewBatchSNN builds a B-lane lockstep simulator over a converted
-// network (weights and precomputed tables are shared, state is fresh).
+// BatchKernel values for ServeConfig.BatchKernel: the float32 kernel
+// plane (serving default) and the bit-exact float64 plane.
+const (
+	BatchKernelF32 = serve.BatchKernelF32
+	BatchKernelF64 = serve.BatchKernelF64
+)
+
+// NewBatchSNN builds a B-lane float64 lockstep simulator over a
+// converted network (weights and precomputed tables are shared, state is
+// fresh).
 func NewBatchSNN(net *SNN, b int) (*BatchSNN, error) { return snn.NewBatchNetwork(net, b) }
 
+// NewLockstepSNN builds the B-lane lockstep simulator for the requested
+// compute plane: the float32 kernel plane when f32 is true (identical
+// predictions and early-exit outcomes, readout within accumulation
+// tolerance), the bit-exact float64 plane otherwise.
+func NewLockstepSNN(net *SNN, b int, f32 bool) (Lockstep, error) {
+	return snn.NewLockstep(net, b, f32)
+}
+
 // ClassifyBatch runs a batch of images lockstep under per-lane exit
-// policies, returning per-image outcomes identical to sequential
-// classification plus the batch's lockstep step count.
-func ClassifyBatch(bn *BatchSNN, images [][]float64, policies []ExitPolicy) ([]ServeOutcome, int) {
+// policies, returning per-image outcomes plus the batch's lockstep step
+// count. On the float64 plane outcomes are bit-identical to sequential
+// classification; on the float32 plane they carry the tolerance contract
+// (identical predictions, spike counts, and early-exit steps on the
+// equivalence corpus).
+func ClassifyBatch(bn Lockstep, images [][]float64, policies []ExitPolicy) ([]ServeOutcome, int) {
 	return serve.ClassifyBatch(bn, images, policies)
 }
 

@@ -10,22 +10,34 @@ import (
 
 	"burstsnn/internal/coding"
 	"burstsnn/internal/convert"
+	"burstsnn/internal/kernels"
 	"burstsnn/internal/serve"
 	"burstsnn/internal/snn"
 )
 
 // The batch benchmark mode (-batch FILE) measures the lockstep batch
-// simulator against back-to-back sequential classification on the
-// conv-bearing hot-path model, across a batch-size sweep, and writes a
-// machine-readable artifact so the perf trajectory captures batching —
-// not just single-image latency.
+// simulators against back-to-back sequential classification on the
+// conv-bearing hot-path model, across a batch-size sweep and across
+// kernel variants, and writes a machine-readable artifact so the perf
+// trajectory captures batching — not just single-image latency.
+//
+// Each point is one (B, kernel) pair: kernel "f64" is the scalar float64
+// lockstep plane, and "f32"/"f32-asm" is the float32 kernel plane as
+// built into this binary (the purego build tag selects which — CI runs
+// both and uploads both artifacts). The sequential baseline is repeated
+// on every point so a single point is self-contained run-over-run.
 
 type batchPoint struct {
 	B int `json:"b"`
+	// Kernel is the lockstep variant measured: "f64", "f32", or
+	// "f32-asm" (see internal/kernels.Kind).
+	Kernel string `json:"kernel"`
 	// SeqImagesPerSec is the back-to-back baseline (one replica classifies
-	// the batch's images sequentially); LockstepImagesPerSec runs the same
-	// images through ClassifyBatch on the same weights. Results are
-	// bit-identical between the two paths, so the ratio is pure execution
+	// the batch's images sequentially on the float64 fast path);
+	// LockstepImagesPerSec runs the same images through ClassifyBatch on
+	// the same weights under this point's kernel. Predictions and step
+	// counts agree across all variants (bit-identical for f64, the
+	// tolerance contract for f32), so the ratio is pure execution
 	// efficiency.
 	SeqImagesPerSec      float64 `json:"seqImagesPerSec"`
 	LockstepImagesPerSec float64 `json:"lockstepImagesPerSec"`
@@ -41,14 +53,18 @@ type batchPoint struct {
 }
 
 type batchArtifact struct {
-	Schema    string       `json:"schema"`
-	When      string       `json:"when"`
-	GoVersion string       `json:"goVersion"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	CPUs      int          `json:"cpus"`
-	Model     string       `json:"model"`
-	Points    []batchPoint `json:"points"`
+	Schema    string `json:"schema"`
+	When      string `json:"when"`
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	Model     string `json:"model"`
+	// Kernel is the float32 kernel variant linked into this binary
+	// ("f32" pure Go, "f32-asm" SSE); the per-point Kernel field says
+	// which plane each measurement ran on.
+	Kernel string       `json:"kernel"`
+	Points []batchPoint `json:"points"`
 }
 
 func runBatchBench(outPath string) error {
@@ -61,13 +77,14 @@ func runBatchBench(outPath string) error {
 		return err
 	}
 	art := batchArtifact{
-		Schema:    "burstsnn/bench-batch/v1",
+		Schema:    "burstsnn/bench-batch/v2",
 		When:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
 		Model:     "lenet-mini phase-burst (hotpath model)",
+		Kernel:    kernels.Kind(),
 	}
 	for _, B := range []int{1, 2, 4, 8} {
 		fmt.Fprintf(os.Stderr, "batch: B=%d...\n", B)
@@ -77,31 +94,6 @@ func runBatchBench(outPath string) error {
 			images[i] = set.Test[i%len(set.Test)].Image
 			policies[i] = serve.DefaultExitPolicy(96)
 		}
-		bn, err := snn.NewBatchNetwork(conv.Net, B)
-		if err != nil {
-			return err
-		}
-
-		// Occupancy + step accounting from one instrumented run.
-		var cols, laneEvents int
-		for li := -1; li < len(bn.Layers); li++ {
-			bn.AttachProbe(li, func(_ int, ev *coding.BatchEvents) {
-				cols += ev.Cols()
-				laneEvents += ev.LaneEvents()
-			})
-		}
-		outs, batchSteps := serve.ClassifyBatch(bn, images, policies)
-		pt := batchPoint{B: B, BatchSteps: batchSteps}
-		for _, o := range outs {
-			pt.LaneStepsSum += o.Steps
-		}
-		if cols > 0 {
-			pt.MeanOccupancy = float64(laneEvents) / float64(cols)
-		}
-		for li := -1; li < len(bn.Layers); li++ {
-			bn.AttachProbe(li, nil)
-		}
-
 		seq := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, img := range images {
@@ -109,22 +101,52 @@ func runBatchBench(outPath string) error {
 				}
 			}
 		})
-		lock := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				serve.ClassifyBatch(bn, images, policies)
+		seqRate := float64(B) * float64(seq.N) / seq.T.Seconds()
+
+		for _, f32 := range []bool{false, true} {
+			bn, err := snn.NewLockstep(conv.Net, B, f32)
+			if err != nil {
+				return err
 			}
-		})
-		perOp := func(r testing.BenchmarkResult) float64 {
-			return float64(B) * float64(r.N) / r.T.Seconds()
+			pt := batchPoint{B: B, Kernel: bn.Kernel(), SeqImagesPerSec: seqRate}
+
+			// Occupancy + step accounting from one instrumented run.
+			var cols, laneEvents int
+			if err := setProbes(bn, func(c, e int) { cols += c; laneEvents += e }); err != nil {
+				return err
+			}
+			outs, batchSteps := serve.ClassifyBatch(bn, images, policies)
+			pt.BatchSteps = batchSteps
+			for i, o := range outs {
+				pt.LaneStepsSum += o.Steps
+				// The planes must agree on outcomes (the tolerance
+				// contract); a divergence here means the artifact is
+				// comparing different work, so flag it loudly.
+				if want := serve.Classify(conv.Net, images[i], policies[i]); o.Prediction != want.Prediction || o.Steps != want.Steps {
+					fmt.Fprintf(os.Stderr, "batch: WARNING: kernel %s lane %d diverged from sequential (pred %d/%d steps %d/%d)\n",
+						pt.Kernel, i, o.Prediction, want.Prediction, o.Steps, want.Steps)
+				}
+			}
+			if cols > 0 {
+				pt.MeanOccupancy = float64(laneEvents) / float64(cols)
+			}
+			if err := setProbes(bn, nil); err != nil {
+				return err
+			}
+
+			lock := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					serve.ClassifyBatch(bn, images, policies)
+				}
+			})
+			pt.LockstepImagesPerSec = float64(B) * float64(lock.N) / lock.T.Seconds()
+			if pt.SeqImagesPerSec > 0 {
+				pt.Speedup = pt.LockstepImagesPerSec / pt.SeqImagesPerSec
+			}
+			art.Points = append(art.Points, pt)
+			fmt.Fprintf(os.Stderr, "batch: B=%d %s seq %.1f img/s, lockstep %.1f img/s (%.2fx), occupancy %.2f\n",
+				B, pt.Kernel, pt.SeqImagesPerSec, pt.LockstepImagesPerSec, pt.Speedup, pt.MeanOccupancy)
 		}
-		pt.SeqImagesPerSec = perOp(seq)
-		pt.LockstepImagesPerSec = perOp(lock)
-		if pt.SeqImagesPerSec > 0 {
-			pt.Speedup = pt.LockstepImagesPerSec / pt.SeqImagesPerSec
-		}
-		art.Points = append(art.Points, pt)
-		fmt.Fprintf(os.Stderr, "batch: B=%d seq %.1f img/s, lockstep %.1f img/s (%.2fx), occupancy %.2f\n",
-			B, pt.SeqImagesPerSec, pt.LockstepImagesPerSec, pt.Speedup, pt.MeanOccupancy)
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -135,5 +157,33 @@ func runBatchBench(outPath string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "batch: artifact written to %s\n", outPath)
+	return nil
+}
+
+// setProbes attaches (or, with a nil count, detaches) an event-column
+// observer on every stage of a lockstep simulator, whichever compute
+// plane it is. An unrecognized plane is an error so a future variant
+// fails loudly here instead of silently reporting zero occupancy.
+func setProbes(bn snn.Lockstep, count func(cols, laneEvents int)) error {
+	switch n := bn.(type) {
+	case *snn.BatchNetwork:
+		var p snn.BatchProbe
+		if count != nil {
+			p = func(_ int, ev *coding.BatchEvents) { count(ev.Cols(), ev.LaneEvents()) }
+		}
+		for li := -1; li < len(n.Layers); li++ {
+			n.AttachProbe(li, p)
+		}
+	case *snn.BatchNetwork32:
+		var p snn.BatchProbe32
+		if count != nil {
+			p = func(_ int, ev *coding.BatchEvents32) { count(ev.Cols(), ev.LaneEvents()) }
+		}
+		for li := -1; li < len(n.Layers); li++ {
+			n.AttachProbe(li, p)
+		}
+	default:
+		return fmt.Errorf("batch: unknown lockstep plane %T", bn)
+	}
 	return nil
 }

@@ -63,7 +63,8 @@ func main() {
 		margin   = flag.Float64("margin", 0, "required per-step top1-top2 readout margin for early exit (0 = none)")
 		maxBatch = flag.Int("maxbatch", 8, "microbatch size limit")
 		maxDelay = flag.Duration("maxdelay", 2*time.Millisecond, "microbatch max delay")
-		lockstep = flag.Bool("lockstep", false, "execute microbatches through the lockstep batch simulator (bit-identical results; pays off for high-occupancy/repeated-image traffic)")
+		lockstep = flag.Bool("lockstep", false, "execute microbatches through the lockstep batch simulator (pays off for high-occupancy/repeated-image traffic)")
+		kernel   = flag.String("kernel", serve.BatchKernelF32, "lockstep compute plane: f32 (float32 kernels, tolerance contract) or f64 (bit-identical to sequential)")
 		dir      = flag.String("dir", "", "model cache directory (default: system temp)")
 		tiny     = flag.Bool("tiny", false, "use the reduced test-scale model recipes")
 
@@ -134,6 +135,7 @@ func main() {
 		MaxBatch:      *maxBatch,
 		MaxDelay:      *maxDelay,
 		LockstepBatch: *lockstep,
+		BatchKernel:   *kernel,
 	})
 	for _, name := range strings.Split(*models, ",") {
 		name = strings.TrimSpace(name)

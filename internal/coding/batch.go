@@ -131,6 +131,10 @@ type BatchEncoder interface {
 	// Step appends the events of time t for slots [0, lanes) into out
 	// (which is Reset first).
 	Step(t int, lanes int, out *BatchEvents)
+	// Step32 is Step for the float32 compute plane: identical event
+	// timing, payloads emitted as float32. A BatchEncoder instance is
+	// owned by exactly one simulator, which calls one of the two.
+	Step32(t int, lanes int, out *BatchEvents32)
 	// Retire copies slot src's encoder state over slot dst (lane
 	// compaction after an early exit).
 	Retire(dst, src int)

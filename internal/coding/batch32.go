@@ -1,0 +1,179 @@
+package coding
+
+import "math/bits"
+
+// BatchEvents32 is the float32 counterpart of BatchEvents: the column-form
+// event stream the float32 compute plane's lockstep simulator consumes.
+// Structure and ordering invariants are identical — columns ascend by
+// neuron index, lanes ascend by slot within a column — only the payloads
+// are float32.
+//
+// Payload rounding note: the spike payloads of every physical coding
+// scheme (rate's unit payload, phase/TTFS's Π(t) = 2^-(1+t mod k), and
+// burst's β^n·v_th with power-of-two defaults) are exactly representable
+// in float32, so the stream itself typically loses nothing; the float32
+// plane's tolerance contract comes from weight rounding and membrane
+// accumulation, not from the events (see internal/README.md).
+type BatchEvents32 struct {
+	Index   []int32
+	Start   []int32 // len(Index)+1; Start[0] == 0
+	Lane    []int32
+	Payload []float32
+}
+
+// Grow pre-sizes the buffers for up to cols columns and laneEvents total
+// lane entries, so steady-state appends never allocate.
+func (e *BatchEvents32) Grow(cols, laneEvents int) {
+	if cap(e.Index) < cols {
+		e.Index = make([]int32, 0, cols)
+	}
+	if cap(e.Start) < cols+1 {
+		e.Start = make([]int32, 1, cols+1)
+	}
+	if cap(e.Lane) < laneEvents {
+		e.Lane = make([]int32, 0, laneEvents)
+	}
+	if cap(e.Payload) < laneEvents {
+		e.Payload = make([]float32, 0, laneEvents)
+	}
+	e.Reset()
+}
+
+// Reset empties the stream, keeping capacity.
+func (e *BatchEvents32) Reset() {
+	e.Index = e.Index[:0]
+	if cap(e.Start) == 0 {
+		e.Start = append(e.Start, 0)
+	}
+	e.Start = e.Start[:1]
+	e.Start[0] = 0
+	e.Lane = e.Lane[:0]
+	e.Payload = e.Payload[:0]
+}
+
+// Cols returns the number of columns.
+func (e *BatchEvents32) Cols() int { return len(e.Index) }
+
+// LaneEvents returns the total number of (lane, payload) entries — the
+// batch's spike count for the step.
+func (e *BatchEvents32) LaneEvents() int { return len(e.Lane) }
+
+// Column returns column c's neuron index, lanes, and payloads.
+func (e *BatchEvents32) Column(c int) (index int32, lanes []int32, payloads []float32) {
+	s, t := e.Start[c], e.Start[c+1]
+	return e.Index[c], e.Lane[s:t], e.Payload[s:t]
+}
+
+// Add stages one lane entry for the column being built. Lanes must be
+// staged in ascending slot order.
+func (e *BatchEvents32) Add(lane int32, payload float32) {
+	e.Lane = append(e.Lane, lane)
+	e.Payload = append(e.Payload, payload)
+}
+
+// Commit closes the column under construction: if any lane entries were
+// staged since the previous Commit, a column with the given neuron index
+// is recorded. Indices must be committed in ascending order.
+func (e *BatchEvents32) Commit(index int32) {
+	if int(e.Start[len(e.Start)-1]) == len(e.Lane) {
+		return
+	}
+	e.Index = append(e.Index, index)
+	e.Start = append(e.Start, int32(len(e.Lane)))
+}
+
+// AddMask appends one whole column from a fired-lane bitmask with a
+// uniform payload and commits it — the shape the fused FireRow kernels
+// emit. m must be non-zero; bit s corresponds to lane slot s, so lanes
+// come out in ascending slot order.
+func (e *BatchEvents32) AddMask(index int32, m uint64, payload float32) {
+	for ; m != 0; m &= m - 1 {
+		e.Lane = append(e.Lane, int32(bits.TrailingZeros64(m)))
+		e.Payload = append(e.Payload, payload)
+	}
+	e.Index = append(e.Index, index)
+	e.Start = append(e.Start, int32(len(e.Lane)))
+}
+
+// AppendLane projects one lane's events out of the stream in column
+// (neuron-index) order, widening payloads to float64 — the event list a
+// float64 observer (test suites, probes) compares against.
+func (e *BatchEvents32) AppendLane(lane int32, dst []Event) []Event {
+	for c := range e.Index {
+		s, t := e.Start[c], e.Start[c+1]
+		for k := s; k < t; k++ {
+			if e.Lane[k] == lane {
+				dst = append(dst, Event{Index: int(e.Index[c]), Payload: float64(e.Payload[k])})
+				break
+			}
+		}
+	}
+	return dst
+}
+
+// Step32 implementations for the batched encoders: identical event
+// timing to Step (same pixels spike at the same steps in the same
+// lanes), payloads emitted as float32. Phase/TTFS round the per-step
+// Π(t) once; the real encoder rounds each pixel value at emission.
+
+func (e *batchRealEncoder) Step32(_ int, lanes int, out *BatchEvents32) {
+	out.Reset()
+	for i := 0; i < e.size; i++ {
+		row := e.px[i*e.b : i*e.b+lanes]
+		for s, v := range row {
+			if v != 0 {
+				out.Add(int32(s), float32(v))
+			}
+		}
+		out.Commit(int32(i))
+	}
+}
+
+func (e *batchRateEncoder) Step32(_ int, lanes int, out *BatchEvents32) {
+	out.Reset()
+	for i := 0; i < e.size; i++ {
+		row := e.px[i*e.b : i*e.b+lanes]
+		for s, v := range row {
+			if v <= 0 {
+				continue
+			}
+			if v > 1 {
+				v = 1
+			}
+			if e.rngs[s].Bernoulli(v) {
+				out.Add(int32(s), 1)
+			}
+		}
+		out.Commit(int32(i))
+	}
+}
+
+func (e *batchPhaseEncoder) Step32(t int, lanes int, out *BatchEvents32) {
+	out.Reset()
+	shift := uint(e.period - 1 - t%e.period)
+	payload := float32(Pi(t, e.period))
+	for i := 0; i < e.size; i++ {
+		row := e.bits[i*e.b : i*e.b+lanes]
+		for s, bv := range row {
+			if bv>>shift&1 == 1 {
+				out.Add(int32(s), payload)
+			}
+		}
+		out.Commit(int32(i))
+	}
+}
+
+func (e *batchTTFSEncoder) Step32(t int, lanes int, out *BatchEvents32) {
+	out.Reset()
+	want := uint64(t%e.period) + 1
+	payload := float32(Pi(t, e.period))
+	for i := 0; i < e.size; i++ {
+		row := e.phase[i*e.b : i*e.b+lanes]
+		for s, p := range row {
+			if p == want {
+				out.Add(int32(s), payload)
+			}
+		}
+		out.Commit(int32(i))
+	}
+}

@@ -148,9 +148,31 @@ func (e *rateEncoder) Reset(image []float64) {
 	e.rng.Reseed(imageHash(image) ^ e.seed)
 }
 
-// imageHash is FNV-1a over the pixel bit patterns: the content hash the
+// HashImage is FNV-1a over the pixel bit patterns: the content hash the
 // rate encoder reseeds from (so identical images always produce identical
-// trains) and the quantization-cache key.
+// trains), the quantization-cache key, and the serving batcher's
+// duplicate-request key. It is fast, not collision-resistant — callers
+// that act on a match must verify pixel equality with SameImage (as
+// QuantCache and the batcher dedupe do).
+func HashImage(image []float64) uint64 { return imageHash(image) }
+
+// SameImage reports whether two images have identical pixel bit
+// patterns — the HashImage view of the pixels, so NaN payloads cannot
+// defeat the check. It is the verification a HashImage match requires
+// before acting on it: a collision degrades to a non-match, never to
+// another image's result.
+func SameImage(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if math.Float64bits(v) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 func imageHash(image []float64) uint64 {
 	h := uint64(14695981039346656037)
 	for _, v := range image {

@@ -1,7 +1,6 @@
 package coding
 
 import (
-	"math"
 	"sync"
 	"sync/atomic"
 )
@@ -99,16 +98,9 @@ func (c *QuantCache) lookup(k quantKey, image []float64) (q []uint64, ok, promot
 		}
 	}
 	c.mu.Unlock()
-	if ok {
-		for i, v := range image {
-			// Bit-pattern comparison, matching the hash's view of the
-			// pixels (NaN payloads must not defeat the check).
-			if math.Float64bits(e.image[i]) != math.Float64bits(v) {
-				ok = false
-				promote = true // colliding or changed entry: re-store
-				break
-			}
-		}
+	if ok && !SameImage(e.image, image) {
+		ok = false
+		promote = true // colliding or changed entry: re-store
 	}
 	if ok {
 		c.hits.Add(1)

@@ -1,0 +1,57 @@
+//go:build amd64 && !purego
+
+package kernels
+
+const kind = "f32-asm"
+
+// The assembly kernels (kernels_amd64.s) use only baseline SSE — MOVUPS,
+// ADDPS, MULSS, SHUFPS, CMPPS, MOVMSKPS — which every amd64 CPU
+// guarantees, so there is no CPUID dispatch. They take raw pointers; the
+// exported wrappers in kernels.go have already validated lengths.
+
+//go:noescape
+func axpyBlockAsm(dst, row *float32, n int, p float32, b, lanes int)
+
+//go:noescape
+func axpyBlockVecAsm(dst, row, pv *float32, n, b, lanes int)
+
+//go:noescape
+func scaleAddAsm(dst *float32, n int, x float32)
+
+//go:noescape
+func fireRowAsm(v *float32, n int, th float32) uint64
+
+//go:noescape
+func fireRowBiasAsm(v *float32, n int, bias, th float32) uint64
+
+//go:noescape
+func fireRowBurstAsm(v, gs, pay *float32, fired *uint32, n int, bias, beta, vth float32) uint64
+
+func axpyBlock(dst, row []float32, p float32, b, lanes int) {
+	axpyBlockAsm(&dst[0], &row[0], len(row), p, b, lanes)
+}
+
+func axpyBlockVec(dst, row, pv []float32, b, lanes int) {
+	axpyBlockVecAsm(&dst[0], &row[0], &pv[0], len(row), b, lanes)
+}
+
+func scaleAdd(dst []float32, x float32) {
+	scaleAddAsm(&dst[0], len(dst), x)
+}
+
+func fireRow(v []float32, th float32) uint64 {
+	return fireRowAsm(&v[0], len(v), th)
+}
+
+func fireRowBias(v []float32, bias, th float32) uint64 {
+	return fireRowBiasAsm(&v[0], len(v), bias, th)
+}
+
+func fireRowBurst(v, g, pay []float32, fired []uint32, bias, beta, vth float32) uint64 {
+	n4 := len(v) &^ 3
+	var m uint64
+	if n4 > 0 {
+		m = fireRowBurstAsm(&v[0], &g[0], &pay[0], &fired[0], n4, bias, beta, vth)
+	}
+	return fireRowBurstScalar(v, g, pay, fired, n4, m, bias, beta, vth)
+}

@@ -1,0 +1,29 @@
+//go:build purego || !amd64
+
+package kernels
+
+const kind = "f32"
+
+func axpyBlock(dst, row []float32, p float32, b, lanes int) {
+	axpyBlockGeneric(dst, row, p, b, lanes)
+}
+
+func axpyBlockVec(dst, row, pv []float32, b, lanes int) {
+	axpyBlockVecGeneric(dst, row, pv, b, lanes)
+}
+
+func scaleAdd(dst []float32, x float32) {
+	scaleAddGeneric(dst, x)
+}
+
+func fireRow(v []float32, th float32) uint64 {
+	return fireRowGeneric(v, th)
+}
+
+func fireRowBias(v []float32, bias, th float32) uint64 {
+	return fireRowBiasGeneric(v, bias, th)
+}
+
+func fireRowBurst(v, g, pay []float32, fired []uint32, bias, beta, vth float32) uint64 {
+	return fireRowBurstGeneric(v, g, pay, fired, bias, beta, vth)
+}

@@ -1,0 +1,107 @@
+package kernels
+
+// Pure-Go float32 implementations: modestly unrolled scalar loops. These
+// are the `purego` (and non-amd64) kernels and the semantic model the
+// assembly must match bit for bit — every element receives the same
+// sequence of float32 operations. The multiply is always materialized
+// (`wp := w * p`) before the add so no build can contract it into an FMA
+// and round differently.
+
+func axpyBlockGeneric(dst, row []float32, p float32, b, lanes int) {
+	off := 0
+	for _, w := range row {
+		wp := w * p
+		stripe := dst[off : off+lanes]
+		i := 0
+		for ; i+4 <= len(stripe); i += 4 {
+			stripe[i] += wp
+			stripe[i+1] += wp
+			stripe[i+2] += wp
+			stripe[i+3] += wp
+		}
+		for ; i < len(stripe); i++ {
+			stripe[i] += wp
+		}
+		off += b
+	}
+}
+
+func axpyBlockVecGeneric(dst, row, pv []float32, b, lanes int) {
+	pv = pv[:lanes]
+	off := 0
+	for _, w := range row {
+		stripe := dst[off : off+lanes]
+		for j, p := range pv {
+			wp := w * p
+			stripe[j] += wp
+		}
+		off += b
+	}
+}
+
+func scaleAddGeneric(dst []float32, x float32) {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] += x
+		dst[i+1] += x
+		dst[i+2] += x
+		dst[i+3] += x
+	}
+	for ; i < len(dst); i++ {
+		dst[i] += x
+	}
+}
+
+func fireRowGeneric(v []float32, th float32) uint64 {
+	var m uint64
+	for s, x := range v {
+		if x >= th {
+			v[s] = x - th
+			m |= 1 << uint(s)
+		}
+	}
+	return m
+}
+
+// fireRowBurstScalar runs the burst fire pass over lanes [from, len(v)),
+// or-ing new fire bits into m. It is both the pure-Go kernel body and
+// the tail the packed amd64 implementation falls back to past the last
+// full 4-lane group.
+func fireRowBurstScalar(v, g, pay []float32, fired []uint32, from int, m uint64, bias, beta, vth float32) uint64 {
+	for s := from; s < len(v); s++ {
+		x := v[s] + bias
+		gv := float32(1)
+		if fired[s] != 0 {
+			gv = beta * g[s]
+		}
+		g[s] = gv
+		th := gv * vth
+		pay[s] = th
+		if x >= th {
+			x -= th
+			fired[s] = ^uint32(0)
+			m |= 1 << uint(s)
+		} else {
+			fired[s] = 0
+		}
+		v[s] = x
+	}
+	return m
+}
+
+func fireRowBurstGeneric(v, g, pay []float32, fired []uint32, bias, beta, vth float32) uint64 {
+	return fireRowBurstScalar(v, g, pay, fired, 0, 0, bias, beta, vth)
+}
+
+func fireRowBiasGeneric(v []float32, bias, th float32) uint64 {
+	var m uint64
+	for s, x := range v {
+		x += bias
+		if x >= th {
+			x -= th
+			m |= 1 << uint(s)
+		}
+		v[s] = x
+	}
+	return m
+}

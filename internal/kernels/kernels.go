@@ -1,0 +1,147 @@
+// Package kernels is the float32 compute plane's block-primitive layer:
+// the handful of inner loops the batched lockstep simulator spends its
+// time in, shaped for SIMD. The batch path stores neuron state B-striped
+// (lane-major) and the conv population base-major, so one scatter tap —
+// one weight row applied to one event column — updates a contiguous
+// OutC×B float32 block. These primitives consume exactly that shape.
+//
+// Two implementations share one contract:
+//
+//   - a pure-Go build (the `purego` build tag, and every non-amd64
+//     platform): unrolled scalar float32 loops the compiler schedules
+//     well, and
+//   - an amd64 SSE implementation (the default on amd64): 4-lane packed
+//     single-precision arithmetic using only baseline SSE instructions,
+//     so it runs on every GOAMD64 level without dispatch.
+//
+// The two are semantically identical, not merely close: every primitive
+// performs the same float32 operations on the same elements — each
+// destination element receives exactly one rounded multiply and one add
+// per call, and the threshold test subtracts the same float32 value — so
+// a simulation produces bit-identical float32 trajectories whichever
+// build executes it. The equivalence suite runs under both builds in CI
+// (see .github/workflows/ci.yml) and the fuzz tests in this package pin
+// each primitive to a naive scalar reference at random shapes.
+//
+// Kind reports which implementation is linked in ("f32" pure Go,
+// "f32-asm" SSE); serving surfaces it in /metrics so an operator can see
+// which kernel a replica picked at build time.
+package kernels
+
+// Kind identifies the kernel implementation compiled into this binary:
+// "f32" for the pure-Go loops, "f32-asm" for the amd64 SSE kernels.
+// The choice is a build-time property (the `purego` build tag), not a
+// runtime switch.
+func Kind() string { return kind }
+
+// KindF64 names the float64 scalar batch path in artifacts and metrics,
+// alongside the Kind() values of this package's float32 kernels.
+const KindF64 = "f64"
+
+// AxpyBlock scatters one weighted tap into a lane-striped block:
+//
+//	dst[i*b : i*b+lanes] += row[i] * p   for every i in range(len(row))
+//
+// b is the lane stride (the batch capacity B) and lanes the active-lane
+// count. This is the batched scatter's workhorse: one event column with
+// a uniform payload p applies weight row `row` to every active lane, the
+// product row[i]*p hoisted out of the lane loop. dst must hold at least
+// (len(row)-1)*b+lanes elements.
+func AxpyBlock(dst, row []float32, p float32, b, lanes int) {
+	if len(row) == 0 || lanes <= 0 {
+		return
+	}
+	_ = dst[(len(row)-1)*b+lanes-1] // one bounds check up front
+	axpyBlock(dst, row, p, b, lanes)
+}
+
+// AxpyBlockVec scatters one weight row against a dense per-lane payload
+// vector:
+//
+//	dst[i*b+j] += row[i] * pv[j]   for i in range(len(row)), j in [0, lanes)
+//
+// This is the partial-column scatter: a column that spiked in only some
+// lanes (or with per-lane burst payloads) is densified into pv — payload
+// at each spiking lane's slot, zero elsewhere — and every tap then runs
+// as one packed multiply-add over the contiguous stripe instead of a
+// strided per-lane walk. Lanes absent from the column accumulate
+// row[i]*0, which is exact for finite weights (a ±0 add leaves every
+// membrane value unchanged, except that it may normalize a -0 to +0 —
+// invisible to thresholds, payloads, and argmax). pv must hold at least
+// lanes elements and dst at least (len(row)-1)*b+lanes.
+func AxpyBlockVec(dst, row, pv []float32, b, lanes int) {
+	if len(row) == 0 || lanes <= 0 {
+		return
+	}
+	_ = dst[(len(row)-1)*b+lanes-1]
+	_ = pv[lanes-1]
+	axpyBlockVec(dst, row, pv, b, lanes)
+}
+
+// AxpyLane scatters one weighted tap into a single lane of a striped
+// block: dst[lane+i*b] += row[i] * p. The strided single-lane form of
+// AxpyBlock, used for partial event columns; it stays scalar on every
+// build (a stride-B walk has no profitable SSE form at these widths).
+func AxpyLane(dst, row []float32, p float32, b, lane int) {
+	vb := lane
+	for _, w := range row {
+		dst[vb] += w * p
+		vb += b
+	}
+}
+
+// ScaleAdd adds the scalar x to every element of dst — the lane-stripe
+// bias/current add (dst is one neuron's active-lane stripe).
+func ScaleAdd(dst []float32, x float32) {
+	if len(dst) == 0 {
+		return
+	}
+	scaleAdd(dst, x)
+}
+
+// FireRow is the fused threshold-compare + lane-bitmask emission over one
+// neuron's lane stripe: for every s, if v[s] >= th then v[s] -= th
+// (reset by subtraction) and bit s is set in the returned mask. len(v)
+// must be at most 64.
+func FireRow(v []float32, th float32) uint64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return fireRow(v, th)
+}
+
+// FireRowBias is FireRow with the neuron's per-step bias current fused
+// in: v[s] += bias first, then the threshold test. The bias lands on
+// every lane (firing or not), exactly like the scalar fused fire pass.
+func FireRowBias(v []float32, bias, th float32) uint64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return fireRowBias(v, bias, th)
+}
+
+// FireRowBurst is the fused burst-coding fire pass (Eq. 8/9) over one
+// neuron's lane stripe: per lane s,
+//
+//	v[s] += bias
+//	g[s] = fired[s] != 0 ? beta·g[s] : 1     (Eq. 8)
+//	th   = g[s]·vth                          (Eq. 9)
+//	pay[s] = th
+//	if v[s] >= th { v[s] -= th; fired[s] = ^0; bit s set } else { fired[s] = 0 }
+//
+// fired is the previous step's fired-lane state as full words (zero /
+// all-ones — the blend-mask representation the packed implementation
+// needs), updated in place. pay receives the per-lane threshold
+// unconditionally; consumers read it only at set mask bits. bias is
+// added on every call (pass 0 for bias-free layers — exact except that
+// a -0 membrane normalizes to +0, which no threshold or payload can
+// observe). All slices must share v's length (at most 64).
+func FireRowBurst(v, g, pay []float32, fired []uint32, bias, beta, vth float32) uint64 {
+	if len(v) == 0 {
+		return 0
+	}
+	_ = g[len(v)-1]
+	_ = pay[len(v)-1]
+	_ = fired[len(v)-1]
+	return fireRowBurst(v, g, pay, fired, bias, beta, vth)
+}

@@ -1,0 +1,362 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// Baseline-SSE float32 kernels. All loops process 4 packed lanes per
+// iteration with a scalar tail, and every element receives exactly the
+// operations the generic Go implementations perform (one rounded multiply
+// and one add for the scatters; compare + subtract for the fire pass), so
+// the two builds produce bit-identical state.
+
+// func axpyBlockAsm(dst, row *float32, n int, p float32, b, lanes int)
+// for i in [0,n): wp = row[i]*p; dst[i*b : i*b+lanes] += wp
+TEXT ·axpyBlockAsm(SB), NOSPLIT, $0-48
+	MOVQ  dst+0(FP), DI
+	MOVQ  row+8(FP), SI
+	MOVQ  n+16(FP), CX
+	MOVSS p+24(FP), X0
+	MOVQ  b+32(FP), R8
+	MOVQ  lanes+40(FP), R9
+	SHLQ  $2, R8              // stride in bytes
+
+rowloop:
+	TESTQ CX, CX
+	JZ    done
+	MOVSS  (SI), X1
+	MULSS  X0, X1
+	SHUFPS $0x00, X1, X1      // broadcast wp
+	MOVQ   R9, DX             // lanes remaining
+	MOVQ   DI, BX             // stripe cursor
+
+lane4:
+	CMPQ   DX, $4
+	JLT    lanetail
+	MOVUPS (BX), X2
+	ADDPS  X1, X2
+	MOVUPS X2, (BX)
+	ADDQ   $16, BX
+	SUBQ   $4, DX
+	JMP    lane4
+
+lanetail:
+	TESTQ DX, DX
+	JZ    nextrow
+	MOVSS (BX), X2
+	ADDSS X1, X2
+	MOVSS X2, (BX)
+	ADDQ  $4, BX
+	DECQ  DX
+	JMP   lanetail
+
+nextrow:
+	ADDQ $4, SI
+	ADDQ R8, DI
+	DECQ CX
+	JMP  rowloop
+
+done:
+	RET
+
+// func axpyBlockVecAsm(dst, row, pv *float32, n, b, lanes int)
+// for i in [0,n): dst[i*b : i*b+lanes] += row[i] * pv[:lanes]
+TEXT ·axpyBlockVecAsm(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ row+8(FP), SI
+	MOVQ pv+16(FP), R10
+	MOVQ n+24(FP), CX
+	MOVQ b+32(FP), R8
+	MOVQ lanes+40(FP), R9
+	SHLQ $2, R8               // stride in bytes
+	CMPQ R9, $8
+	JEQ  vec8
+	CMPQ R9, $4
+	JEQ  vec4
+
+vrowloop:
+	TESTQ CX, CX
+	JZ    vdone
+	MOVSS  (SI), X0
+	SHUFPS $0x00, X0, X0      // broadcast w
+	MOVQ   R9, DX             // lanes remaining
+	MOVQ   DI, BX             // stripe cursor
+	MOVQ   R10, R11           // pv cursor
+
+vlane4:
+	CMPQ   DX, $4
+	JLT    vlanetail
+	MOVUPS (R11), X1
+	MULPS  X0, X1             // w * pv[j..j+3]
+	MOVUPS (BX), X2
+	ADDPS  X1, X2
+	MOVUPS X2, (BX)
+	ADDQ   $16, BX
+	ADDQ   $16, R11
+	SUBQ   $4, DX
+	JMP    vlane4
+
+vlanetail:
+	TESTQ DX, DX
+	JZ    vnextrow
+	MOVSS (R11), X1
+	MULSS X0, X1
+	MOVSS (BX), X2
+	ADDSS X1, X2
+	MOVSS X2, (BX)
+	ADDQ  $4, BX
+	ADDQ  $4, R11
+	DECQ  DX
+	JMP   vlanetail
+
+vnextrow:
+	ADDQ $4, SI
+	ADDQ R8, DI
+	DECQ CX
+	JMP  vrowloop
+
+	// lanes == 8 (the serving default batch width): pv stays in X5/X6
+	// across rows and the stripe update is fully unrolled.
+vec8:
+	MOVUPS (R10), X5
+	MOVUPS 16(R10), X6
+
+vec8loop:
+	TESTQ CX, CX
+	JZ    vdone
+	MOVSS  (SI), X0
+	SHUFPS $0x00, X0, X0
+	MOVAPS X5, X1
+	MULPS  X0, X1
+	MOVAPS X6, X2
+	MULPS  X0, X2
+	MOVUPS (DI), X3
+	ADDPS  X1, X3
+	MOVUPS X3, (DI)
+	MOVUPS 16(DI), X4
+	ADDPS  X2, X4
+	MOVUPS X4, 16(DI)
+	ADDQ   $4, SI
+	ADDQ   R8, DI
+	DECQ   CX
+	JMP    vec8loop
+
+	// lanes == 4: one packed stripe per row.
+vec4:
+	MOVUPS (R10), X5
+
+vec4loop:
+	TESTQ CX, CX
+	JZ    vdone
+	MOVSS  (SI), X0
+	SHUFPS $0x00, X0, X0
+	MULPS  X5, X0
+	MOVUPS (DI), X3
+	ADDPS  X0, X3
+	MOVUPS X3, (DI)
+	ADDQ   $4, SI
+	ADDQ   R8, DI
+	DECQ   CX
+	JMP    vec4loop
+
+vdone:
+	RET
+
+// func scaleAddAsm(dst *float32, n int, x float32)
+// dst[i] += x for i in [0,n)
+TEXT ·scaleAddAsm(SB), NOSPLIT, $0-20
+	MOVQ   dst+0(FP), DI
+	MOVQ   n+8(FP), CX
+	MOVSS  x+16(FP), X0
+	SHUFPS $0x00, X0, X0
+
+add4:
+	CMPQ   CX, $4
+	JLT    addtail
+	MOVUPS (DI), X1
+	ADDPS  X0, X1
+	MOVUPS X1, (DI)
+	ADDQ   $16, DI
+	SUBQ   $4, CX
+	JMP    add4
+
+addtail:
+	TESTQ CX, CX
+	JZ    adddone
+	MOVSS (DI), X1
+	ADDSS X0, X1
+	MOVSS X1, (DI)
+	ADDQ  $4, DI
+	DECQ  CX
+	JMP   addtail
+
+adddone:
+	RET
+
+// func fireRowAsm(v *float32, n int, th float32) uint64
+// for s in [0,n): if v[s] >= th { v[s] -= th; mask |= 1<<s }
+//
+// The packed compare is th <= v (CMPLEPS, ordered, so NaN never fires —
+// matching the scalar >= which is false on NaN).
+TEXT ·fireRowAsm(SB), NOSPLIT, $0-32
+	MOVQ   v+0(FP), DI
+	MOVQ   n+8(FP), R11
+	MOVSS  th+16(FP), X0
+	SHUFPS $0x00, X0, X0
+	XORQ   AX, AX             // mask accumulator
+	XORQ   CX, CX             // lane position (shift amount)
+
+fire4:
+	CMPQ   R11, $4
+	JLT    firetail
+	MOVUPS (DI), X1           // v
+	MOVAPS X0, X2             // th
+	CMPPS  X1, X2, $2         // X2 = (th <= v) ? ^0 : 0
+	MOVAPS X2, X3
+	ANDPS  X0, X3             // th where fired, else 0
+	SUBPS  X3, X1
+	MOVUPS X1, (DI)
+	MOVMSKPS X2, DX
+	SHLQ   CX, DX
+	ORQ    DX, AX
+	ADDQ   $16, DI
+	ADDQ   $4, CX
+	SUBQ   $4, R11
+	JMP    fire4
+
+firetail:
+	TESTQ   R11, R11
+	JZ      firedone
+	MOVSS   (DI), X1
+	UCOMISS X0, X1            // compare v (X1) against th (X0)
+	JB      firenext          // v < th (or NaN): no spike
+	SUBSS   X0, X1
+	MOVSS   X1, (DI)
+	MOVQ    $1, DX
+	SHLQ    CX, DX
+	ORQ     DX, AX
+
+firenext:
+	ADDQ $4, DI
+	INCQ CX
+	DECQ R11
+	JMP  firetail
+
+firedone:
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func fireRowBurstAsm(v, gs, pay *float32, fired *uint32, n, bias, beta, vth) uint64
+// (the burst state pointer is named gs because g is a reserved asm name)
+// The packed burst fire pass (see kernels.FireRowBurst); n must be a
+// multiple of 4 (the Go wrapper handles the tail). The Eq. 8 select
+// g' = fired ? beta·g : 1 is a mask blend: (beta·g AND fired) OR
+// (1.0 ANDN fired), exact because fired words are all-ones or zero.
+TEXT ·fireRowBurstAsm(SB), NOSPLIT, $0-64
+	MOVQ   v+0(FP), DI
+	MOVQ   gs+8(FP), SI
+	MOVQ   pay+16(FP), R10
+	MOVQ   fired+24(FP), R12
+	MOVQ   n+32(FP), R11
+	MOVSS  bias+40(FP), X12
+	SHUFPS $0x00, X12, X12
+	MOVSS  beta+44(FP), X13
+	SHUFPS $0x00, X13, X13
+	MOVSS  vth+48(FP), X14
+	SHUFPS $0x00, X14, X14
+	MOVL   $0x3F800000, DX    // 1.0f
+	MOVD   DX, X15
+	SHUFPS $0x00, X15, X15
+	XORQ   AX, AX
+	XORQ   CX, CX
+
+burst4:
+	TESTQ  R11, R11
+	JZ     burstdone
+	MOVUPS (DI), X1           // v
+	ADDPS  X12, X1            // v += bias
+	MOVUPS (SI), X2           // g
+	MOVUPS (R12), X3          // fired mask
+	MULPS  X13, X2            // beta*g
+	ANDPS  X3, X2             // beta*g where fired, else 0
+	ANDNPS X15, X3            // X3 = ^fired & 1.0
+	ORPS   X3, X2             // g' = fired ? beta*g : 1
+	MOVUPS X2, (SI)
+	MULPS  X14, X2            // th = g'*vth
+	MOVUPS X2, (R10)          // pay = th (unconditional)
+	MOVAPS X2, X4
+	CMPPS  X1, X4, $2         // m = (th <= v), ordered
+	ANDPS  X4, X2             // th where fired, else 0
+	SUBPS  X2, X1             // v -= th (non-fired lanes subtract ±0)
+	MOVUPS X1, (DI)
+	MOVUPS X4, (R12)          // new fired mask
+	MOVMSKPS X4, DX
+	SHLQ   CX, DX
+	ORQ    DX, AX
+	ADDQ   $16, DI
+	ADDQ   $16, SI
+	ADDQ   $16, R10
+	ADDQ   $16, R12
+	ADDQ   $4, CX
+	SUBQ   $4, R11
+	JMP    burst4
+
+burstdone:
+	MOVQ AX, ret+56(FP)
+	RET
+
+// func fireRowBiasAsm(v *float32, n int, bias, th float32) uint64
+// for s in [0,n): v[s] += bias; if v[s] >= th { v[s] -= th; mask |= 1<<s }
+TEXT ·fireRowBiasAsm(SB), NOSPLIT, $0-32
+	MOVQ   v+0(FP), DI
+	MOVQ   n+8(FP), R11
+	MOVSS  bias+16(FP), X4
+	SHUFPS $0x00, X4, X4
+	MOVSS  th+20(FP), X0
+	SHUFPS $0x00, X0, X0
+	XORQ   AX, AX
+	XORQ   CX, CX
+
+bfire4:
+	CMPQ   R11, $4
+	JLT    bfiretail
+	MOVUPS (DI), X1
+	ADDPS  X4, X1             // v += bias
+	MOVAPS X0, X2
+	CMPPS  X1, X2, $2         // th <= v
+	MOVAPS X2, X3
+	ANDPS  X0, X3
+	SUBPS  X3, X1
+	MOVUPS X1, (DI)
+	MOVMSKPS X2, DX
+	SHLQ   CX, DX
+	ORQ    DX, AX
+	ADDQ   $16, DI
+	ADDQ   $4, CX
+	SUBQ   $4, R11
+	JMP    bfire4
+
+bfiretail:
+	TESTQ   R11, R11
+	JZ      bfiredone
+	MOVSS   (DI), X1
+	ADDSS   X4, X1
+	UCOMISS X0, X1
+	JB      bnofire
+	SUBSS   X0, X1
+	MOVSS   X1, (DI)
+	MOVQ    $1, DX
+	SHLQ    CX, DX
+	ORQ     DX, AX
+	JMP     bfirenext
+
+bnofire:
+	MOVSS X1, (DI)            // biased value is stored even without a spike
+
+bfirenext:
+	ADDQ $4, DI
+	INCQ CX
+	DECQ R11
+	JMP  bfiretail
+
+bfiredone:
+	MOVQ AX, ret+24(FP)
+	RET

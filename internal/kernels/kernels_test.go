@@ -1,0 +1,328 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"burstsnn/internal/mathx"
+)
+
+// The reference implementations below are deliberately naive scalar
+// loops — no unrolling, no hoisting beyond the single wp product (which
+// the contract requires: the multiply is rounded once, then added). The
+// fuzz tests drive the exported kernels against them at random shapes,
+// requiring bit-exact float32 agreement; CI runs this package under both
+// the assembly and the purego builds.
+
+func refAxpyBlock(dst, row []float32, p float32, b, lanes int) {
+	for i, w := range row {
+		wp := w * p
+		for j := 0; j < lanes; j++ {
+			dst[i*b+j] += wp
+		}
+	}
+}
+
+func refScaleAdd(dst []float32, x float32) {
+	for i := range dst {
+		dst[i] += x
+	}
+}
+
+func refFireRow(v []float32, th float32) uint64 {
+	var m uint64
+	for s := range v {
+		if v[s] >= th {
+			v[s] -= th
+			m |= 1 << uint(s)
+		}
+	}
+	return m
+}
+
+func refFireRowBias(v []float32, bias, th float32) uint64 {
+	var m uint64
+	for s := range v {
+		v[s] += bias
+		if v[s] >= th {
+			v[s] -= th
+			m |= 1 << uint(s)
+		}
+	}
+	return m
+}
+
+func randF32s(r *mathx.RNG, n int, scale float64) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.Norm(0, scale))
+	}
+	return v
+}
+
+func TestKindNames(t *testing.T) {
+	if k := Kind(); k != "f32" && k != "f32-asm" {
+		t.Fatalf("Kind() = %q, want f32 or f32-asm", k)
+	}
+	if KindF64 != "f64" {
+		t.Fatalf("KindF64 = %q", KindF64)
+	}
+}
+
+func TestAxpyBlockFuzz(t *testing.T) {
+	r := mathx.NewRNG(0xA1B0)
+	for round := 0; round < 500; round++ {
+		b := 1 + r.Intn(70)
+		lanes := 1 + r.Intn(b)
+		n := r.Intn(33)
+		row := randF32s(r, n, 0.5)
+		size := 1
+		if n > 0 {
+			size = (n-1)*b + lanes
+		}
+		dst := randF32s(r, size, 1)
+		want := append([]float32(nil), dst...)
+		p := float32(r.Norm(0, 1))
+
+		AxpyBlock(dst, row, p, b, lanes)
+		refAxpyBlock(want, row, p, b, lanes)
+		for i := range want {
+			if math.Float32bits(dst[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("round %d (b=%d lanes=%d n=%d): dst[%d] = %v, want %v",
+					round, b, lanes, n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func refAxpyBlockVec(dst, row, pv []float32, b, lanes int) {
+	for i, w := range row {
+		for j := 0; j < lanes; j++ {
+			wp := w * pv[j]
+			dst[i*b+j] += wp
+		}
+	}
+}
+
+func TestAxpyBlockVecFuzz(t *testing.T) {
+	r := mathx.NewRNG(0xA1B2)
+	for round := 0; round < 500; round++ {
+		b := 1 + r.Intn(70)
+		lanes := 1 + r.Intn(b)
+		n := r.Intn(33)
+		row := randF32s(r, n, 0.5)
+		pv := randF32s(r, b, 1)
+		for i := range pv {
+			if r.Intn(3) == 0 {
+				pv[i] = 0 // absent lanes are zero-filled in real use
+			}
+		}
+		size := 1
+		if n > 0 {
+			size = (n-1)*b + lanes
+		}
+		dst := randF32s(r, size, 1)
+		want := append([]float32(nil), dst...)
+
+		AxpyBlockVec(dst, row, pv, b, lanes)
+		refAxpyBlockVec(want, row, pv, b, lanes)
+		for i := range want {
+			if math.Float32bits(dst[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("round %d (b=%d lanes=%d n=%d): dst[%d] = %v, want %v",
+					round, b, lanes, n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAxpyLaneFuzz(t *testing.T) {
+	r := mathx.NewRNG(0xA1B1)
+	for round := 0; round < 200; round++ {
+		b := 1 + r.Intn(32)
+		lane := r.Intn(b)
+		n := 1 + r.Intn(40)
+		row := randF32s(r, n, 0.5)
+		dst := randF32s(r, n*b, 1)
+		want := append([]float32(nil), dst...)
+		p := float32(r.Norm(0, 1))
+
+		AxpyLane(dst, row, p, b, lane)
+		for i, w := range row {
+			wp := w * p
+			want[lane+i*b] += wp
+		}
+		for i := range want {
+			if math.Float32bits(dst[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("round %d: dst[%d] = %v, want %v", round, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScaleAddFuzz(t *testing.T) {
+	r := mathx.NewRNG(0x5CA1)
+	for round := 0; round < 300; round++ {
+		dst := randF32s(r, r.Intn(130), 1)
+		want := append([]float32(nil), dst...)
+		x := float32(r.Norm(0, 1))
+		ScaleAdd(dst, x)
+		refScaleAdd(want, x)
+		for i := range want {
+			if math.Float32bits(dst[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("round %d: dst[%d] = %v, want %v", round, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// fireCase fuzzes one fire kernel against its reference, including
+// exact-threshold lanes (v == th must fire and reset to exactly 0).
+func fireCase(t *testing.T, round int, r *mathx.RNG, bias bool) {
+	t.Helper()
+	n := 1 + r.Intn(64)
+	th := float32(0.125 * math.Pow(2, float64(r.Intn(6))))
+	v := make([]float32, n)
+	for i := range v {
+		switch r.Intn(5) {
+		case 0:
+			v[i] = th // exact threshold: must fire
+		case 1:
+			v[i] = th * float32(r.Norm(1, 1e-6)) // near-threshold
+		default:
+			v[i] = float32(r.Norm(0, float64(th)*2))
+		}
+	}
+	want := append([]float32(nil), v...)
+	var got, ref uint64
+	if bias {
+		bv := float32(r.Norm(0, 0.1))
+		got = FireRowBias(v, bv, th)
+		ref = refFireRowBias(want, bv, th)
+	} else {
+		got = FireRow(v, th)
+		ref = refFireRow(want, th)
+	}
+	if got != ref {
+		t.Fatalf("round %d (bias=%v n=%d th=%v): mask %064b, want %064b", round, bias, n, th, got, ref)
+	}
+	for i := range want {
+		if math.Float32bits(v[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("round %d (bias=%v): v[%d] = %v, want %v", round, bias, i, v[i], want[i])
+		}
+	}
+}
+
+func TestFireRowFuzz(t *testing.T) {
+	r := mathx.NewRNG(0xF12E)
+	for round := 0; round < 500; round++ {
+		fireCase(t, round, r, false)
+		fireCase(t, round, r, true)
+	}
+}
+
+func refFireRowBurst(v, g, pay []float32, fired []uint32, bias, beta, vth float32) uint64 {
+	var m uint64
+	for s := range v {
+		v[s] += bias
+		gv := float32(1)
+		if fired[s] != 0 {
+			gv = beta * g[s]
+		}
+		g[s] = gv
+		th := gv * vth
+		pay[s] = th
+		if v[s] >= th {
+			v[s] -= th
+			fired[s] = ^uint32(0)
+			m |= 1 << uint(s)
+		} else {
+			fired[s] = 0
+		}
+	}
+	return m
+}
+
+func TestFireRowBurstFuzz(t *testing.T) {
+	r := mathx.NewRNG(0xB125)
+	for round := 0; round < 600; round++ {
+		n := 1 + r.Intn(64)
+		beta := float32(2)
+		vth := float32(0.125)
+		bias := float32(r.Norm(0, 0.05))
+		v := make([]float32, n)
+		g := make([]float32, n)
+		fired := make([]uint32, n)
+		for i := range v {
+			v[i] = float32(r.Norm(0, 0.5))
+			g[i] = float32(math.Pow(2, float64(r.Intn(6)))) // burst ladder states
+			if r.Bernoulli(0.5) {
+				fired[i] = ^uint32(0)
+			}
+			if r.Intn(5) == 0 {
+				// Exact threshold: must fire and reset to exactly 0.
+				gv := g[i]
+				if fired[i] == 0 {
+					gv = 1
+				} else {
+					gv = beta * g[i]
+				}
+				v[i] = gv*vth - bias
+			}
+		}
+		pay := make([]float32, n)
+		wantV := append([]float32(nil), v...)
+		wantG := append([]float32(nil), g...)
+		wantF := append([]uint32(nil), fired...)
+		wantP := make([]float32, n)
+
+		got := FireRowBurst(v, g, pay, fired, bias, beta, vth)
+		want := refFireRowBurst(wantV, wantG, wantP, wantF, bias, beta, vth)
+		if got != want {
+			t.Fatalf("round %d (n=%d): mask %064b, want %064b", round, n, got, want)
+		}
+		for i := range wantV {
+			if math.Float32bits(v[i]) != math.Float32bits(wantV[i]) ||
+				math.Float32bits(g[i]) != math.Float32bits(wantG[i]) ||
+				math.Float32bits(pay[i]) != math.Float32bits(wantP[i]) ||
+				fired[i] != wantF[i] {
+				t.Fatalf("round %d lane %d: v %v/%v g %v/%v pay %v/%v fired %x/%x",
+					round, i, v[i], wantV[i], g[i], wantG[i], pay[i], wantP[i], fired[i], wantF[i])
+			}
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	AxpyBlock(nil, nil, 1, 4, 2)
+	AxpyBlock([]float32{1}, []float32{1}, 1, 4, 0)
+	AxpyBlockVec(nil, nil, nil, 4, 2)
+	AxpyBlockVec([]float32{1}, []float32{1}, []float32{1}, 4, 0)
+	ScaleAdd(nil, 1)
+	if FireRow(nil, 1) != 0 || FireRowBias(nil, 1, 1) != 0 {
+		t.Fatal("empty fire rows must return empty masks")
+	}
+}
+
+func BenchmarkAxpyBlock(b *testing.B) {
+	const outC, lanes = 4, 8
+	dst := make([]float32, outC*lanes)
+	row := make([]float32, outC)
+	for i := range row {
+		row[i] = float32(i) * 0.25
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AxpyBlock(dst, row, 0.5, lanes, lanes)
+	}
+}
+
+func BenchmarkFireRow(b *testing.B) {
+	v := make([]float32, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range v {
+			v[j] = float32(j) * 0.3
+		}
+		FireRow(v, 1)
+	}
+}

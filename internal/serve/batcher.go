@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"burstsnn/internal/coding"
 	"burstsnn/internal/snn"
 )
 
@@ -26,6 +27,7 @@ type Batcher struct {
 	pool     *Pool
 	metrics  *Metrics // batch-occupancy/steps-saved gauges; may be nil
 	lockstep bool
+	f32      bool // lockstep compute plane, fixed at construction
 	maxBatch int
 	maxDelay time.Duration
 
@@ -53,10 +55,11 @@ type batchResult struct {
 // NewBatcher starts the dispatcher. metrics receives the batch gauges
 // (nil disables them); lockstep routes multi-request batches through the
 // replica's lockstep batch simulator (see Config.LockstepBatch for the
-// trade-off — results are bit-identical either way); maxBatch <= 0
-// defaults to 1 (no batching); maxDelay <= 0 dispatches as soon as the
-// queue momentarily drains; queueDepth <= 0 defaults to 4× maxBatch.
-func NewBatcher(pool *Pool, metrics *Metrics, lockstep bool, maxBatch int, maxDelay time.Duration, queueDepth int) *Batcher {
+// trade-off), and f32 picks its compute plane once for the batcher's
+// lifetime (see Config.BatchKernel); maxBatch <= 0 defaults to 1 (no
+// batching); maxDelay <= 0 dispatches as soon as the queue momentarily
+// drains; queueDepth <= 0 defaults to 4× maxBatch.
+func NewBatcher(pool *Pool, metrics *Metrics, lockstep, f32 bool, maxBatch int, maxDelay time.Duration, queueDepth int) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 1
 	}
@@ -67,6 +70,7 @@ func NewBatcher(pool *Pool, metrics *Metrics, lockstep bool, maxBatch int, maxDe
 		pool:     pool,
 		metrics:  metrics,
 		lockstep: lockstep,
+		f32:      f32,
 		maxBatch: maxBatch,
 		maxDelay: maxDelay,
 		queue:    make(chan *batchRequest, queueDepth),
@@ -171,11 +175,20 @@ func (b *Batcher) dispatch() {
 // the background context: replicas always come back (every batch returns
 // its replica), and a canceled request must not fail its batchmates.
 //
-// Multi-request batches run lockstep through the replica's batch
-// simulator; a single live request — or a model whose encoder cannot
-// batch — runs through the sequential engine. The two paths are
-// bit-identical per request, so callers cannot observe which one served
-// them (beyond latency).
+// Identical requests — same pixel contents, same policy — are classified
+// once and fanned out: the simulator is deterministic, so a duplicate's
+// outcome is exactly its representative's. Matching goes through the
+// image content hash with a pixel-equality check on hit (like
+// coding.QuantCache), so a hash collision degrades to a non-duplicate,
+// never to another image's result. Retry/replay-heavy traffic thus pays
+// for one simulation per distinct image per microbatch; the deduped
+// count is surfaced as dedupedRequests in /metrics.
+//
+// The surviving unique requests run lockstep through the replica's batch
+// simulator when enabled; a single live request — or a model whose
+// encoder cannot batch — runs through the sequential engine. On the
+// default float32 plane both paths produce the outcomes pinned by the
+// tolerance contract; on the float64 plane they are bit-identical.
 func (b *Batcher) run(reqs []*batchRequest) {
 	rep, err := b.pool.Get(context.Background())
 	if err != nil {
@@ -193,6 +206,10 @@ func (b *Batcher) run(reqs []*batchRequest) {
 		}
 		live = append(live, req)
 	}
+	var dups map[*batchRequest][]*batchRequest
+	if len(live) > 1 {
+		live, dups = b.dedupe(live)
+	}
 	if b.lockstep && len(live) > 1 {
 		// The lockstep simulator caps a batch at snn.MaxBatchLanes lanes;
 		// a MaxBatch configured beyond that runs in chunks rather than
@@ -201,7 +218,7 @@ func (b *Batcher) run(reqs []*batchRequest) {
 		if laneCap > snn.MaxBatchLanes {
 			laneCap = snn.MaxBatchLanes
 		}
-		if bn, err := rep.Batch(laneCap); err == nil {
+		if bn, err := rep.Batch(laneCap, b.f32); err == nil {
 			for len(live) > 1 {
 				chunk := live
 				if len(chunk) > laneCap {
@@ -218,7 +235,7 @@ func (b *Batcher) run(reqs []*batchRequest) {
 				saved := 0
 				for i, req := range chunk {
 					saved += batchSteps - outs[i].Steps
-					req.done <- batchResult{out: outs[i]}
+					deliver(req, batchResult{out: outs[i]}, dups)
 				}
 				if b.metrics != nil {
 					b.metrics.ObserveBatch(len(chunk), saved)
@@ -227,6 +244,43 @@ func (b *Batcher) run(reqs []*batchRequest) {
 		}
 	}
 	for _, req := range live {
-		req.done <- batchResult{out: Classify(rep.Net, req.image, req.policy)}
+		deliver(req, batchResult{out: Classify(rep.Net, req.image, req.policy)}, dups)
+	}
+}
+
+// dedupe partitions live requests into unique representatives and their
+// duplicate fans. Requests count as duplicates only when the policies
+// are equal and the images match pixel for pixel (bit patterns, so a
+// HashImage collision — or NaN pixels — can never alias two requests).
+func (b *Batcher) dedupe(live []*batchRequest) ([]*batchRequest, map[*batchRequest][]*batchRequest) {
+	var dups map[*batchRequest][]*batchRequest
+	byHash := make(map[uint64][]*batchRequest, len(live))
+	uniq := live[:0]
+next:
+	for _, req := range live {
+		h := coding.HashImage(req.image)
+		for _, cand := range byHash[h] {
+			if cand.policy == req.policy && coding.SameImage(cand.image, req.image) {
+				if dups == nil {
+					dups = map[*batchRequest][]*batchRequest{}
+				}
+				dups[cand] = append(dups[cand], req)
+				continue next
+			}
+		}
+		byHash[h] = append(byHash[h], req)
+		uniq = append(uniq, req)
+	}
+	if deduped := len(live) - len(uniq); deduped > 0 && b.metrics != nil {
+		b.metrics.ObserveDeduped(deduped)
+	}
+	return uniq, dups
+}
+
+// deliver sends one result to its request and every duplicate riding it.
+func deliver(req *batchRequest, res batchResult, dups map[*batchRequest][]*batchRequest) {
+	req.done <- res
+	for _, d := range dups[req] {
+		d.done <- res
 	}
 }

@@ -95,23 +95,27 @@ func Classify(net *snn.Network, image []float64, p ExitPolicy) Outcome {
 }
 
 // ClassifyBatch presents a batch of images lockstep through a
-// snn.BatchNetwork under per-lane exit policies and returns one Outcome
-// per image, plus the number of lockstep steps the batch ran (the
-// slowest lane's step count — used for the steps-saved gauge).
+// snn.Lockstep simulator under per-lane exit policies and returns one
+// Outcome per image, plus the number of lockstep steps the batch ran
+// (the slowest lane's step count — used for the steps-saved gauge).
 //
-// Every outcome is bit-identical to Classify(net, images[i], policies[i])
-// on the sequential simulator the batch network was built from: the
-// lockstep state is per-lane disjoint, the early-exit test below mirrors
-// Classify's step for step, and a lane that exits is retired from the
-// batch immediately (physical compaction), exactly as the sequential
-// engine stops simulating. The caller owns bn for the duration of the
-// call, like Classify.
+// On the float64 plane (snn.BatchNetwork) every outcome is bit-identical
+// to Classify(net, images[i], policies[i]) on the sequential simulator
+// the batch network was built from: the lockstep state is per-lane
+// disjoint, the early-exit test below mirrors Classify's step for step,
+// and a lane that exits is retired from the batch immediately (physical
+// compaction), exactly as the sequential engine stops simulating. On the
+// float32 plane (snn.BatchNetwork32) the same argument gives the
+// tolerance contract instead: identical predictions, spike counts, and
+// early-exit steps on the equivalence corpus, margins within float32
+// accumulation tolerance (see internal/README.md). The caller owns bn
+// for the duration of the call, like Classify.
 //
 // Unlike Classify (zero-alloc in steady state), ClassifyBatch allocates
 // its per-batch bookkeeping (outcomes, trackers, score scratch) — a
 // handful of allocations per dispatched batch, not per request, which is
 // in line with the batcher's own per-request queueing allocations.
-func ClassifyBatch(bn *snn.BatchNetwork, images [][]float64, policies []ExitPolicy) ([]Outcome, int) {
+func ClassifyBatch(bn snn.Lockstep, images [][]float64, policies []ExitPolicy) ([]Outcome, int) {
 	n := len(images)
 	if n == 0 {
 		return nil, 0
@@ -120,14 +124,14 @@ func ClassifyBatch(bn *snn.BatchNetwork, images [][]float64, policies []ExitPoli
 		panic(fmt.Sprintf("serve: %d policies for %d images", len(policies), n))
 	}
 	bn.Reset(images)
-	countInput := bn.Encoder.CountsAsSpikes()
+	countInput := bn.CountsInputSpikes()
 	outs := make([]Outcome, n)
 	type tracker struct{ stable, last int }
 	tracks := make([]tracker, n)
 	for lane := range tracks {
 		tracks[lane].last = -1
 	}
-	scores := make([]float64, bn.Output.Classes())
+	scores := make([]float64, bn.Classes())
 	var retire []int
 	// Lanes with a non-positive budget never step, exactly like
 	// Classify's zero-iteration loop: retire them (descending) before the
@@ -150,7 +154,7 @@ func ClassifyBatch(bn *snn.BatchNetwork, images [][]float64, policies []ExitPoli
 			}
 			o.HiddenSpikes += st.HiddenSpikes[slot]
 			o.Steps = t + 1
-			pred := bn.Output.Predicted(slot)
+			pred := bn.Predicted(slot)
 			o.Prediction = pred
 			if pred == tr.last {
 				tr.stable++
@@ -159,14 +163,14 @@ func ClassifyBatch(bn *snn.BatchNetwork, images [][]float64, policies []ExitPoli
 			}
 			exit := false
 			if p.StableWindow > 0 && o.Steps >= p.MinSteps && tr.stable >= p.StableWindow {
-				if m := stepMargin(bn.Output.PotentialsInto(slot, scores), o.Steps); p.Margin <= 0 || m >= p.Margin {
+				if m := stepMargin(bn.PotentialsInto(slot, scores), o.Steps); p.Margin <= 0 || m >= p.Margin {
 					o.Margin = m
 					o.EarlyExit = o.Steps < p.MaxSteps
 					exit = true
 				}
 			}
 			if !exit && o.Steps >= p.MaxSteps {
-				o.Margin = stepMargin(bn.Output.PotentialsInto(slot, scores), o.Steps)
+				o.Margin = stepMargin(bn.PotentialsInto(slot, scores), o.Steps)
 				exit = true
 			}
 			if exit {

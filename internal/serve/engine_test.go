@@ -161,7 +161,7 @@ func TestBatcherRunsLockstepBatches(t *testing.T) {
 	}()
 
 	// Generous delay so all four submissions join one batch.
-	b := NewBatcher(pool, metrics, true, 4, 300*time.Millisecond, 0)
+	b := NewBatcher(pool, metrics, true, false, 4, 300*time.Millisecond, 0)
 	defer b.Close()
 	var wg sync.WaitGroup
 	for i := range images {
@@ -195,15 +195,19 @@ func TestBatcherRunsLockstepBatches(t *testing.T) {
 func TestBatcherClampsLaneCap(t *testing.T) {
 	pool, image := testPool(t, 1)
 	metrics := NewMetrics()
-	b := NewBatcher(pool, metrics, true, 128, 300*time.Millisecond, 0)
+	b := NewBatcher(pool, metrics, true, false, 128, 300*time.Millisecond, 0)
 	defer b.Close()
 	policy := ExitPolicy{MaxSteps: 16}
 	var wg sync.WaitGroup
 	for i := 0; i < 3; i++ {
+		// Distinct images, so the dedupe stage can't collapse the batch
+		// before it reaches the lockstep path.
+		img := append([]float64(nil), image...)
+		img[0] = float64(i+1) / 4
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := b.Submit(context.Background(), image, policy); err != nil {
+			if _, err := b.Submit(context.Background(), img, policy); err != nil {
 				t.Errorf("Submit: %v", err)
 			}
 		}()

@@ -49,6 +49,12 @@ type Metrics struct {
 	batches         atomic.Int64
 	batchLanes      atomic.Int64
 	batchStepsSaved atomic.Int64
+	// deduped counts requests answered by fanning out a batchmate's
+	// outcome instead of simulating (identical image and policy).
+	deduped atomic.Int64
+	// kernel names the lockstep compute plane the model's batcher picked
+	// at build time (kernels.KindF64 or the float32 kernels.Kind()).
+	kernel atomic.Pointer[string]
 
 	// quant is the model's encoder quantization cache, if any; Snapshot
 	// surfaces its hit/miss counters.
@@ -111,6 +117,16 @@ func (m *Metrics) ObserveBatch(lanes, stepsSaved int) {
 	m.batchStepsSaved.Add(int64(stepsSaved))
 }
 
+// ObserveDeduped records n requests served by duplicate fan-out.
+func (m *Metrics) ObserveDeduped(n int) {
+	m.deduped.Add(int64(n))
+}
+
+// SetBatchKernel records the resolved lockstep kernel variant for the
+// snapshot (idempotent; survives model re-registration like the quant
+// cache attachment).
+func (m *Metrics) SetBatchKernel(kind string) { m.kernel.Store(&kind) }
+
 // AttachQuantCache points the snapshot's encoder-cache counters at the
 // model's quantization cache (idempotent; survives model re-registration
 // because the registry re-attaches the fresh cache).
@@ -142,6 +158,12 @@ type Snapshot struct {
 	Batches            int64   `json:"batches"`
 	MeanBatchOccupancy float64 `json:"meanBatchOccupancy"`
 	BatchStepsSaved    int64   `json:"batchStepsSaved"`
+	// BatchKernel is the lockstep compute plane the model's batcher picked
+	// at build time: "f64", "f32" (pure-Go kernels), or "f32-asm".
+	BatchKernel string `json:"batchKernel,omitempty"`
+	// DedupedRequests counts requests answered by fanning out an identical
+	// (image, policy) batchmate's outcome instead of simulating.
+	DedupedRequests int64 `json:"dedupedRequests"`
 	// EncoderCacheHits/Misses are the model's quantization-cache counters
 	// (phase/TTFS input encoders; zero when the scheme has no Reset-time
 	// quantization to cache).
@@ -186,6 +208,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.MeanBatchOccupancy = float64(m.batchLanes.Load()) / float64(s.Batches)
 	}
 	s.BatchStepsSaved = m.batchStepsSaved.Load()
+	s.DedupedRequests = m.deduped.Load()
+	if k := m.kernel.Load(); k != nil {
+		s.BatchKernel = *k
+	}
 	if q := m.quant.Load(); q != nil {
 		s.EncoderCacheHits, s.EncoderCacheMisses = q.Stats()
 	}

@@ -34,6 +34,7 @@ import (
 
 	"burstsnn/internal/dataset"
 	"burstsnn/internal/dnn"
+	"burstsnn/internal/kernels"
 )
 
 // Config tunes the server.
@@ -49,17 +50,33 @@ type Config struct {
 	// block (backpressure). Default 4×MaxBatch.
 	QueueDepth int
 	// LockstepBatch executes multi-request microbatches through the
-	// lockstep batch simulator (snn.BatchNetwork) instead of back to back
-	// on the replica. Results are bit-identical either way. Lockstep
-	// amortizes scatter-table walks and weight loads across the batch's
-	// lanes, which pays off for high-occupancy traffic (correlated or
-	// repeated images); for fully distinct images on scalar CPUs the
-	// back-to-back path is currently faster (see BENCH_batch.json and
-	// internal/README.md "When lockstep pays"), so the default is off.
+	// lockstep batch simulator instead of back to back on the replica.
+	// Lockstep amortizes scatter-table walks and weight loads across the
+	// batch's lanes, which pays off for high-occupancy traffic
+	// (correlated or repeated images); for fully distinct images the
+	// back-to-back sequential path is still faster on one core even with
+	// the float32 kernels (see BENCH_batch.json and internal/README.md
+	// "When lockstep pays"), so the default remains off.
 	LockstepBatch bool
+	// BatchKernel selects the lockstep simulator's compute plane:
+	// BatchKernelF32 (the default — float32 state over the
+	// internal/kernels block primitives, tolerance contract) or
+	// BatchKernelF64 (scalar float64, bit-identical to the sequential
+	// path). Picked once at registration; /metrics reports the resolved
+	// variant per model ("f32-asm" when the assembly kernels are linked
+	// in). See internal/README.md "The float32 compute plane" for the
+	// contract each plane offers.
+	BatchKernel string
 	// RequestTimeout bounds one classification end to end (default 30s).
 	RequestTimeout time.Duration
 }
+
+// BatchKernel values for Config: the float32 kernel plane (default) and
+// the bit-exact float64 plane.
+const (
+	BatchKernelF32 = "f32"
+	BatchKernelF64 = "f64"
+)
 
 func (c Config) withDefaults() Config {
 	if c.Addr == "" {
@@ -74,7 +91,20 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.BatchKernel == "" {
+		c.BatchKernel = BatchKernelF32
+	}
 	return c
+}
+
+// resolvedKernel maps a Config.BatchKernel value to the concrete variant
+// name reported in /metrics and BENCH_batch.json: the float32 plane
+// resolves to whichever kernel implementation this binary linked in.
+func resolvedKernel(k string) string {
+	if k == BatchKernelF64 {
+		return kernels.KindF64
+	}
+	return kernels.Kind()
 }
 
 // ClassifyRequest is the POST /v1/classify body.
@@ -145,15 +175,26 @@ func New(cfg Config) *Server {
 func (s *Server) Registry() *Registry { return s.reg }
 
 // Register converts and installs a model (see Registry.Register) and
-// starts its request queue.
+// starts its request queue. The batch kernel variant is picked here,
+// once: every replica of the model will build (at most) one lockstep
+// simulator on the configured plane, and /metrics reports the resolved
+// variant as batchKernel.
 func (s *Server) Register(cfg ModelConfig, net *dnn.Network, normSamples []dataset.Sample) (*Model, error) {
+	switch s.cfg.BatchKernel {
+	case BatchKernelF32, BatchKernelF64:
+	default:
+		return nil, fmt.Errorf("serve: unknown batch kernel %q (want %q or %q)",
+			s.cfg.BatchKernel, BatchKernelF32, BatchKernelF64)
+	}
 	m, err := s.reg.Register(cfg, net, normSamples)
 	if err != nil {
 		return nil, err
 	}
+	m.Metrics().SetBatchKernel(resolvedKernel(s.cfg.BatchKernel))
 	s.mu.Lock()
 	old := s.batchers[cfg.Name]
-	s.batchers[cfg.Name] = NewBatcher(m.Pool(), m.Metrics(), s.cfg.LockstepBatch, s.cfg.MaxBatch, s.cfg.MaxDelay, s.cfg.QueueDepth)
+	s.batchers[cfg.Name] = NewBatcher(m.Pool(), m.Metrics(), s.cfg.LockstepBatch,
+		s.cfg.BatchKernel != BatchKernelF64, s.cfg.MaxBatch, s.cfg.MaxDelay, s.cfg.QueueDepth)
 	s.mu.Unlock()
 	if old != nil {
 		old.Close()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"burstsnn/internal/coding"
+	"burstsnn/internal/kernels"
 )
 
 // Batched lockstep simulation: a BatchNetwork steps up to B images
@@ -36,6 +37,49 @@ import (
 // slot and the active count shrinks, so the scatter and fire loops always
 // run over the dense slot prefix [0, nActive) and a batch never pays
 // full-batch cost for its slowest image.
+
+// Lockstep is the plane-independent face of a lockstep batch simulator:
+// what the serving engine needs to drive a batch — load images, step,
+// read per-slot predictions and potentials, retire lanes — without
+// caring whether the state underneath is float64 (BatchNetwork,
+// bit-identical to the sequential path) or float32 (BatchNetwork32,
+// kernel-backed, tolerance contract). NewLockstep picks the plane.
+type Lockstep interface {
+	// B returns the lane capacity.
+	B() int
+	// NumActive returns the number of live lanes.
+	NumActive() int
+	// LaneID returns the caller lane id occupying slot s.
+	LaneID(s int) int
+	// Reset loads a new batch of images (len in [1, B]).
+	Reset(images [][]float64)
+	// Retire removes slot s by physical compaction.
+	Retire(s int)
+	// Step advances every active lane by one time step.
+	Step(t int) BatchStepStats
+	// CountsInputSpikes mirrors coding.InputEncoder.CountsAsSpikes.
+	CountsInputSpikes() bool
+	// Classes returns the readout width.
+	Classes() int
+	// Predicted returns slot s's current readout argmax.
+	Predicted(slot int) int
+	// PotentialsInto copies slot s's class scores into dst (len ≥
+	// Classes()) and returns the filled prefix.
+	PotentialsInto(slot int, dst []float64) []float64
+	// Kernel names the simulator's compute plane for metrics and
+	// artifacts: kernels.KindF64 or the float32 kernels.Kind().
+	Kernel() string
+}
+
+// NewLockstep builds the B-lane lockstep simulator for the requested
+// compute plane: the float32 kernel plane when f32 is true (the serving
+// default), the bit-exact float64 plane otherwise.
+func NewLockstep(net *Network, b int, f32 bool) (Lockstep, error) {
+	if f32 {
+		return NewBatchNetwork32(net, b)
+	}
+	return NewBatchNetwork(net, b)
+}
 
 // BatchLayer is one spiking stage of a batched network. Slots
 // [0, lanes) are active; the returned stream is owned by the layer and
@@ -919,6 +963,23 @@ func (bn *BatchNetwork) NumActive() int { return bn.nActive }
 // LaneID returns the caller lane id occupying slot s (lane ids are the
 // positions in the Reset images slice and survive compaction).
 func (bn *BatchNetwork) LaneID(s int) int { return bn.laneIDs[s] }
+
+// CountsInputSpikes implements Lockstep.
+func (bn *BatchNetwork) CountsInputSpikes() bool { return bn.Encoder.CountsAsSpikes() }
+
+// Classes implements Lockstep.
+func (bn *BatchNetwork) Classes() int { return bn.Output.Classes() }
+
+// Predicted implements Lockstep.
+func (bn *BatchNetwork) Predicted(slot int) int { return bn.Output.Predicted(slot) }
+
+// PotentialsInto implements Lockstep.
+func (bn *BatchNetwork) PotentialsInto(slot int, dst []float64) []float64 {
+	return bn.Output.PotentialsInto(slot, dst)
+}
+
+// Kernel implements Lockstep: the float64 scalar plane.
+func (bn *BatchNetwork) Kernel() string { return kernels.KindF64 }
 
 // AttachProbe registers a batch-column observer for a layer index; -1
 // observes the encoder (test hook, mirroring Network.AttachProbe).

@@ -28,6 +28,7 @@ func (p *population) clone() *population {
 func (l *SpikingDense) CloneLayer() Layer {
 	return &SpikingDense{
 		In: l.In, Out: l.Out, WT: l.WT, Bias: l.Bias,
+		WT32: l.WT32, Bias32: l.Bias32,
 		pop: l.pop.clone(),
 		z:   make([]float64, l.Out),
 	}
@@ -38,9 +39,10 @@ func (l *SpikingDense) CloneLayer() Layer {
 func (l *SpikingConv) CloneLayer() Layer {
 	return &SpikingConv{
 		Geom: l.Geom, WScatter: l.WScatter, Bias: l.Bias,
-		taps: l.taps, tapStart: l.tapStart, outHW: l.outHW,
+		WScatter32: l.WScatter32,
+		taps:       l.taps, tapStart: l.tapStart, outHW: l.outHW,
 		pop:  l.pop.clone(),
-		bias: l.bias,
+		bias: l.bias, bias32: l.bias32,
 	}
 }
 
@@ -76,6 +78,7 @@ func (l *SpikingMaxPool) CloneLayer() Layer {
 func (l *OutputLayer) Clone() *OutputLayer {
 	return &OutputLayer{
 		In: l.In, Out: l.Out, WT: l.WT, Bias: l.Bias,
+		WT32: l.WT32, Bias32: l.Bias32,
 		pot: make([]float64, l.Out),
 	}
 }

@@ -6,6 +6,19 @@ import (
 	"burstsnn/internal/coding"
 )
 
+// f32s materializes the float32 copy of a weight or bias array: the
+// float32 compute plane's view of the model, rounded once at conversion
+// time (IEEE round-to-nearest) and shared read-only by every clone and
+// batched simulator. Constructors call it eagerly so a served model pays
+// the rounding exactly once, not per replica.
+func f32s(v []float64) []float32 {
+	w := make([]float32, len(v))
+	for i, x := range v {
+		w[i] = float32(x)
+	}
+	return w
+}
+
 // SpikingDense is a fully connected spiking layer: in events scatter
 // through the weight matrix into membrane potentials, then the population
 // fires under its coding dynamics.
@@ -15,6 +28,9 @@ type SpikingDense struct {
 	// touches a contiguous row — the event-driven hot path.
 	WT   []float64
 	Bias []float64
+	// WT32/Bias32 are the float32 compute plane's copies (same layout).
+	WT32   []float32
+	Bias32 []float32
 
 	pop *population
 	z   []float64 // reference-path scratch (StepSlow only)
@@ -33,6 +49,7 @@ func NewSpikingDense(w []float64, bias []float64, in, out int, cfg coding.Config
 	}
 	return &SpikingDense{
 		In: in, Out: out, WT: wt, Bias: append([]float64(nil), bias...),
+		WT32: f32s(wt), Bias32: f32s(bias),
 		pop: newPopulation(out, cfg),
 		z:   make([]float64, out),
 	}
@@ -126,6 +143,8 @@ type SpikingConv struct {
 	// WScatter is the re-laid-out kernel: index ((ic*K+kh)*K+kw)*OutC+oc.
 	WScatter []float64
 	Bias     []float64 // per output channel
+	// WScatter32 is the float32 compute plane's kernel copy (same layout).
+	WScatter32 []float32
 
 	// taps[tapStart[i]:tapStart[i+1]] are input neuron i's scatter
 	// destinations, in (kh,kw) order.
@@ -133,8 +152,9 @@ type SpikingConv struct {
 	tapStart []int32
 	outHW    int
 
-	pop  *population
-	bias []float64 // pre-expanded per-neuron bias
+	pop    *population
+	bias   []float64 // pre-expanded per-neuron bias
+	bias32 []float32 // float32 copy of bias
 }
 
 // NewSpikingConv builds the layer from a row-major OutC×(InC*K*K) weight
@@ -169,6 +189,8 @@ func NewSpikingConv(w []float64, bias []float64, geom ConvGeom, cfg coding.Confi
 			l.bias[oc*l.outHW+i] = bias[oc]
 		}
 	}
+	l.WScatter32 = f32s(ws)
+	l.bias32 = f32s(l.bias)
 	// Precompute the scatter table: for every input pixel, the (weight
 	// row, output base) pairs its events touch under the stride/pad
 	// geometry. Same arithmetic as the reference StepSlow, run once.
@@ -553,6 +575,9 @@ type OutputLayer struct {
 	In, Out int
 	WT      []float64
 	Bias    []float64
+	// WT32/Bias32 are the float32 compute plane's copies (same layout).
+	WT32   []float32
+	Bias32 []float32
 
 	pot []float64
 }
@@ -568,7 +593,11 @@ func NewOutputLayer(w []float64, bias []float64, in, out int) *OutputLayer {
 			wt[i*out+o] = w[o*in+i]
 		}
 	}
-	return &OutputLayer{In: in, Out: out, WT: wt, Bias: append([]float64(nil), bias...), pot: make([]float64, out)}
+	return &OutputLayer{
+		In: in, Out: out, WT: wt, Bias: append([]float64(nil), bias...),
+		WT32: f32s(wt), Bias32: f32s(bias),
+		pot: make([]float64, out),
+	}
 }
 
 // NumNeurons returns the readout population size.
