@@ -22,6 +22,7 @@ import (
 	"burstsnn/internal/benchkit"
 	"burstsnn/internal/coding"
 	"burstsnn/internal/experiments"
+	"burstsnn/internal/kernels"
 	"burstsnn/internal/serve"
 	"burstsnn/internal/snn"
 )
@@ -402,15 +403,35 @@ func BenchmarkBatchedThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(B*b.N)/b.Elapsed().Seconds(), "images/sec")
 	})
-	for _, f32 := range []bool{false, true} {
-		bn, err := snn.NewLockstep(conv.Net, B, f32)
+	// The float64 plane, then the float32 plane once per available kernel
+	// dispatch tier (forced for the sub-benchmark's duration) — one
+	// process, so tier-vs-tier ratios are not polluted by run-to-run
+	// machine noise. These sub-benchmarks are the LockstepBatch flip
+	// evidence: the default goes on only where lockstep beats sequential.
+	bn64, err := snn.NewLockstep(conv.Net, B, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("lockstep-"+bn64.Kernel(), func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serve.ClassifyBatch(bn64, images, policies)
+		}
+		b.ReportMetric(float64(B*b.N)/b.Elapsed().Seconds(), "images/sec")
+	})
+	defer kernels.ForceLevel("")
+	for _, lv := range kernels.Available() {
+		if err := kernels.ForceLevel(lv); err != nil {
+			b.Fatal(err)
+		}
+		bn32, err := snn.NewLockstep(conv.Net, B, true)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.Run("lockstep-"+bn.Kernel(), func(b *testing.B) {
+		b.Run("lockstep-"+bn32.Kernel(), func(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				serve.ClassifyBatch(bn, images, policies)
+				serve.ClassifyBatch(bn32, images, policies)
 			}
 			b.ReportMetric(float64(B*b.N)/b.Elapsed().Seconds(), "images/sec")
 		})

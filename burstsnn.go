@@ -41,6 +41,7 @@ import (
 	"burstsnn/internal/dataset"
 	"burstsnn/internal/dnn"
 	"burstsnn/internal/energy"
+	"burstsnn/internal/kernels"
 	"burstsnn/internal/mathx"
 	"burstsnn/internal/neuromorphic"
 	"burstsnn/internal/serve"
@@ -277,6 +278,26 @@ const (
 	BatchKernelF32 = serve.BatchKernelF32
 	BatchKernelF64 = serve.BatchKernelF64
 )
+
+// LockstepBatch values for ServeConfig.LockstepBatch: auto routes
+// full-enough microbatches lockstep iff the float32 kernels dispatch to
+// a packed tier (sse/avx2 — the measured regime where lockstep beats
+// the sequential engine on distinct images); on/off force the choice.
+const (
+	LockstepAuto = serve.LockstepAuto
+	LockstepOn   = serve.LockstepOn
+	LockstepOff  = serve.LockstepOff
+)
+
+// Kernel dispatch-tier controls, re-exported from internal/kernels: the
+// float32 plane's block primitives are selected at runtime by CPUID
+// (purego → sse → avx2); KernelLevel reports the active tier,
+// ForceKernelLevel pins it ("" resets to the startup level), and
+// KernelLevels lists the tiers this machine can run. All tiers are
+// bit-identical; forcing is for benchmarking and conformance testing.
+func KernelLevel() string                 { return kernels.ActiveLevel() }
+func ForceKernelLevel(level string) error { return kernels.ForceLevel(level) }
+func KernelLevels() []string              { return kernels.Available() }
 
 // NewBatchSNN builds a B-lane float64 lockstep simulator over a
 // converted network (weights and precomputed tables are shared, state is

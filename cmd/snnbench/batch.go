@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -17,28 +18,38 @@ import (
 
 // The batch benchmark mode (-batch FILE) measures the lockstep batch
 // simulators against back-to-back sequential classification on the
-// conv-bearing hot-path model, across a batch-size sweep and across
-// kernel variants, and writes a machine-readable artifact so the perf
-// trajectory captures batching — not just single-image latency.
+// conv-bearing hot-path model, across a batch-size sweep, across compute
+// planes, and across kernel dispatch tiers, and writes a machine-readable
+// artifact so the perf trajectory captures batching — not just
+// single-image latency.
 //
-// Each point is one (B, kernel) pair: kernel "f64" is the scalar float64
-// lockstep plane, and "f32"/"f32-asm" is the float32 kernel plane as
-// built into this binary (the purego build tag selects which — CI runs
-// both and uploads both artifacts). The sequential baseline is repeated
-// on every point so a single point is self-contained run-over-run.
+// Each point is one (B, kernel, level) triple: kernel "f64" is the
+// scalar float64 lockstep plane (level empty), and the float32 plane is
+// measured once per dispatch tier this machine can run ("f32",
+// "f32-sse", "f32-avx2" — forced via kernels.ForceLevel for the point's
+// duration), so one artifact carries the whole ladder. The sequential
+// baseline is repeated on every B so a single point is self-contained
+// run-over-run. The -batch-prev gate compares like-for-like tiers only:
+// a point is gated against a previous point with the same triple, and
+// tiers absent from either artifact (a runner without AVX2, say) are
+// skipped, not failed.
 
 type batchPoint struct {
 	B int `json:"b"`
-	// Kernel is the lockstep variant measured: "f64", "f32", or
-	// "f32-asm" (see internal/kernels.Kind).
+	// Kernel is the resolved lockstep variant measured: "f64", or the
+	// float32 plane's dispatch tier name ("f32", "f32-sse", "f32-avx2" —
+	// see internal/kernels.Kind).
 	Kernel string `json:"kernel"`
+	// Level is the kernel dispatch tier for float32 points ("purego",
+	// "sse", "avx2"); empty for the scalar f64 plane.
+	Level string `json:"level,omitempty"`
 	// SeqImagesPerSec is the back-to-back baseline (one replica classifies
 	// the batch's images sequentially on the float64 fast path);
 	// LockstepImagesPerSec runs the same images through ClassifyBatch on
 	// the same weights under this point's kernel. Predictions and step
-	// counts agree across all variants (bit-identical for f64, the
-	// tolerance contract for f32), so the ratio is pure execution
-	// efficiency.
+	// counts agree across all variants (bit-identical for f64 and across
+	// tiers, the tolerance contract for f32 vs f64), so the ratio is pure
+	// execution efficiency.
 	SeqImagesPerSec      float64 `json:"seqImagesPerSec"`
 	LockstepImagesPerSec float64 `json:"lockstepImagesPerSec"`
 	Speedup              float64 `json:"speedup"`
@@ -60,11 +71,12 @@ type batchArtifact struct {
 	GOARCH    string `json:"goarch"`
 	CPUs      int    `json:"cpus"`
 	Model     string `json:"model"`
-	// Kernel is the float32 kernel variant linked into this binary
-	// ("f32" pure Go, "f32-asm" SSE); the per-point Kernel field says
-	// which plane each measurement ran on.
-	Kernel string       `json:"kernel"`
-	Points []batchPoint `json:"points"`
+	// DetectedLevel is the widest kernel dispatch tier this machine
+	// supports; Levels lists every tier the artifact has float32 points
+	// for (the ladder up to DetectedLevel on this build).
+	DetectedLevel string       `json:"detectedLevel"`
+	Levels        []string     `json:"levels"`
+	Points        []batchPoint `json:"points"`
 }
 
 func runBatchBench(outPath string) error {
@@ -76,15 +88,17 @@ func runBatchBench(outPath string) error {
 	if err != nil {
 		return err
 	}
+	defer kernels.ForceLevel("")
 	art := batchArtifact{
-		Schema:    "burstsnn/bench-batch/v2",
-		When:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Model:     "lenet-mini phase-burst (hotpath model)",
-		Kernel:    kernels.Kind(),
+		Schema:        "burstsnn/bench-batch/v3",
+		When:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		Model:         "lenet-mini phase-burst (hotpath model)",
+		DetectedLevel: kernels.DetectedLevel(),
+		Levels:        kernels.Available(),
 	}
 	for _, B := range []int{1, 2, 4, 8} {
 		fmt.Fprintf(os.Stderr, "batch: B=%d...\n", B)
@@ -103,12 +117,27 @@ func runBatchBench(outPath string) error {
 		})
 		seqRate := float64(B) * float64(seq.N) / seq.T.Seconds()
 
-		for _, f32 := range []bool{false, true} {
-			bn, err := snn.NewLockstep(conv.Net, B, f32)
+		// One f64 point, then one f32 point per available dispatch tier.
+		type variant struct {
+			f32   bool
+			level string
+		}
+		variants := []variant{{f32: false}}
+		for _, lv := range kernels.Available() {
+			variants = append(variants, variant{f32: true, level: lv})
+		}
+		for _, vr := range variants {
+			if err := kernels.ForceLevel(vr.level); err != nil {
+				return err
+			}
+			bn, err := snn.NewLockstep(conv.Net, B, vr.f32)
 			if err != nil {
 				return err
 			}
 			pt := batchPoint{B: B, Kernel: bn.Kernel(), SeqImagesPerSec: seqRate}
+			if vr.f32 {
+				pt.Level = vr.level
+			}
 
 			// Occupancy + step accounting from one instrumented run.
 			var cols, laneEvents int
@@ -147,6 +176,9 @@ func runBatchBench(outPath string) error {
 			fmt.Fprintf(os.Stderr, "batch: B=%d %s seq %.1f img/s, lockstep %.1f img/s (%.2fx), occupancy %.2f\n",
 				B, pt.Kernel, pt.SeqImagesPerSec, pt.LockstepImagesPerSec, pt.Speedup, pt.MeanOccupancy)
 		}
+		if err := kernels.ForceLevel(""); err != nil {
+			return err
+		}
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -157,6 +189,69 @@ func runBatchBench(outPath string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "batch: artifact written to %s\n", outPath)
+	return nil
+}
+
+// compareBatch is the batched-throughput regression gate: it reads a
+// previous BENCH_batch.json and the one just written and fails when a
+// point's lockstep throughput regressed by more than tolerance
+// (fractional). Comparison is strictly like-for-like: points pair on the
+// (B, kernel, level) triple, so an f32-avx2 point is never judged
+// against an f32-sse or f64 measurement, and a tier present in only one
+// artifact (different runner capabilities, or a pre-dispatch artifact)
+// is skipped with a note rather than failed. A schema change skips the
+// whole comparison (first run after a format bump records a baseline).
+func compareBatch(prevPath, newPath string, tolerance float64) error {
+	load := func(path string) (*batchArtifact, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var art batchArtifact
+		if err := json.Unmarshal(data, &art); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &art, nil
+	}
+	prev, err := load(prevPath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	if prev.Schema != cur.Schema {
+		fmt.Fprintf(os.Stderr, "batch: schema changed (%s -> %s), skipping comparison\n", prev.Schema, cur.Schema)
+		return nil
+	}
+	key := func(p batchPoint) string { return fmt.Sprintf("B=%d/%s/%s", p.B, p.Kernel, p.Level) }
+	prevPts := map[string]batchPoint{}
+	for _, p := range prev.Points {
+		prevPts[key(p)] = p
+	}
+	var failures []string
+	for _, c := range cur.Points {
+		p, ok := prevPts[key(c)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "batch:  %-18s no like-for-like previous point, skipping\n", key(c))
+			continue
+		}
+		if p.LockstepImagesPerSec <= 0 {
+			continue
+		}
+		ratio := c.LockstepImagesPerSec/p.LockstepImagesPerSec - 1
+		mark := " "
+		if -ratio > tolerance {
+			mark = "!"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f img/s (%+.1f%%)",
+				key(c), p.LockstepImagesPerSec, c.LockstepImagesPerSec, ratio*100))
+		}
+		fmt.Fprintf(os.Stderr, "batch:%s %-18s %+.1f%% lockstep img/s vs previous\n", mark, key(c), ratio*100)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("batched-throughput regression beyond %.0f%%:\n  %s", tolerance*100, strings.Join(failures, "\n  "))
+	}
 	return nil
 }
 

@@ -21,25 +21,42 @@ import (
 	"strings"
 
 	"burstsnn/internal/experiments"
+	"burstsnn/internal/kernels"
 )
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated list: fig1,fig2,table1,fig3,fig4,table2,fig5,chip,ablations or all")
-		steps    = flag.Int("steps", 192, "simulation time steps per image")
-		images   = flag.Int("images", 40, "test images per configuration")
-		psteps   = flag.Int("pattern-steps", 128, "steps per image for spike-pattern recordings")
-		pimgs    = flag.Int("pattern-images", 3, "images per spike-pattern recording")
-		dir      = flag.String("dir", "", "model cache directory (default: system temp)")
-		tiny     = flag.Bool("tiny", false, "use the reduced test-scale recipes")
-		out      = flag.String("o", "", "also write the report to this file")
-		csvDir   = flag.String("csv", "", "also export per-exhibit CSV files into this directory")
-		hotpath  = flag.String("hotpath", "", "run the hot-path benchmarks and write the JSON artifact to this path (skips the exhibits)")
-		hotPrev  = flag.String("hotpath-prev", "", "previous BENCH_hotpath.json to gate against after -hotpath (exit nonzero on regression)")
-		hotTol   = flag.Float64("hotpath-tolerance", 0.20, "allowed fractional ns/op regression vs -hotpath-prev")
-		batchOut = flag.String("batch", "", "run the batched-throughput sweep and write the JSON artifact to this path (skips the exhibits)")
+		run       = flag.String("run", "all", "comma-separated list: fig1,fig2,table1,fig3,fig4,table2,fig5,chip,ablations or all")
+		steps     = flag.Int("steps", 192, "simulation time steps per image")
+		images    = flag.Int("images", 40, "test images per configuration")
+		psteps    = flag.Int("pattern-steps", 128, "steps per image for spike-pattern recordings")
+		pimgs     = flag.Int("pattern-images", 3, "images per spike-pattern recording")
+		dir       = flag.String("dir", "", "model cache directory (default: system temp)")
+		tiny      = flag.Bool("tiny", false, "use the reduced test-scale recipes")
+		out       = flag.String("o", "", "also write the report to this file")
+		csvDir    = flag.String("csv", "", "also export per-exhibit CSV files into this directory")
+		hotpath   = flag.String("hotpath", "", "run the hot-path benchmarks and write the JSON artifact to this path (skips the exhibits)")
+		hotPrev   = flag.String("hotpath-prev", "", "previous BENCH_hotpath.json to gate against after -hotpath (exit nonzero on regression)")
+		hotTol    = flag.Float64("hotpath-tolerance", 0.20, "allowed fractional ns/op regression vs -hotpath-prev")
+		batchOut  = flag.String("batch", "", "run the batched-throughput sweep (every kernel dispatch tier this machine supports) and write the JSON artifact to this path (skips the exhibits)")
+		batchPrev = flag.String("batch-prev", "", "previous BENCH_batch.json to gate against after -batch (like-for-like tiers only; exit nonzero on regression)")
+		batchTol  = flag.Float64("batch-tolerance", 0.25, "allowed fractional lockstep img/s regression vs -batch-prev")
+		probe     = flag.String("probe-level", "", "exit 0 iff the named kernel dispatch tier (purego, sse, avx2) is available on this machine and build, else 1 (CI capability gating)")
 	)
 	flag.Parse()
+
+	if *probe != "" {
+		avail := kernels.Available()
+		for _, lv := range avail {
+			if lv == *probe {
+				fmt.Printf("level %s available (ladder: %s, detected %s)\n",
+					*probe, strings.Join(avail, " "), kernels.DetectedLevel())
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "snnbench: level %q unavailable (ladder: %s)\n", *probe, strings.Join(avail, " "))
+		os.Exit(1)
+	}
 
 	if *hotpath != "" {
 		if err := runHotpath(*hotpath); err != nil {
@@ -58,6 +75,12 @@ func main() {
 		if err := runBatchBench(*batchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "snnbench: batch: %v\n", err)
 			os.Exit(1)
+		}
+		if *batchPrev != "" {
+			if err := compareBatch(*batchPrev, *batchOut, *batchTol); err != nil {
+				fmt.Fprintf(os.Stderr, "snnbench: batch gate: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -45,6 +45,7 @@ import (
 
 	"burstsnn"
 	"burstsnn/internal/experiments"
+	"burstsnn/internal/kernels"
 	"burstsnn/internal/serve"
 )
 
@@ -63,8 +64,8 @@ func main() {
 		margin   = flag.Float64("margin", 0, "required per-step top1-top2 readout margin for early exit (0 = none)")
 		maxBatch = flag.Int("maxbatch", 8, "microbatch size limit")
 		maxDelay = flag.Duration("maxdelay", 2*time.Millisecond, "microbatch max delay")
-		lockstep = flag.Bool("lockstep", false, "execute microbatches through the lockstep batch simulator (pays off for high-occupancy/repeated-image traffic)")
-		kernel   = flag.String("kernel", serve.BatchKernelF32, "lockstep compute plane: f32 (float32 kernels, tolerance contract) or f64 (bit-identical to sequential)")
+		lockstep = lockstepFlagVar("lockstep", serve.LockstepAuto, "execute microbatches through the lockstep batch simulator: auto (full-enough batches run lockstep iff the float32 kernels dispatch to a packed tier — the measured win vs the sequential engine), on, or off")
+		kernel   = flag.String("kernel", serve.BatchKernelF32, "lockstep compute plane: f32 (float32 kernels, tolerance contract), f64 (bit-identical to sequential), or a forced float32 dispatch tier — f32-purego, f32-sse, f32-avx2 (fails if the machine cannot run it)")
 		dir      = flag.String("dir", "", "model cache directory (default: system temp)")
 		tiny     = flag.Bool("tiny", false, "use the reduced test-scale model recipes")
 
@@ -79,6 +80,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	// -kernel f32-<tier> forces the kernel dispatch tier process-wide
+	// before any model registers, so /metrics reports what actually runs.
+	batchKernel := *kernel
+	if lv, ok := strings.CutPrefix(*kernel, "f32-"); ok {
+		if err := kernels.ForceLevel(lv); err != nil {
+			fail(err)
+		}
+		batchKernel = serve.BatchKernelF32
+	}
 	inScheme, err := burstsnn.ParseScheme(*input)
 	if err != nil {
 		fail(err)
@@ -134,9 +144,13 @@ func main() {
 		Addr:          *addr,
 		MaxBatch:      *maxBatch,
 		MaxDelay:      *maxDelay,
-		LockstepBatch: *lockstep,
-		BatchKernel:   *kernel,
+		LockstepBatch: string(*lockstep),
+		BatchKernel:   batchKernel,
 	})
+	if batchKernel != serve.BatchKernelF64 {
+		fmt.Fprintf(os.Stderr, "float32 kernels: %s (dispatch tier %s, detected %s)\n",
+			kernels.Kind(), kernels.ActiveLevel(), kernels.DetectedLevel())
+	}
 	for _, name := range strings.Split(*models, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -328,6 +342,36 @@ func runSelftest(hybrid burstsnn.Hybrid, exit serve.ExitPolicy, steps, replicas,
 		return fmt.Errorf("mean steps %.1f did not beat the %d-step budget", meanSteps, steps)
 	}
 	fmt.Println("selftest PASS")
+	return nil
+}
+
+// lockstepMode is the -lockstep flag value: auto/on/off, with the
+// boolean spellings of the flag's PR-4 ancestry still accepted —
+// IsBoolFlag makes a bare `-lockstep` parse as "true" (= on), exactly
+// like the flag.Bool it used to be.
+type lockstepMode string
+
+func lockstepFlagVar(name, def, usage string) *lockstepMode {
+	m := lockstepMode(def)
+	flag.Var(&m, name, usage)
+	return &m
+}
+
+func (m *lockstepMode) String() string { return string(*m) }
+
+func (m *lockstepMode) IsBoolFlag() bool { return true }
+
+func (m *lockstepMode) Set(s string) error {
+	switch s {
+	case serve.LockstepAuto, serve.LockstepOn, serve.LockstepOff:
+		*m = lockstepMode(s)
+	case "true":
+		*m = serve.LockstepOn
+	case "false":
+		*m = serve.LockstepOff
+	default:
+		return fmt.Errorf("want auto, on, or off, got %q", s)
+	}
 	return nil
 }
 

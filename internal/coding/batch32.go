@@ -1,6 +1,10 @@
 package coding
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"burstsnn/internal/kernels"
+)
 
 // BatchEvents32 is the float32 counterpart of BatchEvents: the column-form
 // event stream the float32 compute plane's lockstep simulator consumes.
@@ -115,6 +119,13 @@ func (e *BatchEvents32) AppendLane(lane int32, dst []Event) []Event {
 // timing to Step (same pixels spike at the same steps in the same
 // lanes), payloads emitted as float32. Phase/TTFS round the per-step
 // Π(t) once; the real encoder rounds each pixel value at emission.
+//
+// The phase and TTFS sweeps are vectorized: their per-step payload is
+// uniform across lanes, so a pixel row reduces to one lane bitmask
+// (kernels.LaneMaskBit / LaneMaskEq — packed 4-wide on the avx2 tier)
+// fed straight into AddMask, which emits the same ascending-lane column
+// the scalar loop would. Rate (per-lane RNG draws) and real (per-pixel
+// payloads) sweeps stay scalar.
 
 func (e *batchRealEncoder) Step32(_ int, lanes int, out *BatchEvents32) {
 	out.Reset()
@@ -153,13 +164,9 @@ func (e *batchPhaseEncoder) Step32(t int, lanes int, out *BatchEvents32) {
 	shift := uint(e.period - 1 - t%e.period)
 	payload := float32(Pi(t, e.period))
 	for i := 0; i < e.size; i++ {
-		row := e.bits[i*e.b : i*e.b+lanes]
-		for s, bv := range row {
-			if bv>>shift&1 == 1 {
-				out.Add(int32(s), payload)
-			}
+		if m := kernels.LaneMaskBit(e.bits[i*e.b:i*e.b+lanes], shift); m != 0 {
+			out.AddMask(int32(i), m, payload)
 		}
-		out.Commit(int32(i))
 	}
 }
 
@@ -168,12 +175,8 @@ func (e *batchTTFSEncoder) Step32(t int, lanes int, out *BatchEvents32) {
 	want := uint64(t%e.period) + 1
 	payload := float32(Pi(t, e.period))
 	for i := 0; i < e.size; i++ {
-		row := e.phase[i*e.b : i*e.b+lanes]
-		for s, p := range row {
-			if p == want {
-				out.Add(int32(s), payload)
-			}
+		if m := kernels.LaneMaskEq(e.phase[i*e.b:i*e.b+lanes], want); m != 0 {
+			out.AddMask(int32(i), m, payload)
 		}
-		out.Commit(int32(i))
 	}
 }

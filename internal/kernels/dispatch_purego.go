@@ -2,7 +2,33 @@
 
 package kernels
 
-const kind = "f32"
+import "fmt"
+
+// The pure-Go build has a one-rung dispatch ladder: every kernel call
+// runs the generic loops and the only accepted level is LevelPurego
+// (so KERNELS_LEVEL=purego works identically on both builds, and
+// anything else fails loudly instead of silently testing the wrong
+// tier).
+
+func init() { initLevelFromEnv() }
+
+func activeLevelName() string   { return LevelPurego }
+func detectedLevelName() string { return LevelPurego }
+
+func availableLevels() []string { return []string{LevelPurego} }
+
+func forceLevel(name string) error {
+	switch name {
+	case "", LevelPurego:
+		return nil
+	case LevelSSE, LevelAVX2:
+		return fmt.Errorf("kernels: dispatch level %q is not supported on this build (pure Go only)", name)
+	}
+	return fmt.Errorf("kernels: unknown dispatch level %q (want %q, %q, or %q)",
+		name, LevelPurego, LevelSSE, LevelAVX2)
+}
+
+func kindName() string { return "f32" }
 
 func axpyBlock(dst, row []float32, p float32, b, lanes int) {
 	axpyBlockGeneric(dst, row, p, b, lanes)
@@ -26,4 +52,24 @@ func fireRowBias(v []float32, bias, th float32) uint64 {
 
 func fireRowBurst(v, g, pay []float32, fired []uint32, bias, beta, vth float32) uint64 {
 	return fireRowBurstGeneric(v, g, pay, fired, bias, beta, vth)
+}
+
+func convScatterVec(vmem, wsc []float32, taps []ConvTap, outC, b int, pv []float32) {
+	convScatterVecGeneric(vmem, wsc, taps, outC, b, pv)
+}
+
+func fireRowsBurst(v, g, pay []float32, fired []uint32, masks, occ []uint64, n, b int, bias []float32, bsc, beta, vth float32) {
+	fireRowsBurstGeneric(v, g, pay, fired, masks, occ, n, b, bias, bsc, beta, vth)
+}
+
+func selectMaxRow(best, row []float32, idx []int32, o int32, lanes int) {
+	selectMaxRowScalar(best, row, idx, o, 0, lanes)
+}
+
+func laneMaskBit(row []uint64, shift uint) uint64 {
+	return laneMaskBitScalar(row, shift, 0)
+}
+
+func laneMaskEq(row []uint64, want uint64) uint64 {
+	return laneMaskEqScalar(row, want, 0)
 }

@@ -105,3 +105,92 @@ func fireRowBiasGeneric(v []float32, bias, th float32) uint64 {
 	}
 	return m
 }
+
+func convScatterVecGeneric(vmem, wsc []float32, taps []ConvTap, outC, b int, pv []float32) {
+	outCb := outC * b
+	pv = pv[:b]
+	for _, tp := range taps {
+		dst := vmem[int(tp.Base)*outCb : int(tp.Base)*outCb+outCb]
+		row := wsc[tp.WOff : int(tp.WOff)+outC]
+		off := 0
+		for _, w := range row {
+			stripe := dst[off : off+b]
+			for j, p := range pv {
+				wp := w * p
+				stripe[j] += wp
+			}
+			off += b
+		}
+	}
+}
+
+// fireRowsBurstLoop is the shared row sweep of the non-fused
+// FireRowsBurst forms: it applies rowFn to each b-wide row and keeps the
+// masks/occ bookkeeping (including the partial-word flush) in exactly
+// one place, so the generic and per-row-packed fallbacks cannot diverge
+// on the subtle part.
+func fireRowsBurstLoop(v, g, pay []float32, fired []uint32, masks, occ []uint64, n, b int, bias []float32, bsc float32,
+	rowFn func(v, g, pay []float32, fired []uint32, bv float32) uint64) {
+	var w uint64
+	for c := 0; c < n; c++ {
+		var bv float32
+		if bias != nil {
+			bv = bias[c] * bsc
+		}
+		o := c * b
+		m := rowFn(v[o:o+b], g[o:o+b], pay[o:o+b], fired[o:o+b], bv)
+		masks[c] = m
+		if m != 0 {
+			w |= 1 << (uint(c) & 63)
+		}
+		if c&63 == 63 {
+			occ[c>>6] = w
+			w = 0
+		}
+	}
+	if n&63 != 0 {
+		occ[(n-1)>>6] = w
+	}
+}
+
+func fireRowsBurstGeneric(v, g, pay []float32, fired []uint32, masks, occ []uint64, n, b int, bias []float32, bsc, beta, vth float32) {
+	fireRowsBurstLoop(v, g, pay, fired, masks, occ, n, b, bias, bsc,
+		func(v, g, pay []float32, fired []uint32, bv float32) uint64 {
+			return fireRowBurstScalar(v, g, pay, fired, 0, 0, bv, beta, vth)
+		})
+}
+
+// selectMaxRowScalar merges row into the running argmax over lanes
+// [from, lanes) — both the pure-Go kernel body and the tail the packed
+// implementations fall back to past the last full 4-lane group.
+func selectMaxRowScalar(best, row []float32, idx []int32, o int32, from, lanes int) {
+	for s := from; s < lanes; s++ {
+		if row[s] > best[s] {
+			best[s] = row[s]
+			idx[s] = o
+		}
+	}
+}
+
+// laneMaskBitScalar gathers bit `shift` of each row element into a lane
+// bitmask, over lanes [from, len(row)). Branch-free: the compiler turns
+// the masked shift into straight-line code.
+func laneMaskBitScalar(row []uint64, shift uint, from int) uint64 {
+	var m uint64
+	for s := from; s < len(row); s++ {
+		m |= (row[s] >> shift & 1) << uint(s)
+	}
+	return m
+}
+
+// laneMaskEqScalar sets mask bit s where row[s] == want, over lanes
+// [from, len(row)).
+func laneMaskEqScalar(row []uint64, want uint64, from int) uint64 {
+	var m uint64
+	for s := from; s < len(row); s++ {
+		if row[s] == want {
+			m |= 1 << uint(s)
+		}
+	}
+	return m
+}

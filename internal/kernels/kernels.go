@@ -5,34 +5,39 @@
 // one weight row applied to one event column — updates a contiguous
 // OutC×B float32 block. These primitives consume exactly that shape.
 //
-// Two implementations share one contract:
+// Three dispatch tiers share one contract (see level.go for the
+// runtime-selection machinery):
 //
-//   - a pure-Go build (the `purego` build tag, and every non-amd64
-//     platform): unrolled scalar float32 loops the compiler schedules
-//     well, and
-//   - an amd64 SSE implementation (the default on amd64): 4-lane packed
-//     single-precision arithmetic using only baseline SSE instructions,
-//     so it runs on every GOAMD64 level without dispatch.
+//   - purego: unrolled scalar float32 loops the compiler schedules well
+//     (the whole story on the `purego` build and every non-amd64
+//     platform);
+//   - sse: 4-lane packed single precision using only baseline SSE
+//     instructions, so it runs on every amd64 CPU; and
+//   - avx2: 8-lane VEX-encoded packed single precision — one full B=8
+//     lane stripe per instruction — selected by CPUID at startup.
 //
-// The two are semantically identical, not merely close: every primitive
-// performs the same float32 operations on the same elements — each
-// destination element receives exactly one rounded multiply and one add
-// per call, and the threshold test subtracts the same float32 value — so
-// a simulation produces bit-identical float32 trajectories whichever
-// build executes it. The equivalence suite runs under both builds in CI
-// (see .github/workflows/ci.yml) and the fuzz tests in this package pin
-// each primitive to a naive scalar reference at random shapes.
+// The tiers are semantically identical, not merely close: every
+// primitive performs the same float32 operations on the same elements —
+// each destination element receives exactly one rounded multiply and one
+// add per call (the AVX2 kernels use separate multiply and add, never
+// FMA), and the threshold test subtracts the same float32 value — so a
+// simulation produces bit-identical float32 trajectories whichever tier
+// executes it. CI runs the suite once per tier via KERNELS_LEVEL (see
+// .github/workflows/ci.yml); the fuzz tests in this package pin each
+// primitive to a naive scalar reference at random shapes under every
+// available tier.
 //
-// Kind reports which implementation is linked in ("f32" pure Go,
-// "f32-asm" SSE); serving surfaces it in /metrics so an operator can see
-// which kernel a replica picked at build time.
+// Kind reports which tier kernel calls currently execute on ("f32" pure
+// Go, "f32-sse", "f32-avx2"); serving surfaces it in /metrics so an
+// operator can see which kernels a replica actually ran.
 package kernels
 
-// Kind identifies the kernel implementation compiled into this binary:
-// "f32" for the pure-Go loops, "f32-asm" for the amd64 SSE kernels.
-// The choice is a build-time property (the `purego` build tag), not a
-// runtime switch.
-func Kind() string { return kind }
+// Kind identifies the kernel implementation behind the float32 plane
+// right now: "f32" for the pure-Go loops (the purego build, or the
+// purego tier forced on the assembly build), "f32-sse" or "f32-avx2"
+// for the amd64 assembly tiers. It tracks ActiveLevel, so a ForceLevel
+// or KERNELS_LEVEL override is reflected here and in /metrics.
+func Kind() string { return kindName() }
 
 // KindF64 names the float64 scalar batch path in artifacts and metrics,
 // alongside the Kind() values of this package's float32 kernels.
@@ -144,4 +149,121 @@ func FireRowBurst(v, g, pay []float32, fired []uint32, bias, beta, vth float32) 
 	_ = pay[len(v)-1]
 	_ = fired[len(v)-1]
 	return fireRowBurst(v, g, pay, fired, bias, beta, vth)
+}
+
+// ConvTap is one entry of a conv layer's precomputed scatter table: the
+// offset of the tap's kernel row in the scatter-ordered weight copy
+// (WOff, in elements — the OutC weights of one tap are contiguous) and
+// the output spatial base (Base — the tap's destination block starts at
+// element Base·OutC·b of the base-major accumulator). The simulator
+// builds these tables once at layer construction; the fused scatter
+// below consumes them directly so one event column costs one kernel
+// call, not one per tap.
+type ConvTap struct {
+	WOff int32
+	Base int32
+}
+
+// ConvScatterVec applies one event column to a base-major conv
+// accumulator, walking the column's whole tap list in a single call:
+//
+//	for each tap t:
+//	  vmem[t.Base·outC·b + i·b + j] += wsc[t.WOff+i] * pv[j]
+//	                                   for i in [0,outC), j in [0,b)
+//
+// pv is the lane-dense payload vector padded with zeros to the full
+// stripe width b (absent or retired lanes accumulate row[i]*0, exact for
+// finite weights — see AxpyBlockVec). Fusing the tap walk matters
+// because conv taps are short (OutC stripes): per-tap kernel calls spend
+// comparable time in call overhead as in arithmetic, which caps what a
+// wider vector tier can win. Each element receives exactly one rounded
+// multiply and one add, identical on every tier. vmem and wsc must cover
+// every tap's block and row; pv must hold at least b elements.
+func ConvScatterVec(vmem, wsc []float32, taps []ConvTap, outC, b int, pv []float32) {
+	if len(taps) == 0 || outC <= 0 || b <= 0 {
+		return
+	}
+	_ = pv[b-1]
+	convScatterVec(vmem, wsc, taps, outC, b, pv)
+}
+
+// FireRowsBurst runs the fused burst fire pass (see FireRowBurst) over n
+// consecutive b-wide lane rows in one call — the whole population's
+// threshold sweep per step. Row c uses the bias current bias[c]*bsc
+// (or 0 when bias is nil, both rounded exactly as the per-row form) and
+// deposits its fired-lane bitmask in masks[c]:
+//
+//	masks[c] = FireRowBurst(v[c·b:(c+1)·b], g[...], pay[...], fired[...],
+//	                        bv, beta, vth)
+//
+// occ receives a row-occupancy summary: bit c&63 of occ[c>>6] is set iff
+// masks[c] != 0 (every covered word is fully rewritten). Spiking is
+// sparse, so the emission sweep that follows the fire pass uses occ to
+// skip 64 silent rows per word instead of touching every mask.
+//
+// The full b-wide stripe is processed including retired lanes (their
+// state is never read again — callers strip retired lanes from masks at
+// emission), which keeps every row one packed pass and lets independent
+// rows pipeline instead of paying a call and a serial dependency chain
+// per neuron. v, g, pay must hold n·b floats, fired n·b words, masks n
+// words, occ ⌈n/64⌉ words, and bias (when non-nil) n values; b may be at
+// most 64.
+func FireRowsBurst(v, g, pay []float32, fired []uint32, masks, occ []uint64, n, b int, bias []float32, bsc, beta, vth float32) {
+	if n <= 0 || b <= 0 {
+		return
+	}
+	_ = v[n*b-1]
+	_ = g[n*b-1]
+	_ = pay[n*b-1]
+	_ = fired[n*b-1]
+	_ = masks[n-1]
+	_ = occ[(n-1)>>6]
+	if bias != nil {
+		_ = bias[n-1]
+	}
+	fireRowsBurst(v, g, pay, fired, masks, occ, n, b, bias, bsc, beta, vth)
+}
+
+// SelectMaxRow merges one row of a lane-striped matrix into a running
+// lane-wise argmax: for every s in [0, lanes),
+//
+//	if row[s] > best[s] { best[s] = row[s]; idx[s] = o }
+//
+// Sweeping a readout's class rows in ascending o order through
+// SelectMaxRow yields, per lane, the argmax with the first-wins tie rule
+// (strictly-greater replacement) — the batched form of the per-slot
+// strided argmax, turned into contiguous row passes the packed tiers
+// blend in one compare + select. All slices must hold at least lanes
+// elements; lanes may be at most 64.
+func SelectMaxRow(best, row []float32, idx []int32, o int32, lanes int) {
+	if lanes <= 0 {
+		return
+	}
+	_ = best[lanes-1]
+	_ = row[lanes-1]
+	_ = idx[lanes-1]
+	selectMaxRow(best, row, idx, o, lanes)
+}
+
+// LaneMaskBit returns the lane bitmask with bit s set iff bit `shift` of
+// row[s] is set — the batched phase-encoder sweep (row is one pixel's
+// lane-striped quantization words; the result feeds BatchEvents32.AddMask
+// with the step's uniform payload). len(row) must be at most 64 and
+// shift at most 63.
+func LaneMaskBit(row []uint64, shift uint) uint64 {
+	if len(row) == 0 {
+		return 0
+	}
+	return laneMaskBit(row, shift)
+}
+
+// LaneMaskEq returns the lane bitmask with bit s set iff row[s] == want —
+// the batched TTFS-encoder sweep (row is one pixel's lane-striped firing
+// phases, want the phase that fires at this step). len(row) must be at
+// most 64.
+func LaneMaskEq(row []uint64, want uint64) uint64 {
+	if len(row) == 0 {
+		return 0
+	}
+	return laneMaskEq(row, want)
 }

@@ -2,11 +2,12 @@
 
 #include "textflag.h"
 
-// Baseline-SSE float32 kernels. All loops process 4 packed lanes per
-// iteration with a scalar tail, and every element receives exactly the
-// operations the generic Go implementations perform (one rounded multiply
-// and one add for the scatters; compare + subtract for the fire pass), so
-// the two builds produce bit-identical state.
+// Baseline-SSE float32 kernels: the 4-lane tier of the dispatch ladder
+// (every amd64 CPU can run these — no CPUID gate). All loops process 4
+// packed lanes per iteration with a scalar tail, and every element
+// receives exactly the operations the generic Go implementations perform
+// (one rounded multiply and one add for the scatters; compare + subtract
+// for the fire pass), so all dispatch tiers produce bit-identical state.
 
 // func axpyBlockAsm(dst, row *float32, n int, p float32, b, lanes int)
 // for i in [0,n): wp = row[i]*p; dst[i*b : i*b+lanes] += wp
@@ -359,4 +360,209 @@ bfirenext:
 
 bfiredone:
 	MOVQ AX, ret+24(FP)
+	RET
+
+// func convScatterVecAsm(vmem, wsc *float32, taps *ConvTap, ntaps, outC int, pv *float32)
+// The fused b=8 conv scatter, SSE tier: the dense payload vector stays
+// in X5/X6 across the whole tap walk; each stripe is two packed
+// multiply-adds (same roundings as the per-tap form).
+TEXT ·convScatterVecAsm(SB), NOSPLIT, $0-48
+	MOVQ   vmem+0(FP), DI
+	MOVQ   wsc+8(FP), SI
+	MOVQ   taps+16(FP), R10
+	MOVQ   ntaps+24(FP), CX
+	MOVQ   outC+32(FP), R8
+	MOVQ   pv+40(FP), AX
+	MOVUPS (AX), X5
+	MOVUPS 16(AX), X6
+	MOVQ   R8, R9
+	SHLQ   $5, R9             // block bytes per base: outC * 8 lanes * 4
+
+ctaploop:
+	TESTQ   CX, CX
+	JZ      cdone
+	MOVLQSX 0(R10), BX        // tap.WOff
+	MOVLQSX 4(R10), DX        // tap.Base
+	LEAQ    (SI)(BX*4), BX    // kernel row cursor
+	IMULQ   R9, DX
+	LEAQ    (DI)(DX*1), DX    // destination block cursor
+	MOVQ    R8, R11           // outC stripes
+
+cstripe:
+	MOVSS  (BX), X0
+	SHUFPS $0x00, X0, X0      // broadcast w
+	MOVAPS X5, X1
+	MULPS  X0, X1             // w * pv[0..3]
+	MOVUPS (DX), X2
+	ADDPS  X1, X2
+	MOVUPS X2, (DX)
+	MOVAPS X6, X1
+	MULPS  X0, X1             // w * pv[4..7]
+	MOVUPS 16(DX), X2
+	ADDPS  X1, X2
+	MOVUPS X2, 16(DX)
+	ADDQ   $4, BX
+	ADDQ   $32, DX
+	DECQ   R11
+	JNZ    cstripe
+
+	ADDQ $8, R10
+	DECQ CX
+	JMP  ctaploop
+
+cdone:
+	RET
+
+// func fireRowsBurstAsm(v, gs, pay *float32, fired *uint32, masks, occ *uint64, n int, bias *float32, bsc, beta, vth float32)
+// The fused b=8 burst fire pass, SSE tier: each row is two 4-lane
+// groups of the fireRowBurstAsm body, the bias current bias[c]*bsc (or 0
+// when bias is nil) broadcast once per row, masks written per row.
+TEXT ·fireRowsBurstAsm(SB), NOSPLIT, $0-76
+	MOVQ   v+0(FP), DI
+	MOVQ   gs+8(FP), SI
+	MOVQ   pay+16(FP), R10
+	MOVQ   fired+24(FP), R12
+	MOVQ   masks+32(FP), R13
+	MOVQ   occ+40(FP), BX
+	MOVQ   n+48(FP), R11
+	MOVQ   bias+56(FP), R14
+	MOVSS  bsc+64(FP), X11
+	MOVSS  beta+68(FP), X13
+	SHUFPS $0x00, X13, X13
+	MOVSS  vth+72(FP), X14
+	SHUFPS $0x00, X14, X14
+	XORQ   R9, R9             // occ word accumulator
+	XORQ   CX, CX             // row bit position
+	MOVL   $0x3F800000, DX    // 1.0f
+	MOVD   DX, X15
+	SHUFPS $0x00, X15, X15
+
+frowloop:
+	TESTQ R11, R11
+	JZ    frdone
+	XORPS X6, X6              // bv = 0
+	TESTQ R14, R14
+	JZ    frnobias
+	MOVSS (R14), X6
+	MULSS X11, X6             // bias[c] * bsc, rounded once
+	ADDQ  $4, R14
+
+frnobias:
+	SHUFPS $0x00, X6, X6
+
+	// lanes 0..3
+	MOVUPS (DI), X1           // v
+	ADDPS  X6, X1             // v += bv
+	MOVUPS (SI), X2           // g
+	MOVUPS (R12), X3          // fired mask
+	MULPS  X13, X2            // beta*g
+	ANDPS  X3, X2
+	ANDNPS X15, X3            // ^fired & 1.0
+	ORPS   X3, X2             // g'
+	MOVUPS X2, (SI)
+	MULPS  X14, X2            // th = g'*vth
+	MOVUPS X2, (R10)
+	MOVAPS X2, X4
+	CMPPS  X1, X4, $2         // th <= v
+	ANDPS  X4, X2
+	SUBPS  X2, X1
+	MOVUPS X1, (DI)
+	MOVUPS X4, (R12)
+	MOVMSKPS X4, AX
+
+	// lanes 4..7
+	MOVUPS 16(DI), X1
+	ADDPS  X6, X1
+	MOVUPS 16(SI), X2
+	MOVUPS 16(R12), X3
+	MULPS  X13, X2
+	ANDPS  X3, X2
+	ANDNPS X15, X3
+	ORPS   X3, X2
+	MOVUPS X2, 16(SI)
+	MULPS  X14, X2
+	MOVUPS X2, 16(R10)
+	MOVAPS X2, X4
+	CMPPS  X1, X4, $2
+	ANDPS  X4, X2
+	SUBPS  X2, X1
+	MOVUPS X1, 16(DI)
+	MOVUPS X4, 16(R12)
+	MOVMSKPS X4, DX
+	SHLQ   $4, DX
+	ORQ    DX, AX
+	MOVQ   AX, (R13)
+	TESTQ  AX, AX
+	JZ     froccz
+	BTSQ   CX, R9             // occ bit for this spiking row
+
+froccz:
+	INCQ CX
+	CMPQ CX, $64
+	JLT  frnoflush
+	MOVQ R9, (BX)             // occ word complete
+	ADDQ $8, BX
+	XORQ R9, R9
+	XORQ CX, CX
+
+frnoflush:
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, R10
+	ADDQ $32, R12
+	ADDQ $8, R13
+	DECQ R11
+	JMP  frowloop
+
+frdone:
+	TESTQ CX, CX
+	JZ    frend
+	MOVQ  R9, (BX)            // flush the partial occ word
+
+frend:
+	RET
+
+// func selectMaxRowAsm(best, row *float32, idx *int32, n int, o int32)
+// for s in [0,n): if row[s] > best[s] { best[s] = row[s]; idx[s] = o }
+// n must be a multiple of 4 (the Go wrapper handles the scalar tail).
+//
+// The compare is best < row (CMPLTPS, ordered — a NaN row entry never
+// wins, matching the scalar >); both blends are mask selects over the
+// all-ones/zero compare result, applied bitwise to the float and int32
+// lanes alike.
+TEXT ·selectMaxRowAsm(SB), NOSPLIT, $0-36
+	MOVQ   best+0(FP), DI
+	MOVQ   row+8(FP), SI
+	MOVQ   idx+16(FP), R10
+	MOVQ   n+24(FP), CX
+	MOVL   o+32(FP), DX
+	MOVD   DX, X3
+	SHUFPS $0x00, X3, X3      // broadcast o (raw 32-bit lanes)
+
+max4:
+	TESTQ  CX, CX
+	JZ     maxdone
+	MOVUPS (DI), X0           // best
+	MOVUPS (SI), X1           // row
+	MOVAPS X0, X2
+	CMPPS  X1, X2, $1         // m = best < row
+	MOVAPS X2, X4
+	ANDPS  X1, X4             // row where m
+	MOVAPS X2, X5             // m copy for the idx blend
+	ANDNPS X0, X2             // best where !m
+	ORPS   X4, X2
+	MOVUPS X2, (DI)
+	MOVUPS (R10), X6          // idx
+	MOVAPS X3, X7
+	ANDPS  X5, X7             // o where m
+	ANDNPS X6, X5             // idx where !m
+	ORPS   X7, X5
+	MOVUPS X5, (R10)
+	ADDQ   $16, DI
+	ADDQ   $16, SI
+	ADDQ   $16, R10
+	SUBQ   $4, CX
+	JMP    max4
+
+maxdone:
 	RET

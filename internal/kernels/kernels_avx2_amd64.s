@@ -1,0 +1,749 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 float32 kernels: the 8-lane tier of the dispatch ladder. One
+// VEX-encoded 256-bit op covers a full B=8 lane stripe — twice the
+// baseline-SSE width — with 4-lane (VEX.128) and scalar (VEX) tails, so
+// no legacy-SSE instruction ever runs with dirty YMM uppers.
+//
+// Numerics contract: every element receives exactly the operations the
+// generic Go implementations perform — one rounded multiply and one add
+// for the scatters (deliberately VMULPS + VADDPS, never FMA: fusing
+// would contract two roundings into one and break cross-tier
+// bit-identity), compare + masked subtract for the fire passes — so all
+// dispatch tiers produce bit-identical float32 state.
+
+// func axpyBlockAVX2(dst, row *float32, n int, p float32, b, lanes int)
+// for i in [0,n): wp = row[i]*p; dst[i*b : i*b+lanes] += wp
+TEXT ·axpyBlockAVX2(SB), NOSPLIT, $0-48
+	MOVQ         dst+0(FP), DI
+	MOVQ         row+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VBROADCASTSS p+24(FP), Y0
+	MOVQ         b+32(FP), R8
+	MOVQ         lanes+40(FP), R9
+	SHLQ         $2, R8           // stride in bytes
+
+rowloop:
+	TESTQ        CX, CX
+	JZ           done
+	VBROADCASTSS (SI), Y1
+	VMULPS       Y0, Y1, Y1       // wp = w * p, rounded once, all lanes
+	MOVQ         R9, DX           // lanes remaining
+	MOVQ         DI, BX           // stripe cursor
+
+lane8:
+	CMPQ    DX, $8
+	JLT     lane4
+	VMOVUPS (BX), Y2
+	VADDPS  Y1, Y2, Y2
+	VMOVUPS Y2, (BX)
+	ADDQ    $32, BX
+	SUBQ    $8, DX
+	JMP     lane8
+
+lane4:
+	CMPQ    DX, $4
+	JLT     lanetail
+	VMOVUPS (BX), X2
+	VADDPS  X1, X2, X2
+	VMOVUPS X2, (BX)
+	ADDQ    $16, BX
+	SUBQ    $4, DX
+
+lanetail:
+	TESTQ  DX, DX
+	JZ     nextrow
+	VMOVSS (BX), X2
+	VADDSS X1, X2, X2
+	VMOVSS X2, (BX)
+	ADDQ   $4, BX
+	DECQ   DX
+	JMP    lanetail
+
+nextrow:
+	ADDQ $4, SI
+	ADDQ R8, DI
+	DECQ CX
+	JMP  rowloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpyBlockVecAVX2(dst, row, pv *float32, n, b, lanes int)
+// for i in [0,n): dst[i*b : i*b+lanes] += row[i] * pv[:lanes]
+TEXT ·axpyBlockVecAVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ row+8(FP), SI
+	MOVQ pv+16(FP), R10
+	MOVQ n+24(FP), CX
+	MOVQ b+32(FP), R8
+	MOVQ lanes+40(FP), R9
+	SHLQ $2, R8               // stride in bytes
+	CMPQ R9, $8
+	JEQ  vec8
+
+vrowloop:
+	TESTQ        CX, CX
+	JZ           vdone
+	VBROADCASTSS (SI), Y0
+	MOVQ         R9, DX       // lanes remaining
+	MOVQ         DI, BX       // stripe cursor
+	MOVQ         R10, R11     // pv cursor
+
+vlane8:
+	CMPQ    DX, $8
+	JLT     vlane4
+	VMOVUPS (R11), Y1
+	VMULPS  Y0, Y1, Y1        // w * pv[j..j+7]
+	VMOVUPS (BX), Y2
+	VADDPS  Y1, Y2, Y2
+	VMOVUPS Y2, (BX)
+	ADDQ    $32, BX
+	ADDQ    $32, R11
+	SUBQ    $8, DX
+	JMP     vlane8
+
+vlane4:
+	CMPQ    DX, $4
+	JLT     vlanetail
+	VMOVUPS (R11), X1
+	VMULPS  X0, X1, X1
+	VMOVUPS (BX), X2
+	VADDPS  X1, X2, X2
+	VMOVUPS X2, (BX)
+	ADDQ    $16, BX
+	ADDQ    $16, R11
+	SUBQ    $4, DX
+
+vlanetail:
+	TESTQ  DX, DX
+	JZ     vnextrow
+	VMOVSS (R11), X1
+	VMULSS X0, X1, X1
+	VMOVSS (BX), X2
+	VADDSS X1, X2, X2
+	VMOVSS X2, (BX)
+	ADDQ   $4, BX
+	ADDQ   $4, R11
+	DECQ   DX
+	JMP    vlanetail
+
+vnextrow:
+	ADDQ $4, SI
+	ADDQ R8, DI
+	DECQ CX
+	JMP  vrowloop
+
+	// lanes == 8 (the serving default batch width): pv stays in Y5
+	// across rows and each row is one packed multiply-add over the
+	// whole stripe.
+vec8:
+	VMOVUPS (R10), Y5
+
+vec8loop:
+	TESTQ        CX, CX
+	JZ           vdone
+	VBROADCASTSS (SI), Y0
+	VMULPS       Y5, Y0, Y1   // w * pv
+	VMOVUPS      (DI), Y2
+	VADDPS       Y1, Y2, Y2
+	VMOVUPS      Y2, (DI)
+	ADDQ         $4, SI
+	ADDQ         R8, DI
+	DECQ         CX
+	JMP          vec8loop
+
+vdone:
+	VZEROUPPER
+	RET
+
+// func scaleAddAVX2(dst *float32, n int, x float32)
+// dst[i] += x for i in [0,n)
+TEXT ·scaleAddAVX2(SB), NOSPLIT, $0-20
+	MOVQ         dst+0(FP), DI
+	MOVQ         n+8(FP), CX
+	VBROADCASTSS x+16(FP), Y0
+
+add8:
+	CMPQ    CX, $8
+	JLT     add4
+	VMOVUPS (DI), Y1
+	VADDPS  Y0, Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JMP     add8
+
+add4:
+	CMPQ    CX, $4
+	JLT     addtail
+	VMOVUPS (DI), X1
+	VADDPS  X0, X1, X1
+	VMOVUPS X1, (DI)
+	ADDQ    $16, DI
+	SUBQ    $4, CX
+
+addtail:
+	TESTQ  CX, CX
+	JZ     adddone
+	VMOVSS (DI), X1
+	VADDSS X0, X1, X1
+	VMOVSS X1, (DI)
+	ADDQ   $4, DI
+	DECQ   CX
+	JMP    addtail
+
+adddone:
+	VZEROUPPER
+	RET
+
+// func fireRowAVX2(v *float32, n int, th float32) uint64
+// for s in [0,n): if v[s] >= th { v[s] -= th; mask |= 1<<s }
+//
+// The packed compare is th <= v (predicate 2, LE, ordered — NaN never
+// fires, matching the scalar >= which is false on NaN).
+TEXT ·fireRowAVX2(SB), NOSPLIT, $0-32
+	MOVQ         v+0(FP), DI
+	MOVQ         n+8(FP), R11
+	VBROADCASTSS th+16(FP), Y0
+	XORQ         AX, AX           // mask accumulator
+	XORQ         CX, CX           // lane position (shift amount)
+
+fire8:
+	CMPQ      R11, $8
+	JLT       fire4
+	VMOVUPS   (DI), Y1            // v
+	VCMPPS    $2, Y1, Y0, Y2      // Y2 = (th <= v) ? ^0 : 0
+	VANDPS    Y0, Y2, Y3          // th where fired, else 0
+	VSUBPS    Y3, Y1, Y1
+	VMOVUPS   Y1, (DI)
+	VMOVMSKPS Y2, DX
+	SHLQ      CX, DX
+	ORQ       DX, AX
+	ADDQ      $32, DI
+	ADDQ      $8, CX
+	SUBQ      $8, R11
+	JMP       fire8
+
+fire4:
+	CMPQ      R11, $4
+	JLT       firetail
+	VMOVUPS   (DI), X1
+	VCMPPS    $2, X1, X0, X2
+	VANDPS    X0, X2, X3
+	VSUBPS    X3, X1, X1
+	VMOVUPS   X1, (DI)
+	VMOVMSKPS X2, DX
+	SHLQ      CX, DX
+	ORQ       DX, AX
+	ADDQ      $16, DI
+	ADDQ      $4, CX
+	SUBQ      $4, R11
+
+firetail:
+	TESTQ    R11, R11
+	JZ       firedone
+	VMOVSS   (DI), X1
+	VUCOMISS X0, X1               // compare v (X1) against th (X0)
+	JB       firenext             // v < th (or NaN): no spike
+	VSUBSS   X0, X1, X1
+	VMOVSS   X1, (DI)
+	MOVQ     $1, DX
+	SHLQ     CX, DX
+	ORQ      DX, AX
+
+firenext:
+	ADDQ $4, DI
+	INCQ CX
+	DECQ R11
+	JMP  firetail
+
+firedone:
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func fireRowBiasAVX2(v *float32, n int, bias, th float32) uint64
+// for s in [0,n): v[s] += bias; if v[s] >= th { v[s] -= th; mask |= 1<<s }
+TEXT ·fireRowBiasAVX2(SB), NOSPLIT, $0-32
+	MOVQ         v+0(FP), DI
+	MOVQ         n+8(FP), R11
+	VBROADCASTSS bias+16(FP), Y4
+	VBROADCASTSS th+20(FP), Y0
+	XORQ         AX, AX
+	XORQ         CX, CX
+
+bfire8:
+	CMPQ      R11, $8
+	JLT       bfire4
+	VMOVUPS   (DI), Y1
+	VADDPS    Y4, Y1, Y1          // v += bias
+	VCMPPS    $2, Y1, Y0, Y2      // th <= v
+	VANDPS    Y0, Y2, Y3
+	VSUBPS    Y3, Y1, Y1
+	VMOVUPS   Y1, (DI)
+	VMOVMSKPS Y2, DX
+	SHLQ      CX, DX
+	ORQ       DX, AX
+	ADDQ      $32, DI
+	ADDQ      $8, CX
+	SUBQ      $8, R11
+	JMP       bfire8
+
+bfire4:
+	CMPQ      R11, $4
+	JLT       bfiretail
+	VMOVUPS   (DI), X1
+	VADDPS    X4, X1, X1
+	VCMPPS    $2, X1, X0, X2
+	VANDPS    X0, X2, X3
+	VSUBPS    X3, X1, X1
+	VMOVUPS   X1, (DI)
+	VMOVMSKPS X2, DX
+	SHLQ      CX, DX
+	ORQ       DX, AX
+	ADDQ      $16, DI
+	ADDQ      $4, CX
+	SUBQ      $4, R11
+
+bfiretail:
+	TESTQ    R11, R11
+	JZ       bfiredone
+	VMOVSS   (DI), X1
+	VADDSS   X4, X1, X1
+	VUCOMISS X0, X1
+	JB       bnofire
+	VSUBSS   X0, X1, X1
+	VMOVSS   X1, (DI)
+	MOVQ     $1, DX
+	SHLQ     CX, DX
+	ORQ      DX, AX
+	JMP      bfirenext
+
+bnofire:
+	VMOVSS X1, (DI)               // biased value is stored even without a spike
+
+bfirenext:
+	ADDQ $4, DI
+	INCQ CX
+	DECQ R11
+	JMP  bfiretail
+
+bfiredone:
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func fireRowBurstAVX2(v, gs, pay *float32, fired *uint32, n, bias, beta, vth) uint64
+// (the burst state pointer is named gs because g is a reserved asm name)
+// The packed burst fire pass over full 8-lane groups; n must be a
+// multiple of 8 (the Go wrapper handles 4-lane and scalar tails). The
+// Eq. 8 select g' = fired ? beta·g : 1 is a mask blend, exact because
+// fired words are all-ones or zero.
+TEXT ·fireRowBurstAVX2(SB), NOSPLIT, $0-64
+	MOVQ         v+0(FP), DI
+	MOVQ         gs+8(FP), SI
+	MOVQ         pay+16(FP), R10
+	MOVQ         fired+24(FP), R12
+	MOVQ         n+32(FP), R11
+	MOVL         $0x3F800000, DX  // 1.0f
+	VMOVD        DX, X15          // VEX move: a legacy MOVD after the
+	VBROADCASTSS X15, Y15         // 256-bit broadcasts below would pay an
+	VBROADCASTSS bias+40(FP), Y12 // SSE/AVX state-transition stall per call
+	VBROADCASTSS beta+44(FP), Y13
+	VBROADCASTSS vth+48(FP), Y14
+	XORQ         AX, AX
+	XORQ         CX, CX
+
+burst8:
+	TESTQ     R11, R11
+	JZ        burstdone
+	VMOVUPS   (DI), Y1            // v
+	VADDPS    Y12, Y1, Y1         // v += bias
+	VMOVUPS   (SI), Y2            // g
+	VMOVUPS   (R12), Y3           // fired mask
+	VMULPS    Y13, Y2, Y2         // beta*g
+	VANDPS    Y3, Y2, Y2          // beta*g where fired, else 0
+	VANDNPS   Y15, Y3, Y3         // ^fired & 1.0
+	VORPS     Y3, Y2, Y2          // g' = fired ? beta*g : 1
+	VMOVUPS   Y2, (SI)
+	VMULPS    Y14, Y2, Y2         // th = g'*vth
+	VMOVUPS   Y2, (R10)           // pay = th (unconditional)
+	VCMPPS    $2, Y1, Y2, Y4      // m = (th <= v), ordered
+	VANDPS    Y4, Y2, Y2          // th where fired, else 0
+	VSUBPS    Y2, Y1, Y1          // v -= th (non-fired lanes subtract ±0)
+	VMOVUPS   Y1, (DI)
+	VMOVUPS   Y4, (R12)           // new fired mask
+	VMOVMSKPS Y4, DX
+	SHLQ      CX, DX
+	ORQ       DX, AX
+	ADDQ      $32, DI
+	ADDQ      $32, SI
+	ADDQ      $32, R10
+	ADDQ      $32, R12
+	ADDQ      $8, CX
+	SUBQ      $8, R11
+	JMP       burst8
+
+burstdone:
+	VZEROUPPER
+	MOVQ AX, ret+56(FP)
+	RET
+
+// func convScatterVecAVX2(vmem, wsc *float32, taps *ConvTap, ntaps, outC int, pv *float32)
+// The fused b=8 conv scatter: one call walks a column's whole tap list,
+// the dense payload vector pinned in Y5 throughout; every stripe is one
+// broadcast + multiply + add (VMULPS/VADDPS, same roundings as the
+// per-tap form).
+TEXT ·convScatterVecAVX2(SB), NOSPLIT, $0-48
+	MOVQ    vmem+0(FP), DI
+	MOVQ    wsc+8(FP), SI
+	MOVQ    taps+16(FP), R10
+	MOVQ    ntaps+24(FP), CX
+	MOVQ    outC+32(FP), R8
+	MOVQ    pv+40(FP), AX
+	VMOVUPS (AX), Y5
+	MOVQ    R8, R9
+	SHLQ    $5, R9            // block bytes per base: outC * 8 lanes * 4
+
+ctaploop:
+	TESTQ   CX, CX
+	JZ      cdone
+	MOVLQSX 0(R10), BX        // tap.WOff
+	MOVLQSX 4(R10), DX        // tap.Base
+	LEAQ    (SI)(BX*4), BX    // kernel row cursor
+	IMULQ   R9, DX
+	LEAQ    (DI)(DX*1), DX    // destination block cursor
+	MOVQ    R8, R11           // outC stripes
+
+cstripe2:
+	CMPQ         R11, $2      // two stripes per iteration: independent
+	JLT          cstripe      // chains hide the broadcast+add latency
+	VBROADCASTSS (BX), Y0
+	VBROADCASTSS 4(BX), Y2
+	VMULPS       Y5, Y0, Y0   // w * pv
+	VMULPS       Y5, Y2, Y2
+	VMOVUPS      (DX), Y1
+	VADDPS       Y0, Y1, Y1
+	VMOVUPS      Y1, (DX)
+	VMOVUPS      32(DX), Y3
+	VADDPS       Y2, Y3, Y3
+	VMOVUPS      Y3, 32(DX)
+	ADDQ         $8, BX
+	ADDQ         $64, DX
+	SUBQ         $2, R11
+	JMP          cstripe2
+
+cstripe:
+	TESTQ        R11, R11
+	JZ           cnexttap
+	VBROADCASTSS (BX), Y0
+	VMULPS       Y5, Y0, Y0   // w * pv
+	VMOVUPS      (DX), Y1
+	VADDPS       Y0, Y1, Y1
+	VMOVUPS      Y1, (DX)
+	ADDQ         $4, BX
+	ADDQ         $32, DX
+	DECQ         R11
+	JMP          cstripe
+
+cnexttap:
+	ADDQ $8, R10
+	DECQ CX
+	JMP  ctaploop
+
+cdone:
+	VZEROUPPER
+	RET
+
+// func fireRowsBurstAVX2(v, gs, pay *float32, fired *uint32, masks, occ *uint64, n int, bias *float32, bsc, beta, vth float32)
+// The fused b=8 burst fire pass over a whole population: one call runs n
+// independent 8-lane rows back to back (row c's bias current is
+// bias[c]*bsc, or 0 when bias is nil), writing each row's fired-lane
+// bitmask to masks[c]. Same per-lane operations as fireRowBurstAVX2; the
+// fusion removes a call and a serial broadcast chain per neuron and lets
+// consecutive rows' dependency chains overlap.
+TEXT ·fireRowsBurstAVX2(SB), NOSPLIT, $0-76
+	MOVQ         v+0(FP), DI
+	MOVQ         gs+8(FP), SI
+	MOVQ         pay+16(FP), R10
+	MOVQ         fired+24(FP), R12
+	MOVQ         masks+32(FP), R13
+	MOVQ         occ+40(FP), BX
+	MOVQ         n+48(FP), R11
+	MOVQ         bias+56(FP), R14
+	MOVL         $0x3F800000, DX  // 1.0f
+	VMOVD        DX, X15
+	VBROADCASTSS X15, Y15
+	VMOVSS       bsc+64(FP), X11
+	VBROADCASTSS beta+68(FP), Y13
+	VBROADCASTSS vth+72(FP), Y14
+	XORQ         AX, AX           // occ word accumulator
+	XORQ         CX, CX           // row bit position
+
+frowloop:
+	CMPQ   R11, $2
+	JLT    frsingle
+	// Two rows interleaved: each row's burst chain is serial
+	// (bias → g-blend → threshold → compare), so pairing independent
+	// rows keeps the execution ports fed.
+	VXORPS X12, X12, X12          // bv (row A) = 0
+	VXORPS X10, X10, X10          // bv (row B) = 0
+	TESTQ  R14, R14
+	JZ     frnobias2
+	VMOVSS (R14), X12
+	VMOVSS 4(R14), X10
+	VMULSS X11, X12, X12          // bias[c] * bsc, rounded once
+	VMULSS X11, X10, X10
+	ADDQ   $8, R14
+
+frnobias2:
+	VBROADCASTSS X12, Y12
+	VBROADCASTSS X10, Y10
+	VMOVUPS      (DI), Y1         // v A
+	VMOVUPS      32(DI), Y6       // v B
+	VADDPS       Y12, Y1, Y1
+	VADDPS       Y10, Y6, Y6
+	VMOVUPS      (SI), Y2         // g A
+	VMOVUPS      32(SI), Y7       // g B
+	VMOVUPS      (R12), Y3        // fired A
+	VMOVUPS      32(R12), Y8      // fired B
+	VMULPS       Y13, Y2, Y2
+	VMULPS       Y13, Y7, Y7
+	VANDPS       Y3, Y2, Y2
+	VANDPS       Y8, Y7, Y7
+	VANDNPS      Y15, Y3, Y3
+	VANDNPS      Y15, Y8, Y8
+	VORPS        Y3, Y2, Y2       // g' A
+	VORPS        Y8, Y7, Y7       // g' B
+	VMOVUPS      Y2, (SI)
+	VMOVUPS      Y7, 32(SI)
+	VMULPS       Y14, Y2, Y2      // th A
+	VMULPS       Y14, Y7, Y7      // th B
+	VMOVUPS      Y2, (R10)
+	VMOVUPS      Y7, 32(R10)
+	VCMPPS       $2, Y1, Y2, Y4   // th <= v, A
+	VCMPPS       $2, Y6, Y7, Y9   // th <= v, B
+	VANDPS       Y4, Y2, Y2
+	VANDPS       Y9, Y7, Y7
+	VSUBPS       Y2, Y1, Y1
+	VSUBPS       Y7, Y6, Y6
+	VMOVUPS      Y1, (DI)
+	VMOVUPS      Y6, 32(DI)
+	VMOVUPS      Y4, (R12)
+	VMOVUPS      Y9, 32(R12)
+	VMOVMSKPS    Y4, DX
+	MOVQ         DX, (R13)
+	TESTQ        DX, DX
+	JZ           froccza
+	BTSQ         CX, AX
+
+froccza:
+	INCQ      CX
+	VMOVMSKPS Y9, DX
+	MOVQ      DX, 8(R13)
+	TESTQ     DX, DX
+	JZ        frocczb
+	BTSQ      CX, AX
+
+frocczb:
+	INCQ CX
+	CMPQ CX, $64
+	JLT  frnoflush2
+	MOVQ AX, (BX)                 // occ word complete (row count even ⇒
+	ADDQ $8, BX                   // the pair never straddles a word)
+	XORQ AX, AX
+	XORQ CX, CX
+
+frnoflush2:
+	ADDQ $64, DI
+	ADDQ $64, SI
+	ADDQ $64, R10
+	ADDQ $64, R12
+	ADDQ $16, R13
+	SUBQ $2, R11
+	JMP  frowloop
+
+frsingle:
+	TESTQ  R11, R11
+	JZ     frdone
+	VXORPS X12, X12, X12          // bv = 0
+	TESTQ  R14, R14
+	JZ     frnobias
+	VMOVSS (R14), X12
+	VMULSS X11, X12, X12          // bias[c] * bsc, rounded once
+	ADDQ   $4, R14
+
+frnobias:
+	VBROADCASTSS X12, Y12
+	VMOVUPS      (DI), Y1         // v
+	VADDPS       Y12, Y1, Y1      // v += bv
+	VMOVUPS      (SI), Y2         // g
+	VMOVUPS      (R12), Y3        // fired mask
+	VMULPS       Y13, Y2, Y2      // beta*g
+	VANDPS       Y3, Y2, Y2
+	VANDNPS      Y15, Y3, Y3      // ^fired & 1.0
+	VORPS        Y3, Y2, Y2       // g' = fired ? beta*g : 1
+	VMOVUPS      Y2, (SI)
+	VMULPS       Y14, Y2, Y2      // th = g'*vth
+	VMOVUPS      Y2, (R10)        // pay = th
+	VCMPPS       $2, Y1, Y2, Y4   // th <= v
+	VANDPS       Y4, Y2, Y2
+	VSUBPS       Y2, Y1, Y1
+	VMOVUPS      Y1, (DI)
+	VMOVUPS      Y4, (R12)
+	VMOVMSKPS    Y4, DX
+	MOVQ         DX, (R13)
+	TESTQ        DX, DX
+	JZ           froccz
+	BTSQ         CX, AX           // occ bit for this spiking row
+
+froccz:
+	INCQ CX
+	CMPQ CX, $64
+	JLT  frnoflush
+	MOVQ AX, (BX)                 // occ word complete
+	ADDQ $8, BX
+	XORQ AX, AX
+	XORQ CX, CX
+
+frnoflush:
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, R10
+	ADDQ $32, R12
+	ADDQ $8, R13
+	DECQ R11
+	JMP  frowloop
+
+frdone:
+	TESTQ CX, CX
+	JZ    frend
+	MOVQ  AX, (BX)                // flush the partial occ word
+
+frend:
+	VZEROUPPER
+	RET
+
+// func selectMaxRowAVX2(best, row *float32, idx *int32, n int, o int32)
+// for s in [0,n): if row[s] > best[s] { best[s] = row[s]; idx[s] = o }
+// n must be a multiple of 4 (the Go wrapper handles the scalar tail).
+//
+// The compare is best < row (predicate 1, LT, ordered — a NaN row entry
+// never wins, matching the scalar >), and both blends are mask selects,
+// exact because the compare result is all-ones or zero per lane.
+TEXT ·selectMaxRowAVX2(SB), NOSPLIT, $0-36
+	MOVQ         best+0(FP), DI
+	MOVQ         row+8(FP), SI
+	MOVQ         idx+16(FP), R10
+	MOVQ         n+24(FP), CX
+	MOVL         o+32(FP), DX
+	VMOVD        DX, X3
+	VBROADCASTSS X3, Y3
+
+max8:
+	CMPQ    CX, $8
+	JLT     max4
+	VMOVUPS (DI), Y0          // best
+	VMOVUPS (SI), Y1          // row
+	VCMPPS  $1, Y1, Y0, Y2    // m = best < row
+	VANDPS  Y1, Y2, Y4        // row where m
+	VANDNPS Y0, Y2, Y5        // best where !m
+	VORPS   Y4, Y5, Y5
+	VMOVUPS Y5, (DI)
+	VMOVUPS (R10), Y6         // idx (as raw 32-bit lanes)
+	VANDPS  Y3, Y2, Y4        // o where m
+	VANDNPS Y6, Y2, Y6        // idx where !m
+	VORPS   Y4, Y6, Y6
+	VMOVUPS Y6, (R10)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	ADDQ    $32, R10
+	SUBQ    $8, CX
+	JMP     max8
+
+max4:
+	TESTQ   CX, CX
+	JZ      maxdone
+	VMOVUPS (DI), X0
+	VMOVUPS (SI), X1
+	VCMPPS  $1, X1, X0, X2
+	VANDPS  X1, X2, X4
+	VANDNPS X0, X2, X5
+	VORPS   X4, X5, X5
+	VMOVUPS X5, (DI)
+	VMOVUPS (R10), X6
+	VANDPS  X3, X2, X4
+	VANDNPS X6, X2, X6
+	VORPS   X4, X6, X6
+	VMOVUPS X6, (R10)
+	ADDQ    $16, DI
+	ADDQ    $16, SI
+	ADDQ    $16, R10
+	SUBQ    $4, CX
+	JMP     max4
+
+maxdone:
+	VZEROUPPER
+	RET
+
+// func laneMaskBitAVX2(row *uint64, n int, shiftLeft uint64) uint64
+// mask bit s = bit (63-shiftLeft) of row[s], for s in [0,n); n must be
+// a multiple of 4. Shifting the target bit into the sign position and
+// collecting sign bits with VMOVMSKPD turns the per-lane bit test into
+// one shift + one movemask per 4 lanes.
+TEXT ·laneMaskBitAVX2(SB), NOSPLIT, $0-32
+	MOVQ  row+0(FP), SI
+	MOVQ  n+8(FP), R11
+	VMOVQ shiftLeft+16(FP), X0
+	XORQ  AX, AX
+	XORQ  CX, CX
+
+bit4:
+	TESTQ     R11, R11
+	JZ        bitdone
+	VMOVDQU   (SI), Y1
+	VPSLLQ    X0, Y1, Y1
+	VMOVMSKPD Y1, DX          // sign bit of each 64-bit lane
+	SHLQ      CX, DX
+	ORQ       DX, AX
+	ADDQ      $32, SI
+	ADDQ      $4, CX
+	SUBQ      $4, R11
+	JMP       bit4
+
+bitdone:
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func laneMaskEqAVX2(row *uint64, n int, want uint64) uint64
+// mask bit s = (row[s] == want), for s in [0,n); n must be a multiple
+// of 4.
+TEXT ·laneMaskEqAVX2(SB), NOSPLIT, $0-32
+	MOVQ         row+0(FP), SI
+	MOVQ         n+8(FP), R11
+	VPBROADCASTQ want+16(FP), Y0
+	XORQ         AX, AX
+	XORQ         CX, CX
+
+eq4:
+	TESTQ     R11, R11
+	JZ        eqdone
+	VMOVDQU   (SI), Y1
+	VPCMPEQQ  Y0, Y1, Y1      // all-ones where equal (sign bit set)
+	VMOVMSKPD Y1, DX
+	SHLQ      CX, DX
+	ORQ       DX, AX
+	ADDQ      $32, SI
+	ADDQ      $4, CX
+	SUBQ      $4, R11
+	JMP       eq4
+
+eqdone:
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET

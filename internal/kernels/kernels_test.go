@@ -11,8 +11,30 @@ import (
 // loops — no unrolling, no hoisting beyond the single wp product (which
 // the contract requires: the multiply is rounded once, then added). The
 // fuzz tests drive the exported kernels against them at random shapes,
-// requiring bit-exact float32 agreement; CI runs this package under both
-// the assembly and the purego builds.
+// requiring bit-exact float32 agreement, and forEachLevel repeats every
+// fuzz under every dispatch tier this machine can run (purego, sse,
+// avx2), so each tier is pinned to the same scalar reference — and
+// therefore to every other tier — on every commit. CI additionally runs
+// the package under the purego build and under forced KERNELS_LEVEL
+// tiers.
+
+// forEachLevel runs fn once per available dispatch tier, forcing the
+// tier for the duration and restoring the detected level afterwards.
+func forEachLevel(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	for _, lv := range Available() {
+		t.Run("level="+lv, func(t *testing.T) {
+			if err := ForceLevel(lv); err != nil {
+				t.Fatal(err)
+			}
+			defer ForceLevel("")
+			if got := ActiveLevel(); got != lv {
+				t.Fatalf("ActiveLevel() = %q after ForceLevel(%q)", got, lv)
+			}
+			fn(t)
+		})
+	}
+}
 
 func refAxpyBlock(dst, row []float32, p float32, b, lanes int) {
 	for i, w := range row {
@@ -61,15 +83,17 @@ func randF32s(r *mathx.RNG, n int, scale float64) []float32 {
 }
 
 func TestKindNames(t *testing.T) {
-	if k := Kind(); k != "f32" && k != "f32-asm" {
-		t.Fatalf("Kind() = %q, want f32 or f32-asm", k)
+	if k := Kind(); k != "f32" && k != "f32-sse" && k != "f32-avx2" {
+		t.Fatalf("Kind() = %q, want f32, f32-sse, or f32-avx2", k)
 	}
 	if KindF64 != "f64" {
 		t.Fatalf("KindF64 = %q", KindF64)
 	}
 }
 
-func TestAxpyBlockFuzz(t *testing.T) {
+func TestAxpyBlockFuzz(t *testing.T) { forEachLevel(t, testAxpyBlockFuzz) }
+
+func testAxpyBlockFuzz(t *testing.T) {
 	r := mathx.NewRNG(0xA1B0)
 	for round := 0; round < 500; round++ {
 		b := 1 + r.Intn(70)
@@ -104,7 +128,9 @@ func refAxpyBlockVec(dst, row, pv []float32, b, lanes int) {
 	}
 }
 
-func TestAxpyBlockVecFuzz(t *testing.T) {
+func TestAxpyBlockVecFuzz(t *testing.T) { forEachLevel(t, testAxpyBlockVecFuzz) }
+
+func testAxpyBlockVecFuzz(t *testing.T) {
 	r := mathx.NewRNG(0xA1B2)
 	for round := 0; round < 500; round++ {
 		b := 1 + r.Intn(70)
@@ -135,7 +161,9 @@ func TestAxpyBlockVecFuzz(t *testing.T) {
 	}
 }
 
-func TestAxpyLaneFuzz(t *testing.T) {
+func TestAxpyLaneFuzz(t *testing.T) { forEachLevel(t, testAxpyLaneFuzz) }
+
+func testAxpyLaneFuzz(t *testing.T) {
 	r := mathx.NewRNG(0xA1B1)
 	for round := 0; round < 200; round++ {
 		b := 1 + r.Intn(32)
@@ -159,7 +187,9 @@ func TestAxpyLaneFuzz(t *testing.T) {
 	}
 }
 
-func TestScaleAddFuzz(t *testing.T) {
+func TestScaleAddFuzz(t *testing.T) { forEachLevel(t, testScaleAddFuzz) }
+
+func testScaleAddFuzz(t *testing.T) {
 	r := mathx.NewRNG(0x5CA1)
 	for round := 0; round < 300; round++ {
 		dst := randF32s(r, r.Intn(130), 1)
@@ -212,7 +242,9 @@ func fireCase(t *testing.T, round int, r *mathx.RNG, bias bool) {
 	}
 }
 
-func TestFireRowFuzz(t *testing.T) {
+func TestFireRowFuzz(t *testing.T) { forEachLevel(t, testFireRowFuzz) }
+
+func testFireRowFuzz(t *testing.T) {
 	r := mathx.NewRNG(0xF12E)
 	for round := 0; round < 500; round++ {
 		fireCase(t, round, r, false)
@@ -242,7 +274,9 @@ func refFireRowBurst(v, g, pay []float32, fired []uint32, bias, beta, vth float3
 	return m
 }
 
-func TestFireRowBurstFuzz(t *testing.T) {
+func TestFireRowBurstFuzz(t *testing.T) { forEachLevel(t, testFireRowBurstFuzz) }
+
+func testFireRowBurstFuzz(t *testing.T) {
 	r := mathx.NewRNG(0xB125)
 	for round := 0; round < 600; round++ {
 		n := 1 + r.Intn(64)
@@ -292,6 +326,200 @@ func TestFireRowBurstFuzz(t *testing.T) {
 	}
 }
 
+func TestConvScatterVecFuzz(t *testing.T) { forEachLevel(t, testConvScatterVecFuzz) }
+
+func testConvScatterVecFuzz(t *testing.T) {
+	r := mathx.NewRNG(0xC05C)
+	for round := 0; round < 400; round++ {
+		b := 1 + r.Intn(12)
+		if r.Bernoulli(0.5) {
+			b = 8 // exercise the packed fast path half the time
+		}
+		outC := 1 + r.Intn(9)
+		nBases := 1 + r.Intn(6)
+		wscLen := outC * (1 + r.Intn(5))
+		wsc := randF32s(r, wscLen, 0.5)
+		taps := make([]ConvTap, r.Intn(9))
+		for i := range taps {
+			taps[i] = ConvTap{
+				WOff: int32(r.Intn(wscLen-outC+1) / outC * outC),
+				Base: int32(r.Intn(nBases)),
+			}
+		}
+		vmem := randF32s(r, nBases*outC*b, 1)
+		pv := randF32s(r, b, 1)
+		for i := range pv {
+			if r.Intn(3) == 0 {
+				pv[i] = 0
+			}
+		}
+		want := append([]float32(nil), vmem...)
+		// Reference: the per-tap AxpyBlockVec contract, naive scalar form.
+		for _, tp := range taps {
+			for i := 0; i < outC; i++ {
+				w := wsc[int(tp.WOff)+i]
+				for j := 0; j < b; j++ {
+					wp := w * pv[j]
+					want[int(tp.Base)*outC*b+i*b+j] += wp
+				}
+			}
+		}
+		ConvScatterVec(vmem, wsc, taps, outC, b, pv)
+		for i := range want {
+			if math.Float32bits(vmem[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("round %d (b=%d outC=%d taps=%d): vmem[%d] = %v, want %v",
+					round, b, outC, len(taps), i, vmem[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFireRowsBurstFuzz(t *testing.T) { forEachLevel(t, testFireRowsBurstFuzz) }
+
+func testFireRowsBurstFuzz(t *testing.T) {
+	r := mathx.NewRNG(0xF805)
+	for round := 0; round < 300; round++ {
+		b := 1 + r.Intn(12)
+		if r.Bernoulli(0.5) {
+			b = 8
+		}
+		n := 1 + r.Intn(150) // cross occ-word boundaries regularly
+		beta := float32(2)
+		vth := float32(0.125)
+		bsc := float32(r.Norm(1, 0.2))
+		var bias []float32
+		if r.Bernoulli(0.7) {
+			bias = randF32s(r, n, 0.05)
+		}
+		v := randF32s(r, n*b, 0.25)
+		g := make([]float32, n*b)
+		fired := make([]uint32, n*b)
+		for i := range g {
+			g[i] = float32(math.Pow(2, float64(r.Intn(5))))
+			if r.Bernoulli(0.5) {
+				fired[i] = ^uint32(0)
+			}
+		}
+		pay := make([]float32, n*b)
+		masks := make([]uint64, n)
+		occ := make([]uint64, (n+63)/64)
+
+		wantV := append([]float32(nil), v...)
+		wantG := append([]float32(nil), g...)
+		wantF := append([]uint32(nil), fired...)
+		wantP := make([]float32, n*b)
+		wantM := make([]uint64, n)
+		wantOcc := make([]uint64, len(occ))
+		for c := 0; c < n; c++ {
+			var bv float32
+			if bias != nil {
+				bv = bias[c] * bsc
+			}
+			o := c * b
+			wantM[c] = refFireRowBurst(wantV[o:o+b], wantG[o:o+b], wantP[o:o+b], wantF[o:o+b], bv, beta, vth)
+			if wantM[c] != 0 {
+				wantOcc[c>>6] |= 1 << (uint(c) & 63)
+			}
+		}
+
+		FireRowsBurst(v, g, pay, fired, masks, occ, n, b, bias, bsc, beta, vth)
+		for c := 0; c < n; c++ {
+			if masks[c] != wantM[c] {
+				t.Fatalf("round %d (n=%d b=%d): masks[%d] %064b, want %064b", round, n, b, c, masks[c], wantM[c])
+			}
+		}
+		for w := range occ {
+			if occ[w] != wantOcc[w] {
+				t.Fatalf("round %d (n=%d b=%d): occ[%d] %064b, want %064b", round, n, b, w, occ[w], wantOcc[w])
+			}
+		}
+		for i := range wantV {
+			if math.Float32bits(v[i]) != math.Float32bits(wantV[i]) ||
+				math.Float32bits(g[i]) != math.Float32bits(wantG[i]) ||
+				math.Float32bits(pay[i]) != math.Float32bits(wantP[i]) ||
+				fired[i] != wantF[i] {
+				t.Fatalf("round %d (n=%d b=%d) elem %d: v %v/%v g %v/%v pay %v/%v fired %x/%x",
+					round, n, b, i, v[i], wantV[i], g[i], wantG[i], pay[i], wantP[i], fired[i], wantF[i])
+			}
+		}
+	}
+}
+
+func refSelectMaxRow(best, row []float32, idx []int32, o int32, lanes int) {
+	for s := 0; s < lanes; s++ {
+		if row[s] > best[s] {
+			best[s] = row[s]
+			idx[s] = o
+		}
+	}
+}
+
+func TestSelectMaxRowFuzz(t *testing.T) { forEachLevel(t, testSelectMaxRowFuzz) }
+
+func testSelectMaxRowFuzz(t *testing.T) {
+	r := mathx.NewRNG(0xA26A)
+	for round := 0; round < 400; round++ {
+		lanes := 1 + r.Intn(64)
+		best := randF32s(r, lanes, 1)
+		row := randF32s(r, lanes, 1)
+		for i := range row {
+			if r.Intn(4) == 0 {
+				row[i] = best[i] // exact ties must NOT replace (first wins)
+			}
+		}
+		idx := make([]int32, lanes)
+		for i := range idx {
+			idx[i] = int32(r.Intn(10))
+		}
+		o := int32(r.Intn(100))
+		wantBest := append([]float32(nil), best...)
+		wantIdx := append([]int32(nil), idx...)
+
+		SelectMaxRow(best, row, idx, o, lanes)
+		refSelectMaxRow(wantBest, row, wantIdx, o, lanes)
+		for s := 0; s < lanes; s++ {
+			if math.Float32bits(best[s]) != math.Float32bits(wantBest[s]) || idx[s] != wantIdx[s] {
+				t.Fatalf("round %d lane %d (lanes=%d o=%d): best %v/%v idx %d/%d",
+					round, s, lanes, o, best[s], wantBest[s], idx[s], wantIdx[s])
+			}
+		}
+	}
+}
+
+func TestLaneMaskFuzz(t *testing.T) { forEachLevel(t, testLaneMaskFuzz) }
+
+func testLaneMaskFuzz(t *testing.T) {
+	r := mathx.NewRNG(0x1A5E)
+	for round := 0; round < 400; round++ {
+		n := 1 + r.Intn(64)
+		row := make([]uint64, n)
+		for i := range row {
+			row[i] = uint64(r.Intn(1 << 16))
+			if r.Bernoulli(0.3) {
+				row[i] = uint64(r.Intn(8)) // dense small values for the eq sweep
+			}
+		}
+		shift := uint(r.Intn(64))
+		want := uint64(r.Intn(8))
+
+		var refBit, refEq uint64
+		for s, bv := range row {
+			if bv>>shift&1 == 1 {
+				refBit |= 1 << uint(s)
+			}
+			if bv == want {
+				refEq |= 1 << uint(s)
+			}
+		}
+		if got := LaneMaskBit(row, shift); got != refBit {
+			t.Fatalf("round %d (n=%d shift=%d): LaneMaskBit %064b, want %064b", round, n, shift, got, refBit)
+		}
+		if got := LaneMaskEq(row, want); got != refEq {
+			t.Fatalf("round %d (n=%d want=%d): LaneMaskEq %064b, want %064b", round, n, want, got, refEq)
+		}
+	}
+}
+
 func TestEmptyInputs(t *testing.T) {
 	AxpyBlock(nil, nil, 1, 4, 2)
 	AxpyBlock([]float32{1}, []float32{1}, 1, 4, 0)
@@ -300,6 +528,10 @@ func TestEmptyInputs(t *testing.T) {
 	ScaleAdd(nil, 1)
 	if FireRow(nil, 1) != 0 || FireRowBias(nil, 1, 1) != 0 {
 		t.Fatal("empty fire rows must return empty masks")
+	}
+	SelectMaxRow(nil, nil, nil, 3, 0)
+	if LaneMaskBit(nil, 5) != 0 || LaneMaskEq(nil, 1) != 0 {
+		t.Fatal("empty lane sweeps must return empty masks")
 	}
 }
 

@@ -24,12 +24,12 @@ var ErrClosed = errors.New("serve: batcher closed")
 // single-request dispatches) fall back to the sequential engine; both
 // paths produce bit-identical outcomes.
 type Batcher struct {
-	pool     *Pool
-	metrics  *Metrics // batch-occupancy/steps-saved gauges; may be nil
-	lockstep bool
-	f32      bool // lockstep compute plane, fixed at construction
-	maxBatch int
-	maxDelay time.Duration
+	pool        *Pool
+	metrics     *Metrics // batch-occupancy/steps-saved gauges; may be nil
+	lockstepMin int      // route batches of at least this many live requests lockstep (0 = never)
+	f32         bool     // lockstep compute plane, fixed at construction
+	maxBatch    int
+	maxDelay    time.Duration
 
 	queue chan *batchRequest
 
@@ -53,28 +53,34 @@ type batchResult struct {
 }
 
 // NewBatcher starts the dispatcher. metrics receives the batch gauges
-// (nil disables them); lockstep routes multi-request batches through the
-// replica's lockstep batch simulator (see Config.LockstepBatch for the
-// trade-off), and f32 picks its compute plane once for the batcher's
-// lifetime (see Config.BatchKernel); maxBatch <= 0 defaults to 1 (no
-// batching); maxDelay <= 0 dispatches as soon as the queue momentarily
-// drains; queueDepth <= 0 defaults to 4× maxBatch.
-func NewBatcher(pool *Pool, metrics *Metrics, lockstep, f32 bool, maxBatch int, maxDelay time.Duration, queueDepth int) *Batcher {
+// (nil disables them); lockstepMin routes batches of at least that many
+// live requests through the replica's lockstep batch simulator (0 never
+// does — see Config.LockstepBatch for the trade-off and how the auto
+// default picks the threshold), and f32 picks its compute plane once for
+// the batcher's lifetime (see Config.BatchKernel); maxBatch <= 0
+// defaults to 1 (no batching); maxDelay <= 0 dispatches as soon as the
+// queue momentarily drains; queueDepth <= 0 defaults to 4× maxBatch.
+func NewBatcher(pool *Pool, metrics *Metrics, lockstepMin int, f32 bool, maxBatch int, maxDelay time.Duration, queueDepth int) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 1
+	}
+	if lockstepMin == 1 {
+		// A single request has nothing to lockstep with; 1 means "every
+		// multi-request batch", i.e. the same as the LockstepOn threshold.
+		lockstepMin = 2
 	}
 	if queueDepth <= 0 {
 		queueDepth = 4 * maxBatch
 	}
 	b := &Batcher{
-		pool:     pool,
-		metrics:  metrics,
-		lockstep: lockstep,
-		f32:      f32,
-		maxBatch: maxBatch,
-		maxDelay: maxDelay,
-		queue:    make(chan *batchRequest, queueDepth),
-		done:     make(chan struct{}),
+		pool:        pool,
+		metrics:     metrics,
+		lockstepMin: lockstepMin,
+		f32:         f32,
+		maxBatch:    maxBatch,
+		maxDelay:    maxDelay,
+		queue:       make(chan *batchRequest, queueDepth),
+		done:        make(chan struct{}),
 	}
 	go b.dispatch()
 	return b
@@ -210,7 +216,7 @@ func (b *Batcher) run(reqs []*batchRequest) {
 	if len(live) > 1 {
 		live, dups = b.dedupe(live)
 	}
-	if b.lockstep && len(live) > 1 {
+	if b.lockstepMin > 1 && len(live) >= b.lockstepMin {
 		// The lockstep simulator caps a batch at snn.MaxBatchLanes lanes;
 		// a MaxBatch configured beyond that runs in chunks rather than
 		// silently degrading to sequential execution.

@@ -132,6 +132,7 @@ func ClassifyBatch(bn snn.Lockstep, images [][]float64, policies []ExitPolicy) (
 		tracks[lane].last = -1
 	}
 	scores := make([]float64, bn.Classes())
+	preds := make([]int, n)
 	var retire []int
 	// Lanes with a non-positive budget never step, exactly like
 	// Classify's zero-iteration loop: retire them (descending) before the
@@ -146,6 +147,9 @@ func ClassifyBatch(bn snn.Lockstep, images [][]float64, policies []ExitPolicy) (
 		st := bn.Step(t)
 		batchSteps = t + 1
 		retire = retire[:0]
+		// One lane-major sweep for the whole batch's argmax (identical
+		// per slot to bn.Predicted) instead of a strided walk per slot.
+		stepPreds := bn.PredictedAll(preds)
 		for slot := 0; slot < bn.NumActive(); slot++ {
 			lane := bn.LaneID(slot)
 			o, p, tr := &outs[lane], &policies[lane], &tracks[lane]
@@ -154,7 +158,7 @@ func ClassifyBatch(bn snn.Lockstep, images [][]float64, policies []ExitPolicy) (
 			}
 			o.HiddenSpikes += st.HiddenSpikes[slot]
 			o.Steps = t + 1
-			pred := bn.Predicted(slot)
+			pred := stepPreds[slot]
 			o.Prediction = pred
 			if pred == tr.last {
 				tr.stable++

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"burstsnn/internal/coding"
+	"burstsnn/internal/core"
+	"burstsnn/internal/kernels"
 	"burstsnn/internal/mathx"
 	"burstsnn/internal/snn"
 )
@@ -116,6 +118,149 @@ func TestClassifyBatch32EarlyExitEquivalence(t *testing.T) {
 	}
 }
 
+// TestClassifyBatch32CrossTier closes the conformance loop at the
+// serving level: the full early-exit engine — argmax polling, stability
+// windows, margins, lane retirement — must produce exactly the same
+// Outcome under every available kernel dispatch tier, Margin included
+// (the tiers compute identical rounded float32 operations, so even the
+// derived float64 margin is bit-equal). Mixed per-lane policies force
+// staggered retirements so the compaction paths run under every tier
+// too.
+func TestClassifyBatch32CrossTier(t *testing.T) {
+	levels := kernels.Available()
+	if len(levels) < 2 {
+		t.Skipf("single-tier build (%v)", levels)
+	}
+	defer kernels.ForceLevel("")
+	hybrids := []struct {
+		in, hid coding.Scheme
+	}{
+		{coding.Phase, coding.Burst},
+		{coding.Rate, coding.Rate},
+		{coding.Real, coding.Phase},
+		{coding.TTFS, coding.Burst},
+	}
+	const B = 8
+	for _, h := range hybrids {
+		t.Run(h.in.String()+"-"+h.hid.String(), func(t *testing.T) {
+			net := hybridNet(t, coding.DefaultConfig(h.in), coding.DefaultConfig(h.hid), 0xC2055)
+			images := make([][]float64, B)
+			policies := make([]ExitPolicy, B)
+			for i := range images {
+				images[i] = allocImage(uint64(0xC77+i), net.Encoder.Size())
+				policies[i] = ExitPolicy{MaxSteps: 48, MinSteps: 8, StableWindow: 6}
+			}
+			policies[1].StableWindow = 3
+			policies[2] = ExitPolicy{MaxSteps: 24}
+			policies[3].MinSteps = 16
+			policies[4].Margin = 0.01
+			var ref []Outcome
+			var refSteps int
+			for li, lv := range levels {
+				if err := kernels.ForceLevel(lv); err != nil {
+					t.Fatal(err)
+				}
+				bn, err := snn.NewBatchNetwork32(net, B)
+				if err != nil {
+					t.Fatalf("NewBatchNetwork32: %v", err)
+				}
+				outs, steps := ClassifyBatch(bn, images, policies)
+				if li == 0 {
+					ref, refSteps = outs, steps
+					continue
+				}
+				if steps != refSteps {
+					t.Fatalf("tier %s: batch steps %d, %s %d", lv, steps, levels[0], refSteps)
+				}
+				for i := range ref {
+					if outs[i] != ref[i] {
+						t.Fatalf("lane %d: tier %s %+v, %s %+v", i, lv, outs[i], levels[0], ref[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMetricsReportsDispatchTier pins the observability half of the
+// dispatch ladder: /metrics must name the tier the model's kernels
+// actually run on — for every forceable tier, the registered model's
+// batchKernel snapshot equals kernels.Kind() at registration time, and
+// the f64 plane stays "f64" regardless of tier.
+func TestMetricsReportsDispatchTier(t *testing.T) {
+	defer kernels.ForceLevel("")
+	wantKind := map[string]string{
+		kernels.LevelPurego: "f32",
+		kernels.LevelSSE:    "f32-sse",
+		kernels.LevelAVX2:   "f32-avx2",
+	}
+	for _, lv := range kernels.Available() {
+		if err := kernels.ForceLevel(lv); err != nil {
+			t.Fatal(err)
+		}
+		m := NewMetrics()
+		m.SetBatchKernel(resolvedKernel(BatchKernelF32))
+		if got := m.Snapshot().BatchKernel; got != wantKind[lv] || got != kernels.Kind() {
+			t.Fatalf("tier %s: batchKernel = %q, want %q (= kernels.Kind() %q)",
+				lv, got, wantKind[lv], kernels.Kind())
+		}
+		m.SetBatchKernel(resolvedKernel(BatchKernelF64))
+		if got := m.Snapshot().BatchKernel; got != "f64" {
+			t.Fatalf("tier %s: f64 plane batchKernel = %q", lv, got)
+		}
+	}
+}
+
+// TestLockstepAutoResolution pins the flip rule: the auto default
+// routes full-enough microbatches lockstep exactly when the float32
+// kernels dispatch to a packed tier (sse or avx2 — the measured regime
+// where lockstep beats the sequential engine at B=8), and explicit
+// on/off always win.
+func TestLockstepAutoResolution(t *testing.T) {
+	defer kernels.ForceLevel("")
+	net, set := testModel(t)
+	for _, lv := range kernels.Available() {
+		if err := kernels.ForceLevel(lv); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []string{LockstepAuto, LockstepOn, LockstepOff} {
+			s := New(Config{LockstepBatch: mode})
+			if _, err := s.Register(ModelConfig{
+				Name:        "digits",
+				Hybrid:      core.NewHybrid(coding.Phase, coding.Burst),
+				Steps:       testSteps,
+				Replicas:    1,
+				NormSamples: 16,
+			}, net, set.Train); err != nil {
+				t.Fatalf("tier %s mode %s: %v", lv, mode, err)
+			}
+			want := 0
+			switch {
+			case mode == LockstepOn:
+				want = 2
+			case mode == LockstepAuto && lv != kernels.LevelPurego:
+				want = autoLockstepMinLanes
+			}
+			s.mu.Lock()
+			got := s.batchers["digits"].lockstepMin
+			s.mu.Unlock()
+			if got != want {
+				t.Fatalf("tier %s mode %s: lockstepMin = %v, want %v", lv, mode, got, want)
+			}
+			_ = s.Shutdown(context.Background())
+		}
+	}
+	s := New(Config{LockstepBatch: "sometimes"})
+	if _, err := s.Register(ModelConfig{
+		Name:        "digits",
+		Hybrid:      core.NewHybrid(coding.Phase, coding.Burst),
+		Steps:       testSteps,
+		NormSamples: 16,
+	}, net, set.Train); err == nil {
+		t.Fatal("invalid LockstepBatch value accepted")
+	}
+}
+
 // TestBatcherRunsF32Lockstep pins the serving integration of the float32
 // plane: a batcher built on the f32 kernel (the server default) executes
 // microbatches through BatchNetwork32 and every request receives the
@@ -145,7 +290,7 @@ func TestBatcherRunsF32Lockstep(t *testing.T) {
 		}
 	}()
 
-	b := NewBatcher(pool, metrics, true, true, 4, 300*time.Millisecond, 0)
+	b := NewBatcher(pool, metrics, 2, true, 4, 300*time.Millisecond, 0)
 	defer b.Close()
 	var wg sync.WaitGroup
 	for i := range images {
@@ -176,9 +321,9 @@ func TestBatcherRunsF32Lockstep(t *testing.T) {
 // unique request once, answers every duplicate with its representative's
 // outcome, and counts the fan-outs in dedupedRequests.
 func TestBatcherDedupesIdenticalRequests(t *testing.T) {
-	for _, lockstep := range []bool{false, true} {
+	for _, lockstepMin := range []int{0, 2} {
 		name := "sequential"
-		if lockstep {
+		if lockstepMin > 0 {
 			name = "lockstep"
 		}
 		t.Run(name, func(t *testing.T) {
@@ -200,7 +345,7 @@ func TestBatcherDedupesIdenticalRequests(t *testing.T) {
 				wantB = Classify(rep.Net, image, policyB)
 			}()
 
-			b := NewBatcher(pool, metrics, lockstep, false, 8, 300*time.Millisecond, 0)
+			b := NewBatcher(pool, metrics, lockstepMin, false, 8, 300*time.Millisecond, 0)
 			defer b.Close()
 			type sub struct {
 				image  []float64

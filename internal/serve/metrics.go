@@ -159,7 +159,7 @@ type Snapshot struct {
 	MeanBatchOccupancy float64 `json:"meanBatchOccupancy"`
 	BatchStepsSaved    int64   `json:"batchStepsSaved"`
 	// BatchKernel is the lockstep compute plane the model's batcher picked
-	// at build time: "f64", "f32" (pure-Go kernels), or "f32-asm".
+	// at build time: "f64", or the float32 tier actually running: "f32" (pure Go), "f32-sse", or "f32-avx2".
 	BatchKernel string `json:"batchKernel,omitempty"`
 	// DedupedRequests counts requests answered by fanning out an identical
 	// (image, policy) batchmate's outcome instead of simulating.

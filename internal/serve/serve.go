@@ -49,23 +49,33 @@ type Config struct {
 	// QueueDepth bounds each model's request queue; Submits beyond it
 	// block (backpressure). Default 4×MaxBatch.
 	QueueDepth int
-	// LockstepBatch executes multi-request microbatches through the
-	// lockstep batch simulator instead of back to back on the replica.
-	// Lockstep amortizes scatter-table walks and weight loads across the
-	// batch's lanes, which pays off for high-occupancy traffic
-	// (correlated or repeated images); for fully distinct images the
-	// back-to-back sequential path is still faster on one core even with
-	// the float32 kernels (see BENCH_batch.json and internal/README.md
-	// "When lockstep pays"), so the default remains off.
-	LockstepBatch bool
+	// LockstepBatch selects how multi-request microbatches execute:
+	// lockstep through the batch simulator (amortized scatter-table
+	// walks, SIMD lane kernels), or back to back on the replica.
+	//
+	//   - LockstepAuto (the default): with the float32 plane on a packed
+	//     dispatch tier (sse or avx2), microbatches of at least
+	//     autoLockstepMinLanes requests run lockstep — the measured
+	//     regime where lockstep beats the sequential engine even on
+	//     fully distinct images (~1.4–1.8× at B=8; see BENCH_batch.json
+	//     and internal/README.md "When lockstep pays") — and smaller
+	//     batches stay sequential. On the purego tier, or the f64 plane,
+	//     auto is always sequential.
+	//   - LockstepOn / LockstepOff: force the choice for every
+	//     multi-request batch either way.
+	//
+	// Resolved once per model at Register time (after any
+	// kernels.ForceLevel / KERNELS_LEVEL override has been applied).
+	LockstepBatch string
 	// BatchKernel selects the lockstep simulator's compute plane:
 	// BatchKernelF32 (the default — float32 state over the
 	// internal/kernels block primitives, tolerance contract) or
 	// BatchKernelF64 (scalar float64, bit-identical to the sequential
 	// path). Picked once at registration; /metrics reports the resolved
-	// variant per model ("f32-asm" when the assembly kernels are linked
-	// in). See internal/README.md "The float32 compute plane" for the
-	// contract each plane offers.
+	// variant per model — for the float32 plane that is the kernel
+	// dispatch tier actually running ("f32", "f32-sse", or "f32-avx2";
+	// see internal/kernels and KERNELS_LEVEL). See internal/README.md
+	// "The float32 compute plane" for the contract each plane offers.
 	BatchKernel string
 	// RequestTimeout bounds one classification end to end (default 30s).
 	RequestTimeout time.Duration
@@ -77,6 +87,20 @@ const (
 	BatchKernelF32 = "f32"
 	BatchKernelF64 = "f64"
 )
+
+// LockstepBatch values for Config.
+const (
+	LockstepAuto = "auto"
+	LockstepOn   = "on"
+	LockstepOff  = "off"
+)
+
+// autoLockstepMinLanes is the batch size from which LockstepAuto routes
+// a microbatch through the lockstep simulator: the measured crossover
+// on the packed tiers lies between the B=4 (lockstep ~0.7–0.8× of
+// sequential) and B=8 (~1.4–1.8×) benchmark points, so auto takes the
+// midpoint and leaves smaller batches on the sequential path.
+const autoLockstepMinLanes = 6
 
 func (c Config) withDefaults() Config {
 	if c.Addr == "" {
@@ -94,12 +118,17 @@ func (c Config) withDefaults() Config {
 	if c.BatchKernel == "" {
 		c.BatchKernel = BatchKernelF32
 	}
+	if c.LockstepBatch == "" {
+		c.LockstepBatch = LockstepAuto
+	}
 	return c
 }
 
 // resolvedKernel maps a Config.BatchKernel value to the concrete variant
 // name reported in /metrics and BENCH_batch.json: the float32 plane
-// resolves to whichever kernel implementation this binary linked in.
+// resolves to the kernel dispatch tier active right now (kernels.Kind
+// tracks ForceLevel/KERNELS_LEVEL), so /metrics names the tier the
+// model's kernels actually run on.
 func resolvedKernel(k string) string {
 	if k == BatchKernelF64 {
 		return kernels.KindF64
@@ -186,6 +215,27 @@ func (s *Server) Register(cfg ModelConfig, net *dnn.Network, normSamples []datas
 		return nil, fmt.Errorf("serve: unknown batch kernel %q (want %q or %q)",
 			s.cfg.BatchKernel, BatchKernelF32, BatchKernelF64)
 	}
+	f32 := s.cfg.BatchKernel != BatchKernelF64
+	var lockstepMin int
+	switch s.cfg.LockstepBatch {
+	case LockstepOn:
+		lockstepMin = 2
+	case LockstepOff:
+	case LockstepAuto:
+		// The measured default: with the fused float32 kernels on a
+		// packed dispatch tier (sse or avx2 — the resolved tier at this
+		// moment; overrides apply at startup), lockstep beats the
+		// sequential engine at B=8 (~1.4–1.8× on distinct images) but
+		// still loses at B=4 (~0.7–0.8×), so auto routes only batches in
+		// the winning bracket lockstep and leaves small batches on the
+		// sequential path.
+		if f32 && kernels.ActiveLevel() != kernels.LevelPurego {
+			lockstepMin = autoLockstepMinLanes
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown lockstep mode %q (want %q, %q, or %q)",
+			s.cfg.LockstepBatch, LockstepAuto, LockstepOn, LockstepOff)
+	}
 	m, err := s.reg.Register(cfg, net, normSamples)
 	if err != nil {
 		return nil, err
@@ -193,8 +243,8 @@ func (s *Server) Register(cfg ModelConfig, net *dnn.Network, normSamples []datas
 	m.Metrics().SetBatchKernel(resolvedKernel(s.cfg.BatchKernel))
 	s.mu.Lock()
 	old := s.batchers[cfg.Name]
-	s.batchers[cfg.Name] = NewBatcher(m.Pool(), m.Metrics(), s.cfg.LockstepBatch,
-		s.cfg.BatchKernel != BatchKernelF64, s.cfg.MaxBatch, s.cfg.MaxDelay, s.cfg.QueueDepth)
+	s.batchers[cfg.Name] = NewBatcher(m.Pool(), m.Metrics(), lockstepMin,
+		f32, s.cfg.MaxBatch, s.cfg.MaxDelay, s.cfg.QueueDepth)
 	s.mu.Unlock()
 	if old != nil {
 		old.Close()

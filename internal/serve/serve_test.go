@@ -107,7 +107,7 @@ func TestClassifyValidation(t *testing.T) {
 func TestDeterminismUnderContention(t *testing.T) {
 	// Lockstep batching on: the invariant must hold regardless of which
 	// execution path (lockstep or sequential fallback) serves a request.
-	s := testServer(t, Config{MaxBatch: 4, LockstepBatch: true})
+	s := testServer(t, Config{MaxBatch: 4, LockstepBatch: LockstepOn})
 	_, set := testModel(t)
 	images := set.Test[:8]
 	ctx := context.Background()

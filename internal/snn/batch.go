@@ -63,6 +63,13 @@ type Lockstep interface {
 	Classes() int
 	// Predicted returns slot s's current readout argmax.
 	Predicted(slot int) int
+	// PredictedAll fills dst (len ≥ NumActive()) with every active
+	// slot's readout argmax in one lane-major sweep and returns the
+	// filled prefix; dst[s] == Predicted(s) for every slot. The batched
+	// form is what the early-exit engine polls every step: sweeping
+	// class rows beats NumActive() strided per-slot walks once the
+	// scatter loops vectorize.
+	PredictedAll(dst []int) []int
 	// PotentialsInto copies slot s's class scores into dst (len ≥
 	// Classes()) and returns the filled prefix.
 	PotentialsInto(slot int, dst []float64) []float64
@@ -634,8 +641,8 @@ func (l *BatchConv) Step(t int, biasScale float64, lanes int, in *coding.BatchEv
 		p := pays[0]
 		fullUniform := len(colLanes) == lanes && uniformPayload(pays)
 		for _, tp := range l.src.taps[l.src.tapStart[idx]:l.src.tapStart[idx+1]] {
-			row := l.src.WScatter[tp.wOff : int(tp.wOff)+outC]
-			block := vmem[int(tp.base)*outCb : int(tp.base+1)*outCb]
+			row := l.src.WScatter[tp.WOff : int(tp.WOff)+outC]
+			block := vmem[int(tp.Base)*outCb : int(tp.Base+1)*outCb]
 			if fullUniform {
 				// Every active lane, one payload: hoist the weight·payload
 				// product into a contiguous per-lane add.
@@ -824,14 +831,15 @@ func (l *BatchMaxPool) Step(t int, _ float64, lanes int, in *coding.BatchEvents)
 // BatchOutput is the B-lane readout: per-lane accumulated class scores
 // over shared weights, never firing.
 type BatchOutput struct {
-	src *OutputLayer
-	b   int
-	pot []float64 // pot[o*b+lane]
+	src  *OutputLayer
+	b    int
+	pot  []float64 // pot[o*b+lane]
+	amax []float64 // PredictedAll running-max scratch, one slot per lane
 }
 
 // NewBatch returns the batched readout.
 func (l *OutputLayer) NewBatch(b int) *BatchOutput {
-	return &BatchOutput{src: l, b: b, pot: make([]float64, l.Out*b)}
+	return &BatchOutput{src: l, b: b, pot: make([]float64, l.Out*b), amax: make([]float64, b)}
 }
 
 // Reset clears every lane's accumulators.
@@ -883,6 +891,28 @@ func (l *BatchOutput) Predicted(s int) int {
 		}
 	}
 	return best
+}
+
+// PredictedAll fills dst[:lanes] with every active slot's argmax in one
+// lane-major sweep over the class rows (contiguous reads instead of
+// lanes strided walks), with the same first-wins tie rule as Predicted.
+func (l *BatchOutput) PredictedAll(lanes int, dst []int) []int {
+	dst = dst[:lanes]
+	best := l.amax[:lanes]
+	copy(best, l.pot[:lanes])
+	for s := range dst {
+		dst[s] = 0
+	}
+	for o := 1; o < l.src.Out; o++ {
+		row := l.pot[o*l.b : o*l.b+lanes]
+		for s, v := range row {
+			if v > best[s] {
+				best[s] = v
+				dst[s] = o
+			}
+		}
+	}
+	return dst
 }
 
 // PotentialsInto copies slot s's class scores into dst (len ≥ classes)
@@ -972,6 +1002,11 @@ func (bn *BatchNetwork) Classes() int { return bn.Output.Classes() }
 
 // Predicted implements Lockstep.
 func (bn *BatchNetwork) Predicted(slot int) int { return bn.Output.Predicted(slot) }
+
+// PredictedAll implements Lockstep.
+func (bn *BatchNetwork) PredictedAll(dst []int) []int {
+	return bn.Output.PredictedAll(bn.nActive, dst)
+}
 
 // PotentialsInto implements Lockstep.
 func (bn *BatchNetwork) PotentialsInto(slot int, dst []float64) []float64 {

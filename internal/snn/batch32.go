@@ -64,7 +64,8 @@ type batchPopulation32 struct {
 
 	perm     []int32   // neuron -> storage cell; nil = identity
 	biasPerm []float32 // bias in storage order (nil when perm is nil or bias-free)
-	mask     []uint64  // per cell: fired-lane bits; zero outside fire (perm only)
+	mask     []uint64  // per cell: fired-lane bits (fused fire rows / masked emission)
+	occ      []uint64  // row-occupancy summary: bit c&63 of occ[c>>6] = (mask[c] != 0)
 	pay      []float32 // per (cell, lane): staged payloads (burst schemes)
 }
 
@@ -75,6 +76,8 @@ func newBatchPopulation32(n, b int, cfg coding.Config) *batchPopulation32 {
 		vmem:  make([]float32, n*b),
 		g:     make([]float32, n*b),
 		fired: make([]uint32, n*b),
+		mask:  make([]uint64, n),
+		occ:   make([]uint64, (n+63)/64),
 	}
 	if cfg.UsesBurstState() {
 		p.pay = make([]float32, n*b)
@@ -86,7 +89,6 @@ func newBatchPopulation32(n, b int, cfg coding.Config) *batchPopulation32 {
 func (p *batchPopulation32) setPerm(perm []int32, bias32 []float32) {
 	n := len(p.vmem) / p.b
 	p.perm = perm
-	p.mask = make([]uint64, n)
 	if bias32 != nil {
 		p.biasPerm = make([]float32, n)
 		for i, cell := range perm {
@@ -149,25 +151,28 @@ func (p *batchPopulation32) fireDirect(t, lanes int, bias []float32, biasScale f
 		return
 	}
 	if useBurst && leak == 0 {
-		// Pure-IF burst (the paper's configuration): the packed burst
-		// kernel runs the whole Eq. 8/9 row, and payloads come out of the
-		// staged pay row at the mask's set bits.
+		// Pure-IF burst (the paper's configuration): one fused kernel call
+		// runs the whole population's Eq. 8/9 rows over the full stripe
+		// width (retired lanes' state is stepped but never read — their
+		// fire bits are stripped by keepBits here), and payloads come out
+		// of the staged pay rows at each mask's set bits.
 		beta, vth := float32(p.cfg.Beta), float32(p.cfg.VTh)
-		lk := burstRowLanes(lanes, b)
+		kernels.FireRowsBurst(p.vmem, p.g, p.pay, p.fired, p.mask, p.occ, n, b, bias, bsc, beta, vth)
 		keepBits := laneMask(lanes)
-		for i := 0; i < n; i++ {
-			vrow := p.vmem[i*b : i*b+lk]
-			var bv float32
-			if bias != nil {
-				bv = bias[i] * bsc
+		for w, ow := range p.occ {
+			for ; ow != 0; ow &= ow - 1 {
+				i := w<<6 + bits.TrailingZeros64(ow)
+				m := p.mask[i] & keepBits
+				if m == 0 {
+					continue
+				}
+				payrow := p.pay[i*b:]
+				for ; m != 0; m &= m - 1 {
+					s := bits.TrailingZeros64(m)
+					out.Add(int32(s), payrow[s])
+				}
+				out.Commit(int32(i))
 			}
-			payrow := p.pay[i*b : i*b+lk]
-			m := kernels.FireRowBurst(vrow, p.g[i*b:i*b+lk], payrow, p.fired[i*b:i*b+lk], bv, beta, vth) & keepBits
-			for ; m != 0; m &= m - 1 {
-				s := bits.TrailingZeros64(m)
-				out.Add(int32(s), payrow[s])
-			}
-			out.Commit(int32(i))
 		}
 		return
 	}
@@ -220,6 +225,10 @@ func (p *batchPopulation32) fireMasked(t, lanes int, biasScale float64, out *cod
 	switch {
 	case !useBurst && leak == 0:
 		th := float32(p.cfg.Threshold(t, 1))
+		occ := p.occ
+		for i := range occ {
+			occ[i] = 0
+		}
 		for c := 0; c < n; c++ {
 			vrow := p.vmem[c*b : c*b+lanes]
 			var m uint64
@@ -230,30 +239,18 @@ func (p *batchPopulation32) fireMasked(t, lanes int, biasScale float64, out *cod
 			}
 			if m != 0 {
 				mask[c] = m
+				occ[c>>6] |= 1 << (uint(c) & 63)
 			}
 		}
 		// Constant threshold: every payload is th, no staging needed.
 		for i, cell := range p.perm {
-			if m := mask[cell]; m != 0 {
-				mask[cell] = 0
-				out.AddMask(int32(i), m, th)
+			if occ[cell>>6]>>(uint(cell)&63)&1 != 0 {
+				out.AddMask(int32(i), mask[cell], th)
 			}
 		}
 	case useBurst && leak == 0:
 		beta, vth := float32(p.cfg.Beta), float32(p.cfg.VTh)
-		lk := burstRowLanes(lanes, b)
-		keepBits := laneMask(lanes)
-		for c := 0; c < n; c++ {
-			var bv float32
-			if bias != nil {
-				bv = bias[c] * bsc
-			}
-			m := kernels.FireRowBurst(p.vmem[c*b:c*b+lk], p.g[c*b:c*b+lk],
-				p.pay[c*b:c*b+lk], p.fired[c*b:c*b+lk], bv, beta, vth) & keepBits
-			if m != 0 {
-				mask[c] = m
-			}
-		}
+		kernels.FireRowsBurst(p.vmem, p.g, p.pay, p.fired, mask, p.occ, n, b, bias, bsc, beta, vth)
 		p.emitMasked(lanes, out)
 	default:
 		keep := float32(1 - leak)
@@ -262,6 +259,10 @@ func (p *batchPopulation32) fireMasked(t, lanes int, biasScale float64, out *cod
 			thConst = float32(p.cfg.Threshold(t, 1))
 		}
 		beta, vth := float32(p.cfg.Beta), float32(p.cfg.VTh)
+		occ := p.occ
+		for i := range occ {
+			occ[i] = 0
+		}
 		pay := p.pay
 		for c := 0; c < n; c++ {
 			base := c * b
@@ -297,33 +298,42 @@ func (p *batchPopulation32) fireMasked(t, lanes int, biasScale float64, out *cod
 			}
 			if m != 0 {
 				mask[c] = m
+				occ[c>>6] |= 1 << (uint(c) & 63)
 			}
 		}
 		if pay != nil {
 			p.emitMasked(lanes, out)
 		} else {
 			for i, cell := range p.perm {
-				if m := mask[cell]; m != 0 {
-					mask[cell] = 0
-					out.AddMask(int32(i), m, thConst)
+				if occ[cell>>6]>>(uint(cell)&63)&1 != 0 {
+					out.AddMask(int32(i), mask[cell], thConst)
 				}
 			}
 		}
 	}
 }
 
-// emitMasked drains mask/pay into neuron-ordered columns, visiting only
-// the set bits of each cell's lane mask.
-func (p *batchPopulation32) emitMasked(_ int, out *coding.BatchEvents32) {
+// emitMasked drains mask/pay into neuron-ordered columns. The emission
+// order is a permutation of storage order, so the per-neuron mask read
+// is a random access over the whole mask array; the occ summary (one
+// bit per cell, L1-resident) answers "did this cell fire at all" first,
+// and the mask word is only touched for cells that did. Retired lanes'
+// bits (the fused burst kernel records full-stripe masks) are stripped
+// by keepBits.
+func (p *batchPopulation32) emitMasked(lanes int, out *coding.BatchEvents32) {
 	b := p.b
 	mask := p.mask
+	occ := p.occ
 	pay := p.pay
+	keepBits := laneMask(lanes)
 	for i, cell := range p.perm {
-		m := mask[cell]
+		if occ[cell>>6]>>(uint(cell)&63)&1 == 0 {
+			continue
+		}
+		m := mask[cell] & keepBits
 		if m == 0 {
 			continue
 		}
-		mask[cell] = 0
 		base := int(cell) * b
 		for ; m != 0; m &= m - 1 {
 			s := bits.TrailingZeros64(m)
@@ -331,22 +341,6 @@ func (p *batchPopulation32) emitMasked(_ int, out *coding.BatchEvents32) {
 		}
 		out.Commit(int32(i))
 	}
-}
-
-// burstRowLanes rounds the active-lane count up to a full 4-lane group
-// (capped at the stripe width b) so the packed burst kernel never falls
-// back to a scalar tail mid-batch: lanes shrink as retirement compacts
-// the batch, and running the kernel over a few retired slots is harmless
-// — their state is never read again, and laneMask strips their fire bits
-// before emission.
-func burstRowLanes(lanes, b int) int {
-	if r := lanes & 3; r != 0 && lanes < b {
-		lanes += 4 - r
-		if lanes > b {
-			lanes = b
-		}
-	}
-	return lanes
 }
 
 // laneMask returns the bitmask covering the first lanes bits.
@@ -479,11 +473,15 @@ func (l *BatchConv32) Reset() { l.pop.resetState() }
 // Retire implements BatchLayer32.
 func (l *BatchConv32) Retire(dst, src int) { l.pop.retire(dst, src) }
 
-// Step implements BatchLayer32: per column the scatter-table walk happens
-// once; a full uniform column runs each tap as one AxpyBlock over the
-// contiguous OutC×B block, any other multi-lane column is densified once
-// and runs each tap as one AxpyBlockVec over the same block, and a
-// single-lane column takes the strided scalar walk.
+// Step implements BatchLayer32: per column the scatter-table walk
+// happens once, inside the kernel layer. A multi-lane column (uniform or
+// not) is densified into the full-width pv scratch — zeros at absent and
+// retired lanes, whose ±0 accumulation is exact — and the whole tap list
+// runs as one fused kernels.ConvScatterVec call (the payload vector
+// pinned in registers across every tap at the serving stripe width);
+// conv taps are short, so the per-tap call overhead this removes is
+// comparable to the taps' own arithmetic. A single-lane column takes the
+// strided scalar walk.
 func (l *BatchConv32) Step(t int, biasScale float64, lanes int, in *coding.BatchEvents32) *coding.BatchEvents32 {
 	vmem := l.pop.vmem
 	b := l.pop.b
@@ -495,26 +493,16 @@ func (l *BatchConv32) Step(t int, biasScale float64, lanes int, in *coding.Batch
 		colLanes := in.Lane[s:e]
 		pays := in.Payload[s:e]
 		taps := l.src.taps[l.src.tapStart[idx]:l.src.tapStart[idx+1]]
-		switch {
-		case len(colLanes) == lanes && uniformPayload32(pays):
-			p := pays[0]
-			for _, tp := range taps {
-				kernels.AxpyBlock(vmem[int(tp.base)*outCb:int(tp.base+1)*outCb],
-					l.src.WScatter32[tp.wOff:int(tp.wOff)+outC], p, b, lanes)
-			}
-		case len(colLanes) == 1:
+		if len(colLanes) == 1 {
 			p, lane := pays[0], int(colLanes[0])
 			for _, tp := range taps {
-				kernels.AxpyLane(vmem[int(tp.base)*outCb:int(tp.base+1)*outCb],
-					l.src.WScatter32[tp.wOff:int(tp.wOff)+outC], p, b, lane)
+				kernels.AxpyLane(vmem[int(tp.Base)*outCb:int(tp.Base+1)*outCb],
+					l.src.WScatter32[tp.WOff:int(tp.WOff)+outC], p, b, lane)
 			}
-		default:
-			densify(l.pv[:lanes], colLanes, pays)
-			for _, tp := range taps {
-				kernels.AxpyBlockVec(vmem[int(tp.base)*outCb:int(tp.base+1)*outCb],
-					l.src.WScatter32[tp.wOff:int(tp.wOff)+outC], l.pv, b, lanes)
-			}
+			continue
 		}
+		densify(l.pv, colLanes, pays)
+		kernels.ConvScatterVec(vmem, l.src.WScatter32, taps, outC, b, l.pv)
 	}
 	l.pop.fire(t, lanes, l.src.bias32, biasScale, &l.out)
 	return &l.out
@@ -671,15 +659,23 @@ func (l *BatchMaxPool32) Step(t int, _ float64, lanes int, in *coding.BatchEvent
 
 // BatchOutput32 is the float32 B-lane readout.
 type BatchOutput32 struct {
-	src *OutputLayer
-	b   int
-	pot []float32 // pot[o*b+lane]
-	pv  []float32 // densified-column scratch
+	src  *OutputLayer
+	b    int
+	pot  []float32 // pot[o*b+lane]
+	pv   []float32 // densified-column scratch
+	amax []float32 // PredictedAll running-max scratch
+	aidx []int32   // PredictedAll running-argmax scratch
 }
 
 // NewBatch32 returns the float32 batched readout.
 func (l *OutputLayer) NewBatch32(b int) *BatchOutput32 {
-	return &BatchOutput32{src: l, b: b, pot: make([]float32, l.Out*b), pv: make([]float32, b)}
+	return &BatchOutput32{
+		src: l, b: b,
+		pot:  make([]float32, l.Out*b),
+		pv:   make([]float32, b),
+		amax: make([]float32, b),
+		aidx: make([]int32, b),
+	}
 }
 
 // Reset clears every lane's accumulators.
@@ -726,6 +722,29 @@ func (l *BatchOutput32) Predicted(s int) int {
 		}
 	}
 	return best
+}
+
+// PredictedAll fills dst[:lanes] with every active slot's argmax in one
+// lane-major sweep: class row o is merged into a running per-lane
+// maximum by kernels.SelectMaxRow (one packed compare+blend per 8
+// lanes), so the whole batch's argmax costs Out contiguous row passes
+// instead of lanes strided walks. Replacement is strictly-greater, so
+// the first-wins tie rule matches Predicted exactly.
+func (l *BatchOutput32) PredictedAll(lanes int, dst []int) []int {
+	dst = dst[:lanes]
+	best := l.amax[:lanes]
+	idx := l.aidx[:lanes]
+	copy(best, l.pot[:lanes])
+	for s := range idx {
+		idx[s] = 0
+	}
+	for o := 1; o < l.src.Out; o++ {
+		kernels.SelectMaxRow(best, l.pot[o*l.b:o*l.b+lanes], idx, int32(o), lanes)
+	}
+	for s, v := range idx {
+		dst[s] = int(v)
+	}
+	return dst
 }
 
 // PotentialsInto copies slot s's class scores into dst (len ≥ classes),
@@ -809,6 +828,11 @@ func (bn *BatchNetwork32) Classes() int { return bn.Output.Classes() }
 
 // Predicted implements Lockstep.
 func (bn *BatchNetwork32) Predicted(slot int) int { return bn.Output.Predicted(slot) }
+
+// PredictedAll implements Lockstep.
+func (bn *BatchNetwork32) PredictedAll(dst []int) []int {
+	return bn.Output.PredictedAll(bn.nActive, dst)
+}
 
 // PotentialsInto implements Lockstep.
 func (bn *BatchNetwork32) PotentialsInto(slot int, dst []float64) []float64 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"burstsnn/internal/coding"
+	"burstsnn/internal/kernels"
 )
 
 // f32s materializes the float32 copy of a weight or bias array: the
@@ -124,10 +125,9 @@ func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.K)/g.Stride + 1 }
 // contiguous weights) and the output spatial base oy*OutW+ox it feeds.
 // Output channel oc's neuron is oc*OutH*OutW+base. Two int32s keep the
 // table at 8 bytes per tap; it is immutable after construction and shared
-// by every clone.
-type convTap struct {
-	wOff, base int32
-}
+// by every clone. The type lives in internal/kernels (kernels.ConvTap)
+// so the float32 plane's fused scatter can walk the table directly.
+type convTap = kernels.ConvTap
 
 // SpikingConv is a 2-D convolution spiking layer. An input event at
 // (ic, iy, ix) scatters its kernel taps into the affected output membrane
@@ -219,8 +219,8 @@ func NewSpikingConv(w []float64, bias []float64, geom ConvGeom, cfg coding.Confi
 							continue
 						}
 						l.taps = append(l.taps, convTap{
-							wOff: int32(((ic*k+kh)*k + kw) * outC),
-							base: int32(oy*outW + ox),
+							WOff: int32(((ic*k+kh)*k + kw) * outC),
+							Base: int32(oy*outW + ox),
 						})
 					}
 				}
@@ -251,8 +251,8 @@ func (l *SpikingConv) Step(t int, biasScale float64, in []coding.Event) []coding
 	for _, ev := range in {
 		p := ev.Payload
 		for _, tp := range l.taps[l.tapStart[ev.Index]:l.tapStart[ev.Index+1]] {
-			row := l.WScatter[tp.wOff : int(tp.wOff)+outC]
-			idx := int(tp.base)
+			row := l.WScatter[tp.WOff : int(tp.WOff)+outC]
+			idx := int(tp.Base)
 			for _, w := range row {
 				vmem[idx] += w * p
 				idx += outHW

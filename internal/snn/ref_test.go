@@ -192,8 +192,8 @@ func naiveConvTaps(g ConvGeom, index int) []convTap {
 				continue
 			}
 			taps = append(taps, convTap{
-				wOff: int32(((ic*g.K+kh)*g.K + kw) * g.OutC),
-				base: int32(oy*outW + ox),
+				WOff: int32(((ic*g.K+kh)*g.K + kw) * g.OutC),
+				Base: int32(oy*outW + ox),
 			})
 		}
 	}
