@@ -18,8 +18,10 @@
 //     rate/regularity) and neuromorphic energy estimation,
 //   - an online serving layer (NewServer): a model registry with cached
 //     conversions, pooled simulator replicas, a microbatching request
-//     queue, and an early-exit engine that stops each request as soon as
-//     the readout settles — served over an HTTP JSON API by cmd/snnserve.
+//     queue, an early-exit engine that stops each request as soon as the
+//     readout settles, and an always-on telemetry plane (per-request
+//     stage traces, per-stage latency histograms, Prometheus text
+//     exposition) — served over an HTTP JSON API by cmd/snnserve.
 //
 // Quickstart (see examples/quickstart for the runnable version):
 //
@@ -44,6 +46,7 @@ import (
 	"burstsnn/internal/kernels"
 	"burstsnn/internal/mathx"
 	"burstsnn/internal/neuromorphic"
+	"burstsnn/internal/obs"
 	"burstsnn/internal/serve"
 	"burstsnn/internal/snn"
 )
@@ -251,6 +254,19 @@ type (
 	ClassifyResult  = serve.ClassifyResult
 	// ServeSnapshot is a point-in-time metrics view (/metrics schema).
 	ServeSnapshot = serve.Snapshot
+	// StageStats summarizes one stage histogram in a snapshot (count,
+	// histogram-estimated mean/p50/p90/p99).
+	StageStats = serve.StageStats
+	// StageTimes carries one request's measured stage spans (queue, form,
+	// encode, simulate, readout) through the serving pipeline.
+	StageTimes = obs.StageTimes
+	// RequestTrace is one request's recorded stage breakdown, the
+	// GET /v1/trace schema; RequestTrace.ID echoes
+	// ClassifyResult.RequestID.
+	RequestTrace = obs.Trace
+	// TraceRing retains recent request traces plus a bounded
+	// slowest-retained set (Server.Traces exposes the server's ring).
+	TraceRing = obs.Ring
 )
 
 // NewServer builds an inference server with an empty model registry.

@@ -185,6 +185,14 @@ func runHotpath(outPath string) error {
 		snap := model.Metrics().Snapshot()
 		b.ReportMetric(snap.MeanSteps, "steps/req")
 		b.ReportMetric(snap.EarlyExitRate*100, "early-exit%")
+		// Per-stage mean latencies from the telemetry plane ride along in
+		// the artifact, so the trajectory records where serving time goes,
+		// not just how much of it there is.
+		for _, st := range []string{"queue", "simulate", "readout"} {
+			if ss, ok := snap.Stages[st]; ok && ss.Count > 0 {
+				b.ReportMetric(ss.Mean, st+"-ms")
+			}
+		}
 	})
 
 	data, err := json.MarshalIndent(art, "", "  ")

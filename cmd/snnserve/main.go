@@ -6,13 +6,20 @@
 //
 //	POST /v1/classify   {"model":"digits","image":[...784 floats]}
 //	GET  /v1/models     registered models and their configurations
-//	GET  /healthz       liveness
-//	GET  /metrics       request counts, latency percentiles, mean
-//	                    steps-to-exit, spikes/image
+//	GET  /v1/trace      recent per-request stage traces + pinned slowest
+//	GET  /healthz       liveness, build/runtime info, kernel dispatch tier
+//	GET  /metrics       request counts, latency percentiles, per-stage
+//	                    histograms, mean steps-to-exit, spikes/image
+//	GET  /metrics/prom  the same telemetry in Prometheus text format
+//	                    (also /metrics?format=prom)
 //
 // Usage:
 //
 //	snnserve -addr :8344 -models digits -input phase -hidden burst -steps 192
+//
+// Observability flags: -log emits one structured (slog) line per request,
+// -pprof mounts net/http/pprof under /debug/pprof/, and -slow-trace sets
+// the latency at which a request's trace is pinned past ring turnover.
 //
 // The early-exit engine stops each request's simulation as soon as the
 // readout prediction has been stable for -window steps, so typical
@@ -21,9 +28,12 @@
 // Selftest mode (-selftest) builds a LeNetMini/phase-burst digits model,
 // starts the server on an ephemeral port, drives concurrent synthetic
 // traffic through the HTTP API, and reports throughput, latency
-// percentiles, and the early-exit step savings against the full-budget
-// baseline, exiting non-zero if accuracy degrades or early exit fails to
-// beat the budget.
+// percentiles, the per-stage time breakdown, and the early-exit step
+// savings against the full-budget baseline, exiting non-zero if accuracy
+// degrades or early exit fails to beat the budget. After the load run it
+// scrapes /metrics, /metrics/prom (strictly validated), and /v1/trace,
+// failing on empty stage histograms or unparseable exposition;
+// -trace-out writes the scraped trace page to a file (a CI artifact).
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,6 +57,7 @@ import (
 	"burstsnn"
 	"burstsnn/internal/experiments"
 	"burstsnn/internal/kernels"
+	"burstsnn/internal/obs"
 	"burstsnn/internal/serve"
 )
 
@@ -69,9 +81,14 @@ func main() {
 		dir      = flag.String("dir", "", "model cache directory (default: system temp)")
 		tiny     = flag.Bool("tiny", false, "use the reduced test-scale model recipes")
 
+		logReqs   = flag.Bool("log", false, "emit one structured log line per classification (slog, stderr)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving port")
+		slowTrace = flag.Duration("slow-trace", 0, "pin traces at or over this end-to-end latency past ring turnover (0 = default 250ms, negative disables)")
+
 		selftest = flag.Bool("selftest", false, "run the deterministic load-generator selftest and exit")
 		requests = flag.Int("requests", 200, "selftest: total classification requests")
 		workers  = flag.Int("workers", 32, "selftest: concurrent load-generator workers")
+		traceOut = flag.String("trace-out", "", "selftest: write the scraped /v1/trace page to this file")
 	)
 	flag.Parse()
 
@@ -114,6 +131,11 @@ func main() {
 		exit.MinSteps, exit.Margin = 0, 0
 	}
 
+	var logger *slog.Logger
+	if *logReqs {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
 	if *selftest {
 		// The selftest asserts exact accuracy parity with full-budget
 		// inference, so it defaults to a more conservative stability
@@ -126,7 +148,7 @@ func main() {
 		if !explicit["minsteps"] {
 			exit.MinSteps = 32
 		}
-		if err := runSelftest(hybrid, exit, *steps, *replicas, *maxBatch, *maxDelay, *requests, *workers); err != nil {
+		if err := runSelftest(hybrid, exit, *steps, *replicas, *maxBatch, *maxDelay, *requests, *workers, logger, *traceOut); err != nil {
 			fail(err)
 		}
 		return
@@ -141,11 +163,14 @@ func main() {
 	lab := experiments.NewLab(settings)
 
 	srv := burstsnn.NewServer(burstsnn.ServeConfig{
-		Addr:          *addr,
-		MaxBatch:      *maxBatch,
-		MaxDelay:      *maxDelay,
-		LockstepBatch: string(*lockstep),
-		BatchKernel:   batchKernel,
+		Addr:               *addr,
+		MaxBatch:           *maxBatch,
+		MaxDelay:           *maxDelay,
+		LockstepBatch:      string(*lockstep),
+		BatchKernel:        batchKernel,
+		SlowTraceThreshold: *slowTrace,
+		Logger:             logger,
+		EnablePprof:        *pprofOn,
 	})
 	if batchKernel != serve.BatchKernelF64 {
 		fmt.Fprintf(os.Stderr, "float32 kernels: %s (dispatch tier %s, detected %s)\n",
@@ -203,7 +228,7 @@ func main() {
 // trained LeNetMini digits model and checks the paper's latency win
 // survives serving: mean steps-to-exit strictly below the budget at no
 // loss of accuracy versus full-budget inference.
-func runSelftest(hybrid burstsnn.Hybrid, exit serve.ExitPolicy, steps, replicas, maxBatch int, maxDelay time.Duration, requests, workers int) error {
+func runSelftest(hybrid burstsnn.Hybrid, exit serve.ExitPolicy, steps, replicas, maxBatch int, maxDelay time.Duration, requests, workers int, logger *slog.Logger, traceOut string) error {
 	if requests < 100 {
 		requests = 100
 	}
@@ -229,7 +254,7 @@ func runSelftest(hybrid burstsnn.Hybrid, exit serve.ExitPolicy, steps, replicas,
 	dnnAcc := burstsnn.EvaluateDNN(net, set.Test)
 	fmt.Printf("DNN accuracy %.4f on %d test images\n", dnnAcc, len(set.Test))
 
-	srv := burstsnn.NewServer(burstsnn.ServeConfig{MaxBatch: maxBatch, MaxDelay: maxDelay})
+	srv := burstsnn.NewServer(burstsnn.ServeConfig{MaxBatch: maxBatch, MaxDelay: maxDelay, Logger: logger})
 	model, err := srv.Register(serve.ModelConfig{
 		Name:     "digits",
 		Hybrid:   hybrid,
@@ -341,8 +366,116 @@ func runSelftest(hybrid burstsnn.Hybrid, exit serve.ExitPolicy, steps, replicas,
 	if meanSteps >= float64(steps) {
 		return fmt.Errorf("mean steps %.1f did not beat the %d-step budget", meanSteps, steps)
 	}
+	if err := scrapeTelemetry(client, base, traceOut); err != nil {
+		return fmt.Errorf("telemetry scrape: %w", err)
+	}
 	fmt.Println("selftest PASS")
 	return nil
+}
+
+// scrapeTelemetry hits the three telemetry surfaces after the load run
+// and asserts each one reflects the traffic that just went through:
+// /metrics must carry non-empty per-stage histograms (printed as the
+// stage breakdown), /metrics/prom must pass the strict exposition
+// validator, and /v1/trace must hold at least one trace with a measured
+// simulate span. traceOut, when set, receives the raw trace page (CI
+// uploads it as an artifact).
+func scrapeTelemetry(client *http.Client, base, traceOut string) error {
+	// JSON metrics: the per-stage histograms must have observed the load.
+	var metrics struct {
+		Models map[string]serve.Snapshot `json:"models"`
+	}
+	if err := getJSON(client, base+"/metrics", &metrics); err != nil {
+		return err
+	}
+	snap, ok := metrics.Models["digits"]
+	if !ok {
+		return fmt.Errorf("/metrics has no digits model")
+	}
+	fmt.Println("-- stage breakdown (/metrics) --")
+	for _, stage := range []string{"queue", "form", "encode", "simulate", "readout", "total"} {
+		st, ok := snap.Stages[stage]
+		if !ok {
+			return fmt.Errorf("/metrics stage %q missing", stage)
+		}
+		if st.Count == 0 {
+			return fmt.Errorf("/metrics stage %q histogram is empty after load", stage)
+		}
+		fmt.Printf("%-9s: mean %8.3fms  p50 %8.3fms  p99 %8.3fms  (n=%d)\n",
+			stage, st.Mean, st.P50, st.P99, st.Count)
+	}
+
+	// Prometheus exposition: both routes must parse under the strict
+	// validator (an exposition bug fails here rather than in a scraper).
+	for _, path := range []string{"/metrics/prom", "/metrics?format=prom"} {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return err
+		}
+		samples, err := obs.ValidatePromText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if samples == 0 {
+			return fmt.Errorf("%s: no samples", path)
+		}
+		if path == "/metrics/prom" {
+			fmt.Printf("prom exposition: %d samples, validated\n", samples)
+		}
+	}
+
+	// Trace ring: the load must have left recent traces with stage spans.
+	resp, err := client.Get(base + "/v1/trace")
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	var page struct {
+		Recent []obs.Trace `json:"recent"`
+		Slow   []obs.Trace `json:"slow"`
+	}
+	if err := json.Unmarshal(raw, &page); err != nil {
+		return fmt.Errorf("/v1/trace: %w", err)
+	}
+	if len(page.Recent) == 0 {
+		return fmt.Errorf("/v1/trace is empty after load")
+	}
+	simulated := false
+	for _, t := range page.Recent {
+		if t.SimulateMs > 0 && t.ID != "" {
+			simulated = true
+			break
+		}
+	}
+	if !simulated {
+		return fmt.Errorf("/v1/trace: no recent trace carries a simulate span")
+	}
+	fmt.Printf("trace ring: %d recent, %d pinned slow\n", len(page.Recent), len(page.Slow))
+	if traceOut != "" {
+		if err := os.WriteFile(traceOut, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace sample to %s\n", traceOut)
+	}
+	return nil
+}
+
+// getJSON fetches url and decodes the JSON body into v.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 // lockstepMode is the -lockstep flag value: auto/on/off, with the

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromWriterValidates(t *testing.T) {
+	h := NewDurationHistogram()
+	for _, v := range []float64{1e-4, 2e-3, 5e-2, 1.5} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	pw := NewPromWriter(&sb)
+	pw.Header("test_up", "Liveness.", "gauge")
+	pw.Metric("test_up", nil, 1)
+	pw.Header("test_requests_total", "Requests with \"quotes\", a \\ and\na newline in help.", "counter")
+	pw.Metric("test_requests_total", []Label{
+		{Name: "model", Value: `di"gi\ts` + "\n"},
+		{Name: "kind", Value: "admission"},
+	}, 42)
+	pw.Header("test_duration_seconds", "Stage spans.", "histogram")
+	pw.Histogram("test_duration_seconds", []Label{{Name: "stage", Value: "simulate"}}, h.Snapshot())
+	if err := pw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	out := sb.String()
+	samples, err := ValidatePromText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("writer output failed validation: %v\nexposition:\n%s", err, out)
+	}
+	// 1 gauge + 1 counter + (54 buckets + sum + count).
+	if want := 2 + len(durationBounds) + 1 + 2; samples != want {
+		t.Fatalf("samples = %d, want %d", samples, want)
+	}
+	// The histogram must end in the mandatory +Inf bucket with the total.
+	if !strings.Contains(out, `le="+Inf"} 4`) {
+		t.Errorf("missing cumulative +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "test_duration_seconds_count{stage=\"simulate\"} 4") {
+		t.Errorf("missing _count sample:\n%s", out)
+	}
+}
+
+func TestPromHistogramCumulative(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 9} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	pw := NewPromWriter(&sb)
+	pw.Header("m", "help", "histogram")
+	pw.Histogram("m", nil, h.Snapshot())
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`m_bucket{le="1"} 1`,
+		`m_bucket{le="2"} 2`,
+		`m_bucket{le="4"} 3`,
+		`m_bucket{le="+Inf"} 4`,
+		`m_sum 14`,
+		`m_count 4`,
+	}
+	got := sb.String()
+	for _, w := range want {
+		if !strings.Contains(got, w+"\n") {
+			t.Errorf("missing %q in:\n%s", w, got)
+		}
+	}
+}
+
+func TestValidatePromTextRejects(t *testing.T) {
+	bad := map[string]string{
+		"sample without TYPE":   "orphan_metric 1\n",
+		"bad value":             "# TYPE m gauge\nm one\n",
+		"unterminated labels":   "# TYPE m gauge\nm{a=\"x 1\n",
+		"bad escape":            "# TYPE m gauge\nm{a=\"\\q\"} 1\n",
+		"label missing equals":  "# TYPE m gauge\nm{a} 1\n",
+		"unknown type":          "# TYPE m flavor\nm 1\n",
+		"duplicate TYPE":        "# TYPE m gauge\n# TYPE m gauge\nm 1\n",
+		"unknown comment":       "# NOPE m gauge\n",
+		"bad metric name":       "# TYPE 9m gauge\n9m 1\n",
+		"bad timestamp":         "# TYPE m gauge\nm 1 later\n",
+		"histogram suffix only": "# TYPE other gauge\nm_bucket{le=\"1\"} 1\n",
+	}
+	for name, text := range bad {
+		if _, err := ValidatePromText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: validated but should fail:\n%s", name, text)
+		}
+	}
+	good := "# HELP m help text\n# TYPE m histogram\n" +
+		"m_bucket{le=\"+Inf\"} 1\nm_sum 0.5\nm_count 1\n\n" +
+		"# TYPE t counter\nt_total 3 1712345678\nt_total{a=\"b,c\"} NaN\n"
+	samples, err := ValidatePromText(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("good exposition rejected: %v", err)
+	}
+	if samples != 5 {
+		t.Fatalf("samples = %d, want 5", samples)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingRecentOrderAndOverflow(t *testing.T) {
+	r := NewRing(32, 0, 0)
+	if got := r.Capacity(); got != 32 {
+		t.Fatalf("Capacity = %d, want 32", got)
+	}
+	// Overfill by 3×: only the newest Capacity survive, newest first.
+	for i := 1; i <= 96; i++ {
+		r.Add(Trace{ID: fmt.Sprint(i), TotalMs: float64(i)})
+	}
+	got := r.Recent(0)
+	if len(got) != 32 {
+		t.Fatalf("Recent = %d traces, want 32", len(got))
+	}
+	for i, tr := range got {
+		if want := fmt.Sprint(96 - i); tr.ID != want {
+			t.Fatalf("Recent[%d].ID = %q, want %q", i, tr.ID, want)
+		}
+	}
+	if got := r.Recent(5); len(got) != 5 || got[0].ID != "96" {
+		t.Fatalf("Recent(5) = %d traces first %q", len(got), got[0].ID)
+	}
+}
+
+func TestRingSlowPinning(t *testing.T) {
+	// Threshold 100ms, room for 2 pinned traces.
+	r := NewRing(8, 2, 100*time.Millisecond)
+	r.Add(Trace{ID: "fast", TotalMs: 5})
+	r.Add(Trace{ID: "slow1", TotalMs: 150})
+	r.Add(Trace{ID: "slow2", TotalMs: 300})
+	slow := r.Slow()
+	if len(slow) != 2 || slow[0].ID != "slow2" || slow[1].ID != "slow1" {
+		t.Fatalf("Slow = %+v, want slow2 then slow1", slow)
+	}
+	for _, tr := range slow {
+		if !tr.Slow {
+			t.Errorf("pinned trace %q not marked Slow", tr.ID)
+		}
+	}
+	// At capacity: a slower trace evicts the fastest pinned one...
+	r.Add(Trace{ID: "slow3", TotalMs: 200})
+	slow = r.Slow()
+	if len(slow) != 2 || slow[0].ID != "slow2" || slow[1].ID != "slow3" {
+		t.Fatalf("after eviction Slow = %+v, want slow2 then slow3", slow)
+	}
+	// ...and a merely-over-threshold trace no slower than the pinned set
+	// does not displace anything.
+	r.Add(Trace{ID: "slow4", TotalMs: 120})
+	if slow = r.Slow(); len(slow) != 2 || slow[1].ID != "slow3" {
+		t.Fatalf("slow4 displaced a slower trace: %+v", slow)
+	}
+	// Ring turnover must not unpin: flood the recent ring with fast
+	// traces, the slow set survives.
+	for i := 0; i < 100; i++ {
+		r.Add(Trace{ID: "flood", TotalMs: 1})
+	}
+	if slow = r.Slow(); len(slow) != 2 || slow[0].ID != "slow2" {
+		t.Fatalf("slow set lost to ring turnover: %+v", slow)
+	}
+}
+
+func TestRingSlowDisabled(t *testing.T) {
+	r := NewRing(8, 32, 0) // threshold 0 = pinning disabled
+	r.Add(Trace{ID: "x", TotalMs: 1e6})
+	if slow := r.Slow(); len(slow) != 0 {
+		t.Fatalf("pinning disabled but Slow = %+v", slow)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64, 8, 50*time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Add(Trace{ID: fmt.Sprintf("%d-%d", w, i), TotalMs: float64(i % 200)})
+				if i%100 == 0 {
+					r.Recent(16)
+					r.Slow()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(r.Recent(0)); got != 64 {
+		t.Fatalf("Recent after concurrent fill = %d, want 64", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"burstsnn/internal/coding"
+	"burstsnn/internal/obs"
 	"burstsnn/internal/snn"
 )
 
@@ -41,15 +42,21 @@ type Batcher struct {
 }
 
 type batchRequest struct {
-	ctx    context.Context
-	image  []float64
-	policy ExitPolicy
-	done   chan batchResult
+	ctx      context.Context
+	image    []float64
+	policy   ExitPolicy
+	enqueued time.Time // Submit time; queue-wait span start
+	done     chan batchResult
 }
 
 type batchResult struct {
 	out Outcome
-	err error
+	// stages carries the request's measured stage spans back to the
+	// server (queue/form from the batcher, engine spans from the
+	// classify call that served it).
+	stages  obs.StageTimes
+	deduped bool
+	err     error
 }
 
 // NewBatcher starts the dispatcher. metrics receives the batch gauges
@@ -89,31 +96,46 @@ func NewBatcher(pool *Pool, metrics *Metrics, lockstepMin int, f32 bool, maxBatc
 // Submit enqueues one classification and blocks until its result, the
 // context's cancellation, or batcher shutdown.
 func (b *Batcher) Submit(ctx context.Context, image []float64, p ExitPolicy) (Outcome, error) {
+	out, _, _, err := b.SubmitTraced(ctx, image, p)
+	return out, err
+}
+
+// SubmitTraced is Submit returning the request's measured stage spans
+// (queue wait, batch formation, and the engine's encode/simulate/readout
+// — see internal/obs) plus whether the request was answered by duplicate
+// fan-out instead of its own simulation. Spans are zero on error paths
+// that never executed.
+func (b *Batcher) SubmitTraced(ctx context.Context, image []float64, p ExitPolicy) (Outcome, obs.StageTimes, bool, error) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return Outcome{}, ErrClosed
+		return Outcome{}, obs.StageTimes{}, false, ErrClosed
 	}
 	b.sending.Add(1)
 	b.mu.Unlock()
 
-	req := &batchRequest{ctx: ctx, image: image, policy: p, done: make(chan batchResult, 1)}
+	req := &batchRequest{ctx: ctx, image: image, policy: p, enqueued: time.Now(), done: make(chan batchResult, 1)}
 	select {
 	case b.queue <- req:
 		b.sending.Done()
 	case <-ctx.Done():
 		b.sending.Done()
-		return Outcome{}, ctx.Err()
+		return Outcome{}, obs.StageTimes{}, false, ctx.Err()
 	}
 	select {
 	case res := <-req.done:
-		return res.out, res.err
+		return res.out, res.stages, res.deduped, res.err
 	case <-ctx.Done():
 		// The batch may still execute the request; done is buffered so
 		// the runner never blocks on an abandoned request.
-		return Outcome{}, ctx.Err()
+		return Outcome{}, obs.StageTimes{}, false, ctx.Err()
 	}
 }
+
+// QueueDepth reports how many submitted requests are waiting in the
+// admission queue right now (a live gauge for /metrics; the queue's
+// bound is the backpressure limit, see NewBatcher's queueDepth).
+func (b *Batcher) QueueDepth() int { return len(b.queue) }
 
 // Close stops accepting requests, drains the queue, and waits for every
 // in-flight batch to finish. It is idempotent.
@@ -139,6 +161,7 @@ func (b *Batcher) dispatch() {
 		close(b.done)
 	}()
 	for first := range b.queue {
+		formStart := time.Now()
 		batch := append(make([]*batchRequest, 0, b.maxBatch), first)
 		if b.maxDelay > 0 {
 			timer := time.NewTimer(b.maxDelay)
@@ -170,10 +193,10 @@ func (b *Batcher) dispatch() {
 			}
 		}
 		batches.Add(1)
-		go func(reqs []*batchRequest) {
+		go func(reqs []*batchRequest, form time.Duration) {
 			defer batches.Done()
-			b.run(reqs)
-		}(batch)
+			b.run(reqs, form)
+		}(batch, time.Since(formStart))
 	}
 }
 
@@ -195,7 +218,7 @@ func (b *Batcher) dispatch() {
 // encoder cannot batch — runs through the sequential engine. On the
 // default float32 plane both paths produce the outcomes pinned by the
 // tolerance contract; on the float64 plane they are bit-identical.
-func (b *Batcher) run(reqs []*batchRequest) {
+func (b *Batcher) run(reqs []*batchRequest, form time.Duration) {
 	rep, err := b.pool.Get(context.Background())
 	if err != nil {
 		for _, req := range reqs {
@@ -204,6 +227,10 @@ func (b *Batcher) run(reqs []*batchRequest) {
 		return
 	}
 	defer b.pool.Put(rep)
+	// Queue wait ends here: the batch holds a replica and starts
+	// executing. Each request's queue span (enqueue → execStart) covers
+	// the channel wait, the formation window, and the checkout wait.
+	execStart := time.Now()
 	live := reqs[:0]
 	for _, req := range reqs {
 		if req.ctx.Err() != nil {
@@ -237,11 +264,12 @@ func (b *Batcher) run(reqs []*batchRequest) {
 					images[i] = req.image
 					policies[i] = req.policy
 				}
-				outs, batchSteps := ClassifyBatch(bn, images, policies)
+				outs, batchSteps, times := ClassifyBatchStaged(bn, images, policies)
+				times.Form = form
 				saved := 0
 				for i, req := range chunk {
 					saved += batchSteps - outs[i].Steps
-					deliver(req, batchResult{out: outs[i]}, dups)
+					deliver(req, batchResult{out: outs[i], stages: times}, dups, execStart)
 				}
 				if b.metrics != nil {
 					b.metrics.ObserveBatch(len(chunk), saved)
@@ -250,7 +278,9 @@ func (b *Batcher) run(reqs []*batchRequest) {
 		}
 	}
 	for _, req := range live {
-		deliver(req, batchResult{out: Classify(rep.Net, req.image, req.policy)}, dups)
+		out, times := ClassifyStaged(rep.Net, req.image, req.policy)
+		times.Form = form
+		deliver(req, batchResult{out: out, stages: times}, dups, execStart)
 	}
 }
 
@@ -284,9 +314,16 @@ next:
 }
 
 // deliver sends one result to its request and every duplicate riding it.
-func deliver(req *batchRequest, res batchResult, dups map[*batchRequest][]*batchRequest) {
+// Each recipient's queue span is its own (enqueue → batch execution
+// start); duplicates share the representative's engine spans and are
+// marked deduped.
+func deliver(req *batchRequest, res batchResult, dups map[*batchRequest][]*batchRequest, execStart time.Time) {
+	res.stages.Queue = execStart.Sub(req.enqueued)
 	req.done <- res
 	for _, d := range dups[req] {
-		d.done <- res
+		r := res
+		r.stages.Queue = execStart.Sub(d.enqueued)
+		r.deduped = true
+		d.done <- r
 	}
 }

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
+	"burstsnn/internal/obs"
 	"burstsnn/internal/snn"
 )
 
@@ -65,9 +67,25 @@ func (o Outcome) TotalSpikes() int { return o.InputSpikes + o.HiddenSpikes }
 // pools enforce this); the simulator is fully deterministic, so the same
 // image and policy always produce the same outcome on any replica.
 func Classify(net *snn.Network, image []float64, p ExitPolicy) Outcome {
+	o, _ := ClassifyStaged(net, image, p)
+	return o
+}
+
+// ClassifyStaged is Classify with the engine-side stage spans measured:
+// Encode (the encoder Reset), Simulate (the step loop), and Readout (the
+// readout margin extractions at exit tests), per the internal/obs
+// taxonomy. The timing is a handful of monotonic clock reads per request
+// — no allocations (the zero-alloc gate covers this path, which Classify
+// shares) and no effect on the outcome.
+func ClassifyStaged(net *snn.Network, image []float64, p ExitPolicy) (Outcome, obs.StageTimes) {
+	times := obs.StageTimes{Lanes: 1}
+	begin := time.Now()
 	net.Reset(image)
+	simStart := time.Now()
+	times.Encode = simStart.Sub(begin)
 	countInput := net.Encoder.CountsAsSpikes()
 	var o Outcome
+	var readout time.Duration
 	stable, last := 0, -1
 	for t := 0; t < p.MaxSteps; t++ {
 		st := net.Step(t)
@@ -83,15 +101,24 @@ func Classify(net *snn.Network, image []float64, p ExitPolicy) Outcome {
 			stable, last = 1, st.Predicted
 		}
 		if p.StableWindow > 0 && o.Steps >= p.MinSteps && stable >= p.StableWindow {
-			if m := stepMargin(net.Output.Potentials(), o.Steps); p.Margin <= 0 || m >= p.Margin {
+			mt := time.Now()
+			m := stepMargin(net.Output.Potentials(), o.Steps)
+			readout += time.Since(mt)
+			if p.Margin <= 0 || m >= p.Margin {
 				o.Margin = m
 				o.EarlyExit = o.Steps < p.MaxSteps
-				return o
+				times.Simulate = time.Since(simStart) - readout
+				times.Readout = readout
+				return o, times
 			}
 		}
 	}
+	mt := time.Now()
 	o.Margin = stepMargin(net.Output.Potentials(), o.Steps)
-	return o
+	readout += time.Since(mt)
+	times.Simulate = time.Since(simStart) - readout
+	times.Readout = readout
+	return o, times
 }
 
 // ClassifyBatch presents a batch of images lockstep through a
@@ -116,14 +143,30 @@ func Classify(net *snn.Network, image []float64, p ExitPolicy) Outcome {
 // handful of allocations per dispatched batch, not per request, which is
 // in line with the batcher's own per-request queueing allocations.
 func ClassifyBatch(bn snn.Lockstep, images [][]float64, policies []ExitPolicy) ([]Outcome, int) {
+	outs, steps, _ := ClassifyBatchStaged(bn, images, policies)
+	return outs, steps
+}
+
+// ClassifyBatchStaged is ClassifyBatch with the engine-side stage spans
+// measured, like ClassifyStaged: Encode is the batched encoder Reset,
+// Simulate the lockstep step loop, Readout the accumulated per-lane
+// margin extractions. The spans are batch-level — every lane shared
+// them — so the returned StageTimes carries Lanes = len(images) and
+// Lockstep = true for per-request attribution.
+func ClassifyBatchStaged(bn snn.Lockstep, images [][]float64, policies []ExitPolicy) ([]Outcome, int, obs.StageTimes) {
 	n := len(images)
 	if n == 0 {
-		return nil, 0
+		return nil, 0, obs.StageTimes{}
 	}
 	if len(policies) != n {
 		panic(fmt.Sprintf("serve: %d policies for %d images", len(policies), n))
 	}
+	times := obs.StageTimes{Lanes: n, Lockstep: true}
+	begin := time.Now()
 	bn.Reset(images)
+	simStart := time.Now()
+	times.Encode = simStart.Sub(begin)
+	var readout time.Duration
 	countInput := bn.CountsInputSpikes()
 	outs := make([]Outcome, n)
 	type tracker struct{ stable, last int }
@@ -167,14 +210,19 @@ func ClassifyBatch(bn snn.Lockstep, images [][]float64, policies []ExitPolicy) (
 			}
 			exit := false
 			if p.StableWindow > 0 && o.Steps >= p.MinSteps && tr.stable >= p.StableWindow {
-				if m := stepMargin(bn.PotentialsInto(slot, scores), o.Steps); p.Margin <= 0 || m >= p.Margin {
+				mt := time.Now()
+				m := stepMargin(bn.PotentialsInto(slot, scores), o.Steps)
+				readout += time.Since(mt)
+				if p.Margin <= 0 || m >= p.Margin {
 					o.Margin = m
 					o.EarlyExit = o.Steps < p.MaxSteps
 					exit = true
 				}
 			}
 			if !exit && o.Steps >= p.MaxSteps {
+				mt := time.Now()
 				o.Margin = stepMargin(bn.PotentialsInto(slot, scores), o.Steps)
+				readout += time.Since(mt)
 				exit = true
 			}
 			if exit {
@@ -188,7 +236,9 @@ func ClassifyBatch(bn snn.Lockstep, images [][]float64, policies []ExitPolicy) (
 			bn.Retire(retire[i])
 		}
 	}
-	return outs, batchSteps
+	times.Simulate = time.Since(simStart) - readout
+	times.Readout = readout
+	return outs, batchSteps, times
 }
 
 // stepMargin returns (top1 − top2) / steps of the readout potentials:

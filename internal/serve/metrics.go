@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"burstsnn/internal/coding"
+	"burstsnn/internal/obs"
 )
 
 // metricsWindow bounds the latency reservoir: percentiles are computed
@@ -27,13 +28,12 @@ const metricsStripes = 8
 type metricsStripe struct {
 	mu         sync.Mutex
 	requests   int64
-	errors     int64
 	earlyExits int64
 	stepsSum   int64
 	spikesSum  int64
 	latencies  []float64 // ring buffer, milliseconds
 	next       int
-	_          [48]byte // rounds the struct to 128 bytes (2 cache lines)
+	_          [56]byte // rounds the struct to 128 bytes (2 cache lines)
 }
 
 // Metrics accumulates serving statistics for one model (or globally).
@@ -42,6 +42,26 @@ type Metrics struct {
 	stripes []metricsStripe
 	tick    atomic.Uint64
 	window  int // per-stripe reservoir bound
+
+	// stage are the fixed-bucket log-scale duration histograms, one per
+	// obs.Stage (queue, form, encode, simulate, readout, total). Unlike
+	// the reservoir percentiles above — which forget everything past the
+	// window — histogram tails compose over the model's whole lifetime,
+	// merge across models, and scrape as plain counters (Prometheus
+	// exposition reads them directly).
+	stage [obs.NumStages]*obs.Histogram
+	// occupancy histograms executed lockstep batches by lane count, so
+	// the batcher's occupancy signal is a distribution, not just the
+	// mean (the planned occupancy-adaptive steering consumes this).
+	occupancy *obs.Histogram
+
+	// Error accounting is split by where the failure happened:
+	// errAdmission counts requests the server refused or timed out
+	// before simulation (queue backpressure deadline, shutdown,
+	// validation); errSim counts failures inside batch execution
+	// (replica checkout, simulator errors).
+	errAdmission atomic.Int64
+	errSim       atomic.Int64
 
 	// Batch execution gauges (see Batcher): how full microbatches run and
 	// how many lockstep steps lane retirement avoided versus running every
@@ -72,7 +92,12 @@ func newMetricsStriped(n int) *Metrics {
 	if w < 1 {
 		w = 1
 	}
-	return &Metrics{stripes: make([]metricsStripe, n), window: w}
+	m := &Metrics{stripes: make([]metricsStripe, n), window: w}
+	for s := range m.stage {
+		m.stage[s] = obs.NewDurationHistogram()
+	}
+	m.occupancy = obs.NewOccupancyHistogram()
+	return m
 }
 
 // stripe picks the next shard round-robin.
@@ -80,13 +105,17 @@ func (m *Metrics) stripe() *metricsStripe {
 	return &m.stripes[m.tick.Add(1)&uint64(len(m.stripes)-1)]
 }
 
-// ObserveError records a failed request.
-func (m *Metrics) ObserveError() {
-	s := m.stripe()
-	s.mu.Lock()
-	s.errors++
-	s.mu.Unlock()
-}
+// ObserveAdmissionError records a request refused or timed out before it
+// simulated (queue deadline, shutdown, validation rejection).
+func (m *Metrics) ObserveAdmissionError() { m.errAdmission.Add(1) }
+
+// ObserveSimError records a failure inside batch execution (replica
+// checkout, simulator error).
+func (m *Metrics) ObserveSimError() { m.errSim.Add(1) }
+
+// ObserveError records a failed request of unspecified origin; it counts
+// as a simulation-side error. Prefer the split observers.
+func (m *Metrics) ObserveError() { m.ObserveSimError() }
 
 // Observe records one served classification.
 func (m *Metrics) Observe(o Outcome, latency time.Duration) {
@@ -108,6 +137,25 @@ func (m *Metrics) Observe(o Outcome, latency time.Duration) {
 	s.mu.Unlock()
 }
 
+// ObserveStages records one request's stage breakdown into the per-stage
+// histograms. Allocation-free and lock-free (a handful of atomic adds);
+// BenchmarkObserveStages pins the cost.
+func (m *Metrics) ObserveStages(st obs.StageTimes, total time.Duration) {
+	m.stage[obs.StageQueue].ObserveDuration(st.Queue)
+	m.stage[obs.StageForm].ObserveDuration(st.Form)
+	m.stage[obs.StageEncode].ObserveDuration(st.Encode)
+	m.stage[obs.StageSimulate].ObserveDuration(st.Simulate)
+	m.stage[obs.StageReadout].ObserveDuration(st.Readout)
+	m.stage[obs.StageTotal].ObserveDuration(total)
+}
+
+// StageHistogram returns the model's histogram for one stage (Prometheus
+// exposition reads the buckets directly).
+func (m *Metrics) StageHistogram(s obs.Stage) *obs.Histogram { return m.stage[s] }
+
+// OccupancyHistogram returns the batch lane-occupancy histogram.
+func (m *Metrics) OccupancyHistogram() *obs.Histogram { return m.occupancy }
+
 // ObserveBatch records one executed microbatch: how many lanes it
 // carried and how many lockstep steps per-lane early-exit retirement
 // saved versus running every lane to the batch's final step.
@@ -115,6 +163,7 @@ func (m *Metrics) ObserveBatch(lanes, stepsSaved int) {
 	m.batches.Add(1)
 	m.batchLanes.Add(int64(lanes))
 	m.batchStepsSaved.Add(int64(stepsSaved))
+	m.occupancy.Observe(float64(lanes))
 }
 
 // ObserveDeduped records n requests served by duplicate fan-out.
@@ -127,17 +176,46 @@ func (m *Metrics) ObserveDeduped(n int) {
 // cache attachment).
 func (m *Metrics) SetBatchKernel(kind string) { m.kernel.Store(&kind) }
 
+// BatchKernel returns the recorded lockstep kernel variant ("" before
+// SetBatchKernel).
+func (m *Metrics) BatchKernel() string {
+	if k := m.kernel.Load(); k != nil {
+		return *k
+	}
+	return ""
+}
+
 // AttachQuantCache points the snapshot's encoder-cache counters at the
 // model's quantization cache (idempotent; survives model re-registration
 // because the registry re-attaches the fresh cache).
 func (m *Metrics) AttachQuantCache(c *coding.QuantCache) { m.quant.Store(c) }
 
+// StageStats is the JSON summary of one histogram: observation count
+// plus histogram-estimated mean and percentiles — in milliseconds for
+// the stage map, in lanes for the occupancy distribution. The estimates
+// interpolate inside √2-wide log buckets, so they carry bucket-resolution
+// error — unlike the reservoir percentiles (P50Ms…) they never forget
+// old tails and they merge across scrapes.
+type StageStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
 // Snapshot is a point-in-time metrics view, JSON-shaped for /metrics.
 type Snapshot struct {
 	Requests int64 `json:"requests"`
-	Errors   int64 `json:"errors"`
-	// EarlyExitRate is the fraction of requests that exited before their
-	// full step budget.
+	// Errors totals the split counters below (the pre-split schema).
+	Errors int64 `json:"errors"`
+	// AdmissionErrors counts requests refused or timed out before
+	// simulation; SimulationErrors counts failures inside execution.
+	AdmissionErrors  int64 `json:"admissionErrors"`
+	SimulationErrors int64 `json:"simulationErrors"`
+	// EarlyExits counts requests that exited before their full step
+	// budget; EarlyExitRate is the same as a fraction of requests.
+	EarlyExits    int64   `json:"earlyExits"`
 	EarlyExitRate float64 `json:"earlyExitRate"`
 	// MeanSteps is the mean simulated steps per request — the serving
 	// form of the paper's latency metric.
@@ -150,14 +228,19 @@ type Snapshot struct {
 	P50Ms float64 `json:"p50Ms"`
 	P90Ms float64 `json:"p90Ms"`
 	P99Ms float64 `json:"p99Ms"`
+	// Stages breaks the request down by pipeline stage (queue, form,
+	// encode, simulate, readout, total — see internal/obs for the
+	// taxonomy) over lifetime histograms.
+	Stages map[string]StageStats `json:"stages,omitempty"`
 	// Batches counts executed lockstep microbatches (single-request
 	// dispatches run sequentially and don't count); MeanBatchOccupancy is
 	// the mean lanes per batch, and BatchStepsSaved totals the lockstep
 	// steps avoided by retiring early-exited lanes instead of stepping
-	// them to the batch's end.
-	Batches            int64   `json:"batches"`
-	MeanBatchOccupancy float64 `json:"meanBatchOccupancy"`
-	BatchStepsSaved    int64   `json:"batchStepsSaved"`
+	// them to the batch's end. Occupancy is the full distribution.
+	Batches            int64      `json:"batches"`
+	MeanBatchOccupancy float64    `json:"meanBatchOccupancy"`
+	Occupancy          StageStats `json:"batchOccupancy"`
+	BatchStepsSaved    int64      `json:"batchStepsSaved"`
 	// BatchKernel is the lockstep compute plane the model's batcher picked
 	// at build time: "f64", or the float32 tier actually running: "f32" (pure Go), "f32-sse", or "f32-avx2".
 	BatchKernel string `json:"batchKernel,omitempty"`
@@ -169,6 +252,25 @@ type Snapshot struct {
 	// quantization to cache).
 	EncoderCacheHits   int64 `json:"encoderCacheHits"`
 	EncoderCacheMisses int64 `json:"encoderCacheMisses"`
+	// Live gauges, filled by the server at scrape time (zero when the
+	// snapshot comes straight from Metrics.Snapshot): requests waiting in
+	// the model's admission queue, replicas checked out right now, and
+	// the pool bound.
+	QueueDepth   int `json:"queueDepth"`
+	PoolInFlight int `json:"poolInFlight"`
+	PoolSize     int `json:"poolSize"`
+}
+
+// stageStats summarizes one histogram; scale converts the stored unit
+// to the exposed one (1e3 for seconds → milliseconds, 1 for lanes).
+func stageStats(h *obs.Histogram, scale float64) StageStats {
+	return StageStats{
+		Count: h.Count(),
+		Mean:  h.Mean() * scale,
+		P50:   h.Quantile(50) * scale,
+		P90:   h.Quantile(90) * scale,
+		P99:   h.Quantile(99) * scale,
+	}
 }
 
 // Snapshot computes the current view. Each stripe is locked only for its
@@ -177,21 +279,22 @@ type Snapshot struct {
 // concurrent Observe calls.
 func (m *Metrics) Snapshot() Snapshot {
 	var s Snapshot
-	var earlyExits int64
 	sorted := make([]float64, 0, metricsWindow)
 	for i := range m.stripes {
 		st := &m.stripes[i]
 		st.mu.Lock()
 		s.Requests += st.requests
-		s.Errors += st.errors
-		earlyExits += st.earlyExits
+		s.EarlyExits += st.earlyExits
 		s.MeanSteps += float64(st.stepsSum)
 		s.MeanSpikes += float64(st.spikesSum)
 		sorted = append(sorted, st.latencies...)
 		st.mu.Unlock()
 	}
+	s.AdmissionErrors = m.errAdmission.Load()
+	s.SimulationErrors = m.errSim.Load()
+	s.Errors = s.AdmissionErrors + s.SimulationErrors
 	if s.Requests > 0 {
-		s.EarlyExitRate = float64(earlyExits) / float64(s.Requests)
+		s.EarlyExitRate = float64(s.EarlyExits) / float64(s.Requests)
 		s.MeanSteps /= float64(s.Requests)
 		s.MeanSpikes /= float64(s.Requests)
 	} else {
@@ -203,15 +306,18 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.P90Ms = Percentile(sorted, 90)
 		s.P99Ms = Percentile(sorted, 99)
 	}
+	s.Stages = make(map[string]StageStats, obs.NumStages)
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		s.Stages[st.String()] = stageStats(m.stage[st], 1e3) // seconds → ms
+	}
 	s.Batches = m.batches.Load()
 	if s.Batches > 0 {
 		s.MeanBatchOccupancy = float64(m.batchLanes.Load()) / float64(s.Batches)
 	}
+	s.Occupancy = stageStats(m.occupancy, 1) // unit: lanes, not ms
 	s.BatchStepsSaved = m.batchStepsSaved.Load()
 	s.DedupedRequests = m.deduped.Load()
-	if k := m.kernel.Load(); k != nil {
-		s.BatchKernel = *k
-	}
+	s.BatchKernel = m.BatchKernel()
 	if q := m.quant.Load(); q != nil {
 		s.EncoderCacheHits, s.EncoderCacheMisses = q.Stats()
 	}

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"time"
 	"unsafe"
+
+	"burstsnn/internal/obs"
 )
 
 // TestPercentileNearestRank pins the standard ceil nearest-rank method,
@@ -191,4 +193,26 @@ func BenchmarkSnapshot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Snapshot()
 	}
+}
+
+// BenchmarkObserveStages pins the per-request cost of the stage
+// histograms added to the hot path: six bucket searches plus atomic adds,
+// no locks, no allocations (the benchmark fails the alloc report if that
+// regresses).
+func BenchmarkObserveStages(b *testing.B) {
+	m := NewMetrics()
+	st := obs.StageTimes{
+		Queue:    500 * time.Microsecond,
+		Form:     100 * time.Microsecond,
+		Encode:   50 * time.Microsecond,
+		Simulate: 3 * time.Millisecond,
+		Readout:  20 * time.Microsecond,
+		Lanes:    1,
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.ObserveStages(st, 4*time.Millisecond)
+		}
+	})
 }

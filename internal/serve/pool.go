@@ -75,6 +75,10 @@ func NewPool(proto *snn.Network, size int) (*Pool, error) {
 // Size returns the replica count.
 func (p *Pool) Size() int { return cap(p.ch) }
 
+// InFlight reports how many replicas are checked out right now (a live
+// gauge for /metrics; InFlight == Size means the next batch waits).
+func (p *Pool) InFlight() int { return cap(p.ch) - len(p.ch) }
+
 // Get checks out a replica, blocking until one is free or ctx is done.
 func (p *Pool) Get(ctx context.Context) (*Replica, error) {
 	select {

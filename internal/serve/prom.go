@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"burstsnn/internal/kernels"
+	"burstsnn/internal/obs"
+)
+
+// handleMetricsProm serves GET /metrics/prom (and GET /metrics?format=prom):
+// the same telemetry as the JSON page in Prometheus text exposition format
+// 0.0.4, with the stage-duration and batch-occupancy histograms emitted as
+// native histogram families rather than pre-digested percentiles.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeProm(w)
+}
+
+// writeProm emits the full exposition page. Families are emitted in a
+// fixed order with one # HELP/# TYPE pair each and model-labelled samples
+// beneath, per the format (the golden test runs this page through
+// obs.ValidatePromText).
+func (s *Server) writeProm(w io.Writer) error {
+	pw := obs.NewPromWriter(w)
+
+	pw.Header("burstsnn_uptime_seconds", "Server uptime.", "gauge")
+	pw.Metric("burstsnn_uptime_seconds", nil, time.Since(s.start).Seconds())
+
+	path, version := buildInfo()
+	pw.Header("burstsnn_build_info", "Build metadata; value is always 1.", "gauge")
+	pw.Metric("burstsnn_build_info", []obs.Label{
+		{Name: "module", Value: path},
+		{Name: "version", Value: version},
+		{Name: "goversion", Value: runtime.Version()},
+	}, 1)
+
+	pw.Header("burstsnn_kernel_dispatch_info",
+		"Kernel dispatch tier: active is the tier running now (after KERNELS_LEVEL/ForceLevel overrides), detected is the CPUID probe result; value is always 1.",
+		"gauge")
+	pw.Metric("burstsnn_kernel_dispatch_info", []obs.Label{
+		{Name: "active", Value: kernels.Kind()},
+		{Name: "detected", Value: kernels.DetectedLevel()},
+	}, 1)
+
+	// Stable model order so consecutive scrapes diff cleanly.
+	infos := s.reg.List()
+	names := make([]string, 0, len(infos))
+	for _, info := range infos {
+		names = append(names, info.Name)
+	}
+	sort.Strings(names)
+
+	type modelRow struct {
+		name string
+		m    *Model
+		snap Snapshot
+	}
+	rows := make([]modelRow, 0, len(names))
+	for _, name := range names {
+		m, err := s.reg.Get(name)
+		if err != nil {
+			continue
+		}
+		snap := m.Metrics().Snapshot()
+		s.mu.Lock()
+		b := s.batchers[name]
+		s.mu.Unlock()
+		if b != nil {
+			snap.QueueDepth = b.QueueDepth()
+		}
+		snap.PoolInFlight = m.Pool().InFlight()
+		snap.PoolSize = m.Pool().Size()
+		rows = append(rows, modelRow{name, m, snap})
+	}
+
+	counter := func(name, help string, get func(Snapshot) float64) {
+		pw.Header(name, help, "counter")
+		for _, r := range rows {
+			pw.Metric(name, []obs.Label{{Name: "model", Value: r.name}}, get(r.snap))
+		}
+	}
+	gauge := func(name, help string, get func(Snapshot) float64) {
+		pw.Header(name, help, "gauge")
+		for _, r := range rows {
+			pw.Metric(name, []obs.Label{{Name: "model", Value: r.name}}, get(r.snap))
+		}
+	}
+
+	counter("burstsnn_requests_total", "Successfully served classifications.",
+		func(s Snapshot) float64 { return float64(s.Requests) })
+
+	pw.Header("burstsnn_errors_total",
+		"Failed requests by failure site: admission (refused or expired before simulating) vs simulation (failed during batch execution).",
+		"counter")
+	for _, r := range rows {
+		pw.Metric("burstsnn_errors_total", []obs.Label{
+			{Name: "model", Value: r.name}, {Name: "kind", Value: "admission"},
+		}, float64(r.snap.AdmissionErrors))
+		pw.Metric("burstsnn_errors_total", []obs.Label{
+			{Name: "model", Value: r.name}, {Name: "kind", Value: "simulation"},
+		}, float64(r.snap.SimulationErrors))
+	}
+
+	counter("burstsnn_early_exits_total", "Requests that exited before their full step budget.",
+		func(s Snapshot) float64 { return float64(s.EarlyExits) })
+	counter("burstsnn_batches_total", "Executed lockstep microbatches.",
+		func(s Snapshot) float64 { return float64(s.Batches) })
+	counter("burstsnn_batch_steps_saved_total",
+		"Lockstep steps avoided by retiring early-exited lanes.",
+		func(s Snapshot) float64 { return float64(s.BatchStepsSaved) })
+	counter("burstsnn_deduped_requests_total",
+		"Requests answered by duplicate fan-out instead of simulating.",
+		func(s Snapshot) float64 { return float64(s.DedupedRequests) })
+	counter("burstsnn_encoder_cache_hits_total", "Encoder quantization-cache hits.",
+		func(s Snapshot) float64 { return float64(s.EncoderCacheHits) })
+	counter("burstsnn_encoder_cache_misses_total", "Encoder quantization-cache misses.",
+		func(s Snapshot) float64 { return float64(s.EncoderCacheMisses) })
+
+	gauge("burstsnn_queue_depth", "Requests waiting in the model's admission queue right now.",
+		func(s Snapshot) float64 { return float64(s.QueueDepth) })
+	gauge("burstsnn_pool_in_flight", "Replicas checked out right now.",
+		func(s Snapshot) float64 { return float64(s.PoolInFlight) })
+	gauge("burstsnn_pool_size", "Replica pool bound.",
+		func(s Snapshot) float64 { return float64(s.PoolSize) })
+
+	pw.Header("burstsnn_batch_kernel_info",
+		"Resolved lockstep compute plane per model; value is always 1.", "gauge")
+	for _, r := range rows {
+		if k := r.snap.BatchKernel; k != "" {
+			pw.Metric("burstsnn_batch_kernel_info", []obs.Label{
+				{Name: "model", Value: r.name}, {Name: "kernel", Value: k},
+			}, 1)
+		}
+	}
+
+	pw.Header("burstsnn_stage_duration_seconds",
+		"Per-request stage spans (see internal/obs for the taxonomy).", "histogram")
+	for _, r := range rows {
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			pw.Histogram("burstsnn_stage_duration_seconds", []obs.Label{
+				{Name: "model", Value: r.name}, {Name: "stage", Value: st.String()},
+			}, r.m.Metrics().StageHistogram(st).Snapshot())
+		}
+	}
+
+	pw.Header("burstsnn_batch_occupancy",
+		"Lane occupancy of executed lockstep microbatches.", "histogram")
+	for _, r := range rows {
+		pw.Histogram("burstsnn_batch_occupancy",
+			[]obs.Label{{Name: "model", Value: r.name}},
+			r.m.Metrics().OccupancyHistogram().Snapshot())
+	}
+
+	return pw.Flush()
+}

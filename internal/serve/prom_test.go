@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"burstsnn/internal/obs"
+)
+
+// TestPromExposition is the golden gate for the Prometheus surface: it
+// drives real traffic, scrapes both routes, runs every line through the
+// strict validator, and checks the families a dashboard would sit on.
+func TestPromExposition(t *testing.T) {
+	s := testServer(t, Config{})
+	classifySome(t, s, 5)
+	// One admission error so the split counter has signal.
+	if _, err := s.Classify(t.Context(), ClassifyRequest{Model: "digits", Image: []float64{1}}); err == nil {
+		t.Fatal("short image accepted")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var body string
+	for _, path := range []string{"/metrics/prom", "/metrics?format=prom"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawBytes, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := string(rawBytes)
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("%s Content-Type = %q", path, ct)
+		}
+		samples, err := obs.ValidatePromText(strings.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s failed validation: %v\n%s", path, err, raw)
+		}
+		if samples == 0 {
+			t.Fatalf("%s: no samples", path)
+		}
+		body = raw
+	}
+
+	for _, want := range []string{
+		`burstsnn_requests_total{model="digits"} 5`,
+		`burstsnn_errors_total{model="digits",kind="admission"} 1`,
+		`burstsnn_errors_total{model="digits",kind="simulation"} 0`,
+		`burstsnn_stage_duration_seconds_count{model="digits",stage="simulate"} 5`,
+		`burstsnn_pool_size{model="digits"} 4`,
+		`burstsnn_queue_depth{model="digits"} 0`,
+		`burstsnn_kernel_dispatch_info{active=`,
+		`burstsnn_batch_kernel_info{model="digits",kernel=`,
+		`burstsnn_batch_occupancy_count{model="digits"}`,
+		`burstsnn_build_info{module=`,
+		"# TYPE burstsnn_stage_duration_seconds histogram",
+		"# TYPE burstsnn_uptime_seconds gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Histogram buckets must be cumulative (monotonically non-decreasing)
+	// and end at the +Inf total.
+	var last uint64
+	var bucketLines int
+	prefix := `burstsnn_stage_duration_seconds_bucket{model="digits",stage="total",`
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		bucketLines++
+		v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("non-cumulative bucket %q after %d", line, last)
+		}
+		last = v
+	}
+	if bucketLines != 54 { // 53 finite bounds + the +Inf bucket
+		t.Errorf("total-stage bucket lines = %d, want 54", bucketLines)
+	}
+	if last != 5 {
+		t.Errorf("+Inf bucket = %d, want 5 requests", last)
+	}
+}

@@ -15,7 +15,9 @@
 //   - Batcher: a microbatching queue (max-batch / max-delay) that
 //     amortizes replica checkout under load;
 //   - Server: the HTTP JSON API (POST /v1/classify, GET /v1/models,
-//     /healthz, /metrics) with per-model metrics and graceful shutdown.
+//     GET /v1/trace, /healthz, /metrics — JSON and Prometheus text via
+//     /metrics/prom) with per-model metrics, per-request stage tracing
+//     (internal/obs), and graceful shutdown.
 //
 // Everything is deterministic: the same image and policy produce the same
 // prediction and step count on any replica, regardless of pool contention
@@ -27,14 +29,21 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"burstsnn/internal/dataset"
 	"burstsnn/internal/dnn"
 	"burstsnn/internal/kernels"
+	"burstsnn/internal/obs"
 )
 
 // Config tunes the server.
@@ -79,6 +88,21 @@ type Config struct {
 	BatchKernel string
 	// RequestTimeout bounds one classification end to end (default 30s).
 	RequestTimeout time.Duration
+	// TraceCapacity bounds the recent-trace ring behind GET /v1/trace
+	// (default 256 traces; negative disables tracing entirely).
+	TraceCapacity int
+	// SlowTraceThreshold pins any request at or over this end-to-end
+	// latency into the slowest-retained trace set, so tail spikes
+	// survive ring turnover until scraped (default 250ms; negative
+	// disables pinning).
+	SlowTraceThreshold time.Duration
+	// Logger, when set, emits one structured line per classification
+	// (request ID, model, stage spans, outcome) — `snnserve -log`.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's handler — `snnserve -pprof`. Off by default: profiling
+	// endpoints are opt-in on a serving port.
+	EnablePprof bool
 }
 
 // BatchKernel values for Config: the float32 kernel plane (default) and
@@ -120,6 +144,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LockstepBatch == "" {
 		c.LockstepBatch = LockstepAuto
+	}
+	if c.TraceCapacity == 0 {
+		c.TraceCapacity = 256
+	}
+	if c.SlowTraceThreshold == 0 {
+		c.SlowTraceThreshold = 250 * time.Millisecond
 	}
 	return c
 }
@@ -174,6 +204,10 @@ type ClassifyResult struct {
 	Spikes       int `json:"spikes"`
 	// LatencyMs is wall-clock time including queueing and batching.
 	LatencyMs float64 `json:"latencyMs"`
+	// RequestID identifies this request in the server's trace ring: the
+	// matching GET /v1/trace entry carries the same id with the
+	// per-stage breakdown. Empty for in-process calls without tracing.
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // Server is the inference-serving frontend: a Registry plus one
@@ -182,6 +216,10 @@ type Server struct {
 	cfg   Config
 	reg   *Registry
 	start time.Time
+	// traces retains recent + slowest request traces for GET /v1/trace
+	// (nil when tracing is disabled); reqID numbers requests.
+	traces *obs.Ring
+	reqID  atomic.Uint64
 
 	mu       sync.Mutex
 	batchers map[string]*Batcher
@@ -192,13 +230,26 @@ type Server struct {
 
 // New builds a Server with an empty registry.
 func New(cfg Config) *Server {
-	return &Server{
-		cfg:      cfg.withDefaults(),
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
 		reg:      NewRegistry(),
 		start:    time.Now(),
 		batchers: map[string]*Batcher{},
 	}
+	if cfg.TraceCapacity > 0 {
+		thr := cfg.SlowTraceThreshold
+		if thr < 0 {
+			thr = 0 // pinning disabled
+		}
+		s.traces = obs.NewRing(cfg.TraceCapacity, 32, thr)
+	}
+	return s
 }
+
+// Traces exposes the server's trace ring (nil when disabled) for
+// in-process consumers like the selftest.
+func (s *Server) Traces() *obs.Ring { return s.traces }
 
 // Registry exposes the model registry (for listing or direct pool use).
 func (s *Server) Registry() *Registry { return s.reg }
@@ -265,17 +316,20 @@ func (s *Server) RegisterFile(cfg ModelConfig, path string, normSamples []datase
 // replica pool. It is the in-process path the HTTP handler, the selftest
 // load generator, and offline evaluation all share.
 func (s *Server) Classify(ctx context.Context, req ClassifyRequest) (ClassifyResult, error) {
+	rid := s.requestID()
 	m, err := s.reg.Get(req.Model)
 	if err != nil {
 		return ClassifyResult{}, err
 	}
 	if len(req.Image) != m.InputSize() {
+		m.Metrics().ObserveAdmissionError()
 		return ClassifyResult{}, fmt.Errorf("serve: model %q expects %d pixels, got %d",
 			req.Model, m.InputSize(), len(req.Image))
 	}
 	policy := m.Config().Exit
 	if req.MaxSteps != 0 {
 		if req.MaxSteps < 0 || req.MaxSteps > m.Config().Steps {
+			m.Metrics().ObserveAdmissionError()
 			return ClassifyResult{}, fmt.Errorf("serve: maxSteps must be in [1,%d], got %d",
 				m.Config().Steps, req.MaxSteps)
 		}
@@ -296,13 +350,24 @@ func (s *Server) Classify(ctx context.Context, req ClassifyRequest) (ClassifyRes
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	began := time.Now()
-	out, err := b.Submit(ctx, req.Image, policy)
+	out, stages, deduped, err := b.SubmitTraced(ctx, req.Image, policy)
+	latency := time.Since(began)
 	if err != nil {
-		m.Metrics().ObserveError()
+		// Split error accounting: requests refused or expired before
+		// simulating (queue backpressure deadline, cancellation,
+		// shutdown) are admission errors; failures inside batch
+		// execution are simulation errors.
+		if isAdmissionError(err) {
+			m.Metrics().ObserveAdmissionError()
+		} else {
+			m.Metrics().ObserveSimError()
+		}
+		s.record(rid, req.Model, began, latency, stages, out, deduped, m, err)
 		return ClassifyResult{}, err
 	}
-	latency := time.Since(began)
 	m.Metrics().Observe(out, latency)
+	m.Metrics().ObserveStages(stages, latency)
+	s.record(rid, req.Model, began, latency, stages, out, deduped, m, nil)
 	return ClassifyResult{
 		Model:        req.Model,
 		Prediction:   out.Prediction,
@@ -314,7 +379,77 @@ func (s *Server) Classify(ctx context.Context, req ClassifyRequest) (ClassifyRes
 		HiddenSpikes: out.HiddenSpikes,
 		Spikes:       out.TotalSpikes(),
 		LatencyMs:    float64(latency) / float64(time.Millisecond),
+		RequestID:    rid,
 	}, nil
+}
+
+// requestID returns the next request id ("" with tracing disabled — the
+// id exists to be looked up in the ring).
+func (s *Server) requestID() string {
+	if s.traces == nil {
+		return ""
+	}
+	return strconv.FormatUint(s.reqID.Add(1), 16)
+}
+
+// isAdmissionError reports whether err happened before the request
+// simulated: context expiry/cancellation while queued and batcher
+// shutdown, as opposed to failures inside batch execution.
+func isAdmissionError(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, ErrClosed)
+}
+
+// record adds the request's trace to the ring and emits the structured
+// request log line, when either is enabled.
+func (s *Server) record(rid, model string, began time.Time, latency time.Duration,
+	stages obs.StageTimes, out Outcome, deduped bool, m *Model, err error) {
+	if s.traces == nil && s.cfg.Logger == nil {
+		return
+	}
+	tr := obs.Trace{
+		ID:         rid,
+		Model:      model,
+		Start:      began,
+		Steps:      out.Steps,
+		EarlyExit:  out.EarlyExit,
+		Prediction: out.Prediction,
+		Deduped:    deduped,
+	}
+	tr.SetTimes(stages, latency)
+	if stages.Lockstep {
+		tr.Kernel = m.Metrics().BatchKernel()
+	}
+	if err != nil {
+		tr.Error = err.Error()
+	}
+	if s.traces != nil {
+		s.traces.Add(tr)
+	}
+	if l := s.cfg.Logger; l != nil {
+		attrs := []slog.Attr{
+			slog.String("id", rid),
+			slog.String("model", model),
+			slog.Float64("totalMs", tr.TotalMs),
+			slog.Float64("queueMs", tr.QueueMs),
+			slog.Float64("simulateMs", tr.SimulateMs),
+			slog.Int("steps", out.Steps),
+			slog.Bool("earlyExit", out.EarlyExit),
+			slog.Bool("lockstep", stages.Lockstep),
+			slog.Int("lanes", stages.Lanes),
+		}
+		if deduped {
+			attrs = append(attrs, slog.Bool("deduped", true))
+		}
+		if err != nil {
+			attrs = append(attrs, slog.String("error", err.Error()))
+			l.LogAttrs(context.Background(), slog.LevelWarn, "classify", attrs...)
+			return
+		}
+		attrs = append(attrs, slog.Int("prediction", out.Prediction))
+		l.LogAttrs(context.Background(), slog.LevelInfo, "classify", attrs...)
+	}
 }
 
 // Handler returns the HTTP API.
@@ -322,8 +457,17 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/prom", s.handleMetricsProm)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -358,23 +502,97 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.List()})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// handleTrace serves the recent-trace ring: the newest traces (up to
+// ?n=, default 32, capped at the ring's capacity) plus the pinned
+// slowest set, newest/slowest first.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeError(w, http.StatusNotFound, errors.New("tracing disabled (TraceCapacity < 0)"))
+		return
+	}
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", q))
+			return
+		}
+		n = v
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"uptimeSec": time.Since(s.start).Seconds(),
+		"recent":          s.traces.Recent(n),
+		"slow":            s.traces.Slow(),
+		"slowThresholdMs": float64(s.traces.SlowThreshold()) / float64(time.Millisecond),
+		"capacity":        s.traces.Capacity(),
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// buildInfo returns the main module path and version from the embedded
+// build info ("unknown" outside module builds, e.g. some test binaries).
+func buildInfo() (path, version string) {
+	path, version = "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			path = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+	}
+	return path, version
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	path, version := buildInfo()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"uptimeSec":  time.Since(s.start).Seconds(),
+		"module":     path,
+		"version":    version,
+		"goVersion":  runtime.Version(),
+		"goroutines": runtime.NumGoroutine(),
+		"models":     len(s.reg.List()),
+		"kernels": map[string]string{
+			// active is the tier actually dispatching (after any
+			// KERNELS_LEVEL / ForceLevel override); detected is what CPUID
+			// probing found — a mismatch means an override is in effect.
+			"active":   kernels.Kind(),
+			"detected": kernels.DetectedLevel(),
+		},
+	})
+}
+
+// snapshotModels collects one Snapshot per registered model with the
+// live gauges (queue depth, pool checkouts) filled in at scrape time.
+func (s *Server) snapshotModels() map[string]Snapshot {
 	models := map[string]Snapshot{}
 	for _, info := range s.reg.List() {
-		if m, err := s.reg.Get(info.Name); err == nil {
-			models[info.Name] = m.Metrics().Snapshot()
+		m, err := s.reg.Get(info.Name)
+		if err != nil {
+			continue
 		}
+		snap := m.Metrics().Snapshot()
+		s.mu.Lock()
+		b := s.batchers[info.Name]
+		s.mu.Unlock()
+		if b != nil {
+			snap.QueueDepth = b.QueueDepth()
+		}
+		snap.PoolInFlight = m.Pool().InFlight()
+		snap.PoolSize = m.Pool().Size()
+		models[info.Name] = snap
+	}
+	return models
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		s.handleMetricsProm(w, r)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptimeSec": time.Since(s.start).Seconds(),
-		"models":    models,
+		"models":    s.snapshotModels(),
 	})
 }
 
