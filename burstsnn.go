@@ -295,15 +295,24 @@ const (
 	BatchKernelF64 = serve.BatchKernelF64
 )
 
-// LockstepBatch values for ServeConfig.LockstepBatch: auto routes
-// full-enough microbatches lockstep iff the float32 kernels dispatch to
-// a packed tier (sse/avx2 — the measured regime where lockstep beats
-// the sequential engine on distinct images); on/off force the choice.
+// LockstepBatch values for ServeConfig.LockstepBatch: auto steers each
+// microbatch with an occupancy feedback controller when the float32
+// kernels dispatch to a packed tier (sse/avx2 — the only regime where
+// lockstep beats the sequential engine); static keeps the fixed
+// ≥6-request rule; on/off force the choice. See
+// ServeConfig.OccupancyCrossover and ServeConfig.ExitHistorySize for
+// the adaptive plane's knobs.
 const (
-	LockstepAuto = serve.LockstepAuto
-	LockstepOn   = serve.LockstepOn
-	LockstepOff  = serve.LockstepOff
+	LockstepAuto   = serve.LockstepAuto
+	LockstepStatic = serve.LockstepStatic
+	LockstepOn     = serve.LockstepOn
+	LockstepOff    = serve.LockstepOff
 )
+
+// DefaultOccupancyCrossover is the measured occupancy at which lockstep
+// execution breaks even with the sequential engine — the adaptive
+// scheduler's default threshold (ServeConfig.OccupancyCrossover).
+const DefaultOccupancyCrossover = serve.DefaultOccupancyCrossover
 
 // Kernel dispatch-tier controls, re-exported from internal/kernels: the
 // float32 plane's block primitives are selected at runtime by CPUID

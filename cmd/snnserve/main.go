@@ -76,8 +76,10 @@ func main() {
 		margin   = flag.Float64("margin", 0, "required per-step top1-top2 readout margin for early exit (0 = none)")
 		maxBatch = flag.Int("maxbatch", 8, "microbatch size limit")
 		maxDelay = flag.Duration("maxdelay", 2*time.Millisecond, "microbatch max delay")
-		lockstep = lockstepFlagVar("lockstep", serve.LockstepAuto, "execute microbatches through the lockstep batch simulator: auto (full-enough batches run lockstep iff the float32 kernels dispatch to a packed tier — the measured win vs the sequential engine), on, or off")
+		lockstep = lockstepFlagVar("lockstep", serve.LockstepAuto, "execute microbatches through the lockstep batch simulator: auto (occupancy feedback controller steers each batch when the float32 kernels dispatch to a packed tier), static (fixed ≥6-request rule on packed tiers), on, or off")
 		kernel   = flag.String("kernel", serve.BatchKernelF32, "lockstep compute plane: f32 (float32 kernels, tolerance contract), f64 (bit-identical to sequential), or a forced float32 dispatch tier — f32-purego, f32-sse, f32-avx2 (fails if the machine cannot run it)")
+		occXover = flag.Float64("occupancy-crossover", 0, "adaptive scheduler: estimated batch occupancy at which lockstep dispatch pays (0 = measured default)")
+		exitHist = flag.Int("exit-history", 0, "exit-aware batch forming: per-model (image-hash → exit-step) history entries (0 = default, negative disables)")
 		dir      = flag.String("dir", "", "model cache directory (default: system temp)")
 		tiny     = flag.Bool("tiny", false, "use the reduced test-scale model recipes")
 
@@ -148,7 +150,16 @@ func main() {
 		if !explicit["minsteps"] {
 			exit.MinSteps = 32
 		}
-		if err := runSelftest(hybrid, exit, *steps, *replicas, *maxBatch, *maxDelay, *requests, *workers, logger, *traceOut); err != nil {
+		cfg := burstsnn.ServeConfig{
+			MaxBatch:           *maxBatch,
+			MaxDelay:           *maxDelay,
+			LockstepBatch:      string(*lockstep),
+			OccupancyCrossover: *occXover,
+			ExitHistorySize:    *exitHist,
+			BatchKernel:        batchKernel,
+			Logger:             logger,
+		}
+		if err := runSelftest(hybrid, exit, cfg, *steps, *replicas, *requests, *workers, *traceOut); err != nil {
 			fail(err)
 		}
 		return
@@ -167,6 +178,8 @@ func main() {
 		MaxBatch:           *maxBatch,
 		MaxDelay:           *maxDelay,
 		LockstepBatch:      string(*lockstep),
+		OccupancyCrossover: *occXover,
+		ExitHistorySize:    *exitHist,
 		BatchKernel:        batchKernel,
 		SlowTraceThreshold: *slowTrace,
 		Logger:             logger,
@@ -228,7 +241,7 @@ func main() {
 // trained LeNetMini digits model and checks the paper's latency win
 // survives serving: mean steps-to-exit strictly below the budget at no
 // loss of accuracy versus full-budget inference.
-func runSelftest(hybrid burstsnn.Hybrid, exit serve.ExitPolicy, steps, replicas, maxBatch int, maxDelay time.Duration, requests, workers int, logger *slog.Logger, traceOut string) error {
+func runSelftest(hybrid burstsnn.Hybrid, exit serve.ExitPolicy, cfg burstsnn.ServeConfig, steps, replicas, requests, workers int, traceOut string) error {
 	if requests < 100 {
 		requests = 100
 	}
@@ -254,7 +267,7 @@ func runSelftest(hybrid burstsnn.Hybrid, exit serve.ExitPolicy, steps, replicas,
 	dnnAcc := burstsnn.EvaluateDNN(net, set.Test)
 	fmt.Printf("DNN accuracy %.4f on %d test images\n", dnnAcc, len(set.Test))
 
-	srv := burstsnn.NewServer(burstsnn.ServeConfig{MaxBatch: maxBatch, MaxDelay: maxDelay, Logger: logger})
+	srv := burstsnn.NewServer(cfg)
 	model, err := srv.Register(serve.ModelConfig{
 		Name:     "digits",
 		Hybrid:   hybrid,
@@ -405,6 +418,33 @@ func scrapeTelemetry(client *http.Client, base, traceOut string) error {
 			stage, st.Mean, st.P50, st.P99, st.Count)
 	}
 
+	// Steering decision trace: how the scheduling plane routed the load's
+	// multi-request batches and why, so a steering regression (a plane
+	// stuck sequential, a silent lockstep fallback) is diagnosable from
+	// the CI log alone.
+	fmt.Println("-- steering decisions --")
+	fmt.Printf("scheduler     : %s\n", snap.Scheduler)
+	fmt.Printf("dispatches    : %d lockstep, %d sequential (multi-request batches)\n",
+		snap.SchedLockstepBatches, snap.SchedSequentialBatches)
+	reasons := make([]string, 0, len(snap.SchedReasons))
+	for reason := range snap.SchedReasons {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		fmt.Printf("  %-15s: %d\n", reason, snap.SchedReasons[reason])
+	}
+	if snap.LockstepFallbacks > 0 {
+		fmt.Printf("lockstep fallbacks: %d (replica could not batch)\n", snap.LockstepFallbacks)
+	}
+	if hits, misses := snap.ExitHistoryHits, snap.ExitHistoryMisses; hits+misses > 0 {
+		fmt.Printf("exit history  : %d predicted, %d unpredicted", hits, misses)
+		if pe := snap.ExitPredictionError; pe.Count > 0 {
+			fmt.Printf("; |pred−actual| mean %.1f steps (p99 %.0f, n=%d)", pe.Mean, pe.P99, pe.Count)
+		}
+		fmt.Println()
+	}
+
 	// Prometheus exposition: both routes must parse under the strict
 	// validator (an exposition bug fails here rather than in a scraper).
 	for _, path := range []string{"/metrics/prom", "/metrics?format=prom"} {
@@ -478,8 +518,8 @@ func getJSON(client *http.Client, url string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-// lockstepMode is the -lockstep flag value: auto/on/off, with the
-// boolean spellings of the flag's PR-4 ancestry still accepted —
+// lockstepMode is the -lockstep flag value: auto/static/on/off, with
+// the boolean spellings of the flag's PR-4 ancestry still accepted —
 // IsBoolFlag makes a bare `-lockstep` parse as "true" (= on), exactly
 // like the flag.Bool it used to be.
 type lockstepMode string
@@ -496,14 +536,14 @@ func (m *lockstepMode) IsBoolFlag() bool { return true }
 
 func (m *lockstepMode) Set(s string) error {
 	switch s {
-	case serve.LockstepAuto, serve.LockstepOn, serve.LockstepOff:
+	case serve.LockstepAuto, serve.LockstepStatic, serve.LockstepOn, serve.LockstepOff:
 		*m = lockstepMode(s)
 	case "true":
 		*m = serve.LockstepOn
 	case "false":
 		*m = serve.LockstepOff
 	default:
-		return fmt.Errorf("want auto, on, or off, got %q", s)
+		return fmt.Errorf("want auto, static, on, or off, got %q", s)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -18,19 +19,22 @@ var ErrClosed = errors.New("serve: batcher closed")
 // Batcher is the microbatching request queue in front of a replica pool.
 // Requests are grouped into batches of up to MaxBatch, waiting at most
 // MaxDelay after the first request before dispatch; each batch checks out
-// one replica and steps every request through the replica's lockstep
-// batch simulator at once (ClassifyBatch), so a microbatch amortizes the
-// scatter-table walks, weight loads, and threshold computation across its
-// lanes — not just the pool checkout. Networks that cannot batch (and
-// single-request dispatches) fall back to the sequential engine; both
-// paths produce bit-identical outcomes.
+// one replica and hands the execution decision to the scheduling plane
+// (see sched.go): multi-request batches run lockstep through the
+// replica's batch simulator — amortizing scatter-table walks, weight
+// loads, and threshold computation across lanes — or back to back on the
+// sequential engine, per the Scheduler's verdict. Networks that cannot
+// batch (and single-request dispatches) always run sequentially; both
+// paths produce outcomes pinned by the same bit-identity/tolerance
+// contracts, so scheduling is outcome-invariant.
 type Batcher struct {
-	pool        *Pool
-	metrics     *Metrics // batch-occupancy/steps-saved gauges; may be nil
-	lockstepMin int      // route batches of at least this many live requests lockstep (0 = never)
-	f32         bool     // lockstep compute plane, fixed at construction
-	maxBatch    int
-	maxDelay    time.Duration
+	pool     *Pool
+	metrics  *Metrics     // batch-occupancy/steps-saved/steering gauges; may be nil
+	sched    Scheduler    // lockstep-vs-sequential policy; nil = never lockstep
+	history  *ExitHistory // exit-aware forming memory; nil disables forming/prediction
+	f32      bool         // lockstep compute plane, fixed at construction
+	maxBatch int
+	maxDelay time.Duration
 
 	queue chan *batchRequest
 
@@ -38,12 +42,15 @@ type Batcher struct {
 	closed  bool
 	sending sync.WaitGroup // Submits past the closed check, not yet enqueued
 
+	fallbackOnce sync.Once // one log line for a replica that cannot batch
+
 	done chan struct{} // dispatcher drained and all batches finished
 }
 
 type batchRequest struct {
 	ctx      context.Context
 	image    []float64
+	hash     uint64 // coding.HashImage(image), computed once at submit
 	policy   ExitPolicy
 	enqueued time.Time // Submit time; queue-wait span start
 	done     chan batchResult
@@ -60,34 +67,32 @@ type batchResult struct {
 }
 
 // NewBatcher starts the dispatcher. metrics receives the batch gauges
-// (nil disables them); lockstepMin routes batches of at least that many
-// live requests through the replica's lockstep batch simulator (0 never
-// does — see Config.LockstepBatch for the trade-off and how the auto
-// default picks the threshold), and f32 picks its compute plane once for
-// the batcher's lifetime (see Config.BatchKernel); maxBatch <= 0
-// defaults to 1 (no batching); maxDelay <= 0 dispatches as soon as the
-// queue momentarily drains; queueDepth <= 0 defaults to 4× maxBatch.
-func NewBatcher(pool *Pool, metrics *Metrics, lockstepMin int, f32 bool, maxBatch int, maxDelay time.Duration, queueDepth int) *Batcher {
+// (nil disables them); sched owns the lockstep-vs-sequential decision
+// for multi-request batches (nil never dispatches lockstep — see
+// Config.LockstepBatch for how the server picks a policy), and f32
+// picks the lockstep compute plane once for the batcher's lifetime (see
+// Config.BatchKernel); history, when non-nil, records every observed
+// exit step and drives exit-aware batch forming; maxBatch <= 0 defaults
+// to 1 (no batching); maxDelay <= 0 dispatches as soon as the queue
+// momentarily drains; queueDepth <= 0 defaults to 4× maxBatch.
+func NewBatcher(pool *Pool, metrics *Metrics, sched Scheduler, history *ExitHistory,
+	f32 bool, maxBatch int, maxDelay time.Duration, queueDepth int) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 1
-	}
-	if lockstepMin == 1 {
-		// A single request has nothing to lockstep with; 1 means "every
-		// multi-request batch", i.e. the same as the LockstepOn threshold.
-		lockstepMin = 2
 	}
 	if queueDepth <= 0 {
 		queueDepth = 4 * maxBatch
 	}
 	b := &Batcher{
-		pool:        pool,
-		metrics:     metrics,
-		lockstepMin: lockstepMin,
-		f32:         f32,
-		maxBatch:    maxBatch,
-		maxDelay:    maxDelay,
-		queue:       make(chan *batchRequest, queueDepth),
-		done:        make(chan struct{}),
+		pool:     pool,
+		metrics:  metrics,
+		sched:    sched,
+		history:  history,
+		f32:      f32,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		queue:    make(chan *batchRequest, queueDepth),
+		done:     make(chan struct{}),
 	}
 	go b.dispatch()
 	return b
@@ -114,7 +119,12 @@ func (b *Batcher) SubmitTraced(ctx context.Context, image []float64, p ExitPolic
 	b.sending.Add(1)
 	b.mu.Unlock()
 
-	req := &batchRequest{ctx: ctx, image: image, policy: p, enqueued: time.Now(), done: make(chan batchResult, 1)}
+	// Hash once per request: dedupe and the exit-history lookups both key
+	// on this, so no later stage rehashes the pixels.
+	req := &batchRequest{
+		ctx: ctx, image: image, hash: coding.HashImage(image), policy: p,
+		enqueued: time.Now(), done: make(chan batchResult, 1),
+	}
 	select {
 	case b.queue <- req:
 		b.sending.Done()
@@ -213,11 +223,14 @@ func (b *Batcher) dispatch() {
 // for one simulation per distinct image per microbatch; the deduped
 // count is surfaced as dedupedRequests in /metrics.
 //
-// The surviving unique requests run lockstep through the replica's batch
-// simulator when enabled; a single live request — or a model whose
-// encoder cannot batch — runs through the sequential engine. On the
-// default float32 plane both paths produce the outcomes pinned by the
-// tolerance contract; on the float64 plane they are bit-identical.
+// The surviving unique requests go through the scheduling plane: the
+// exit history (when attached) predicts each lane's exit step and the
+// batch is re-ordered so lanes predicted to retire together share a
+// lockstep chunk; the Scheduler then picks lockstep or sequential
+// execution per its policy, and both execution paths report measured
+// occupancy back to it. Scheduling only reorders microbatch membership
+// — on the default float32 plane both paths produce the outcomes pinned
+// by the tolerance contract; on the float64 plane they are bit-identical.
 func (b *Batcher) run(reqs []*batchRequest, form time.Duration) {
 	rep, err := b.pool.Get(context.Background())
 	if err != nil {
@@ -243,44 +256,126 @@ func (b *Batcher) run(reqs []*batchRequest, form time.Duration) {
 	if len(live) > 1 {
 		live, dups = b.dedupe(live)
 	}
-	if b.lockstepMin > 1 && len(live) >= b.lockstepMin {
-		// The lockstep simulator caps a batch at snn.MaxBatchLanes lanes;
-		// a MaxBatch configured beyond that runs in chunks rather than
-		// silently degrading to sequential execution.
-		laneCap := b.maxBatch
-		if laneCap > snn.MaxBatchLanes {
-			laneCap = snn.MaxBatchLanes
+	// Exit-aware forming: predict each lane's exit step from history and
+	// order lanes by predicted exit (unpredicted last), so lockstep
+	// chunks group lanes that retire together. preds stays aligned with
+	// live through the reorder and the chunking below (all zeros — no
+	// predictions — when no history is attached).
+	var preds []int
+	if len(live) > 1 {
+		preds = make([]int, len(live))
+	}
+	if b.history != nil && len(live) > 1 {
+		predicted := false
+		for i, req := range live {
+			if steps, ok := b.history.Predict(req.hash, req.image, req.policy); ok {
+				preds[i] = steps
+				predicted = true
+			}
 		}
-		if bn, err := rep.Batch(laneCap, b.f32); err == nil {
-			for len(live) > 1 {
-				chunk := live
-				if len(chunk) > laneCap {
-					chunk = chunk[:laneCap]
-				}
-				live = live[len(chunk):]
-				images := make([][]float64, len(chunk))
-				policies := make([]ExitPolicy, len(chunk))
-				for i, req := range chunk {
-					images[i] = req.image
-					policies[i] = req.policy
-				}
-				outs, batchSteps, times := ClassifyBatchStaged(bn, images, policies)
-				times.Form = form
-				saved := 0
-				for i, req := range chunk {
-					saved += batchSteps - outs[i].Steps
-					deliver(req, batchResult{out: outs[i], stages: times}, dups, execStart)
-				}
+		if predicted {
+			order := OrderByPredictedExit(preds)
+			sortedLive := make([]*batchRequest, len(live))
+			sortedPreds := make([]int, len(preds))
+			for dst, src := range order {
+				sortedLive[dst] = live[src]
+				sortedPreds[dst] = preds[src]
+			}
+			copy(live, sortedLive)
+			copy(preds, sortedPreds)
+		}
+	}
+	if b.sched != nil && len(live) > 1 {
+		dec := b.sched.Decide(len(live), preds)
+		if b.metrics != nil {
+			b.metrics.ObserveSchedDecision(dec)
+		}
+		if dec.Lockstep {
+			// The lockstep simulator caps a batch at snn.MaxBatchLanes
+			// lanes; a MaxBatch configured beyond that runs in chunks
+			// rather than silently degrading to sequential execution.
+			laneCap := b.maxBatch
+			if laneCap > snn.MaxBatchLanes {
+				laneCap = snn.MaxBatchLanes
+			}
+			bn, err := rep.Batch(laneCap, b.f32)
+			if err != nil {
+				// The steering plane asked for lockstep but the replica
+				// cannot batch (encoder or network shape): degrading to
+				// sequential silently would just look slow, so count every
+				// occurrence and say why once.
 				if b.metrics != nil {
-					b.metrics.ObserveBatch(len(chunk), saved)
+					b.metrics.ObserveLockstepFallback()
+				}
+				b.fallbackOnce.Do(func() {
+					slog.Warn("serve: lockstep unavailable, batches run sequentially",
+						"error", err)
+				})
+			} else {
+				for len(live) > 1 {
+					chunk, chunkPreds := live, preds
+					if len(chunk) > laneCap {
+						chunk, chunkPreds = chunk[:laneCap], chunkPreds[:laneCap]
+					}
+					live, preds = live[len(chunk):], preds[len(chunk):]
+					images := make([][]float64, len(chunk))
+					policies := make([]ExitPolicy, len(chunk))
+					for i, req := range chunk {
+						images[i] = req.image
+						policies[i] = req.policy
+					}
+					outs, batchSteps, times := ClassifyBatchStaged(bn, images, policies)
+					times.Form = form
+					saved, laneSteps := 0, 0
+					for i, req := range chunk {
+						saved += batchSteps - outs[i].Steps
+						laneSteps += outs[i].Steps
+						b.observeOutcome(req, chunkPreds[i], outs[i])
+						deliver(req, batchResult{out: outs[i], stages: times}, dups, execStart)
+					}
+					b.sched.ObserveOccupancy(len(chunk), batchSteps, laneSteps)
+					if b.metrics != nil {
+						b.metrics.ObserveBatch(len(chunk), saved)
+					}
 				}
 			}
 		}
 	}
-	for _, req := range live {
+	// Sequential path: the scheduler declined lockstep (or a lone lane
+	// remained after chunking). A multi-lane sequential group still
+	// reports the occupancy its lockstep batch *would* have had (summed
+	// steps over max steps), so the adaptive controller keeps measuring
+	// the workload without dispatching exploratory lockstep batches.
+	maxSteps, sumSteps, seqLanes := 0, 0, len(live)
+	for i, req := range live {
 		out, times := ClassifyStaged(rep.Net, req.image, req.policy)
 		times.Form = form
+		pred := 0
+		if preds != nil {
+			pred = preds[i]
+		}
+		b.observeOutcome(req, pred, out)
+		sumSteps += out.Steps
+		if out.Steps > maxSteps {
+			maxSteps = out.Steps
+		}
 		deliver(req, batchResult{out: out, stages: times}, dups, execStart)
+	}
+	if b.sched != nil && seqLanes > 1 {
+		b.sched.ObserveOccupancy(seqLanes, maxSteps, sumSteps)
+	}
+}
+
+// observeOutcome feeds one classified request back into the scheduling
+// plane: the exit history learns the observed exit step, and a lane that
+// carried a prediction scores it against the actual step count (the
+// predicted-vs-actual error histogram in /metrics).
+func (b *Batcher) observeOutcome(req *batchRequest, pred int, out Outcome) {
+	if b.history != nil {
+		b.history.Record(req.hash, req.image, req.policy, out.Steps)
+	}
+	if pred > 0 && b.metrics != nil {
+		b.metrics.ObserveExitPrediction(pred, out.Steps)
 	}
 }
 
@@ -294,8 +389,7 @@ func (b *Batcher) dedupe(live []*batchRequest) ([]*batchRequest, map[*batchReque
 	uniq := live[:0]
 next:
 	for _, req := range live {
-		h := coding.HashImage(req.image)
-		for _, cand := range byHash[h] {
+		for _, cand := range byHash[req.hash] {
 			if cand.policy == req.policy && coding.SameImage(cand.image, req.image) {
 				if dups == nil {
 					dups = map[*batchRequest][]*batchRequest{}
@@ -304,7 +398,7 @@ next:
 				continue next
 			}
 		}
-		byHash[h] = append(byHash[h], req)
+		byHash[req.hash] = append(byHash[req.hash], req)
 		uniq = append(uniq, req)
 	}
 	if deduped := len(live) - len(uniq); deduped > 0 && b.metrics != nil {

@@ -94,7 +94,7 @@ func TestBatcherMaxDelay(t *testing.T) {
 	// A lone request must still complete — the MaxDelay timer flushes the
 	// partial batch. Generous upper bound to stay robust on loaded CI.
 	const delay = 50 * time.Millisecond
-	b := NewBatcher(pool, nil, 0, false, 8, delay, 0)
+	b := NewBatcher(pool, nil, nil, nil, false, 8, delay, 0)
 	began := time.Now()
 	if _, err := b.Submit(context.Background(), image, policy); err != nil {
 		t.Fatalf("Submit: %v", err)
@@ -110,7 +110,7 @@ func TestBatcherMaxDelay(t *testing.T) {
 
 	// A full batch must not wait for the delay: 8 requests with a huge
 	// MaxDelay complete as soon as the batch fills.
-	b = NewBatcher(pool, nil, 0, false, 8, time.Hour, 0)
+	b = NewBatcher(pool, nil, nil, nil, false, 8, time.Hour, 0)
 	began = time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
@@ -131,7 +131,7 @@ func TestBatcherMaxDelay(t *testing.T) {
 
 func TestBatcherClose(t *testing.T) {
 	pool, image := testPool(t, 1)
-	b := NewBatcher(pool, nil, 0, false, 4, time.Millisecond, 0)
+	b := NewBatcher(pool, nil, nil, nil, false, 4, time.Millisecond, 0)
 	if _, err := b.Submit(context.Background(), image, ExitPolicy{MaxSteps: 8}); err != nil {
 		t.Fatalf("Submit: %v", err)
 	}

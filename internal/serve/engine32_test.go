@@ -211,11 +211,12 @@ func TestMetricsReportsDispatchTier(t *testing.T) {
 	}
 }
 
-// TestLockstepAutoResolution pins the flip rule: the auto default
-// routes full-enough microbatches lockstep exactly when the float32
-// kernels dispatch to a packed tier (sse or avx2 — the measured regime
-// where lockstep beats the sequential engine at B=8), and explicit
-// on/off always win.
+// TestLockstepAutoResolution pins the scheduler-resolution rule: the
+// auto default installs the adaptive occupancy controller exactly when
+// the float32 kernels dispatch to a packed tier (sse or avx2 — the only
+// regime where lockstep can beat the sequential engine), static keeps
+// the fixed ≥6-request rule on packed tiers, and explicit on/off always
+// win with the forced static thresholds.
 func TestLockstepAutoResolution(t *testing.T) {
 	defer kernels.ForceLevel("")
 	net, set := testModel(t)
@@ -223,7 +224,8 @@ func TestLockstepAutoResolution(t *testing.T) {
 		if err := kernels.ForceLevel(lv); err != nil {
 			t.Fatal(err)
 		}
-		for _, mode := range []string{LockstepAuto, LockstepOn, LockstepOff} {
+		packed := lv != kernels.LevelPurego
+		for _, mode := range []string{LockstepAuto, LockstepStatic, LockstepOn, LockstepOff} {
 			s := New(Config{LockstepBatch: mode})
 			if _, err := s.Register(ModelConfig{
 				Name:        "digits",
@@ -234,18 +236,29 @@ func TestLockstepAutoResolution(t *testing.T) {
 			}, net, set.Train); err != nil {
 				t.Fatalf("tier %s mode %s: %v", lv, mode, err)
 			}
-			want := 0
-			switch {
-			case mode == LockstepOn:
-				want = 2
-			case mode == LockstepAuto && lv != kernels.LevelPurego:
-				want = autoLockstepMinLanes
-			}
 			s.mu.Lock()
-			got := s.batchers["digits"].lockstepMin
+			sched := s.batchers["digits"].sched
 			s.mu.Unlock()
-			if got != want {
-				t.Fatalf("tier %s mode %s: lockstepMin = %v, want %v", lv, mode, got, want)
+			switch {
+			case mode == LockstepAuto && packed:
+				if _, ok := sched.(*AdaptiveSched); !ok {
+					t.Fatalf("tier %s mode %s: scheduler = %T, want *AdaptiveSched", lv, mode, sched)
+				}
+			default:
+				want := 0
+				switch {
+				case mode == LockstepOn:
+					want = 2
+				case mode == LockstepStatic && packed:
+					want = autoLockstepMinLanes
+				}
+				st, ok := sched.(*StaticSched)
+				if !ok {
+					t.Fatalf("tier %s mode %s: scheduler = %T, want *StaticSched", lv, mode, sched)
+				}
+				if st.Min() != want {
+					t.Fatalf("tier %s mode %s: static min = %v, want %v", lv, mode, st.Min(), want)
+				}
 			}
 			_ = s.Shutdown(context.Background())
 		}
@@ -290,7 +303,7 @@ func TestBatcherRunsF32Lockstep(t *testing.T) {
 		}
 	}()
 
-	b := NewBatcher(pool, metrics, 2, true, 4, 300*time.Millisecond, 0)
+	b := NewBatcher(pool, metrics, NewStaticSched(2), nil, true, 4, 300*time.Millisecond, 0)
 	defer b.Close()
 	var wg sync.WaitGroup
 	for i := range images {
@@ -345,7 +358,11 @@ func TestBatcherDedupesIdenticalRequests(t *testing.T) {
 				wantB = Classify(rep.Net, image, policyB)
 			}()
 
-			b := NewBatcher(pool, metrics, lockstepMin, false, 8, 300*time.Millisecond, 0)
+			var sched Scheduler
+			if lockstepMin > 0 {
+				sched = NewStaticSched(lockstepMin)
+			}
+			b := NewBatcher(pool, metrics, sched, nil, false, 8, 300*time.Millisecond, 0)
 			defer b.Close()
 			type sub struct {
 				image  []float64

@@ -161,7 +161,7 @@ func TestBatcherRunsLockstepBatches(t *testing.T) {
 	}()
 
 	// Generous delay so all four submissions join one batch.
-	b := NewBatcher(pool, metrics, 2, false, 4, 300*time.Millisecond, 0)
+	b := NewBatcher(pool, metrics, NewStaticSched(2), nil, false, 4, 300*time.Millisecond, 0)
 	defer b.Close()
 	var wg sync.WaitGroup
 	for i := range images {
@@ -195,7 +195,7 @@ func TestBatcherRunsLockstepBatches(t *testing.T) {
 func TestBatcherClampsLaneCap(t *testing.T) {
 	pool, image := testPool(t, 1)
 	metrics := NewMetrics()
-	b := NewBatcher(pool, metrics, 2, false, 128, 300*time.Millisecond, 0)
+	b := NewBatcher(pool, metrics, NewStaticSched(2), nil, false, 128, 300*time.Millisecond, 0)
 	defer b.Close()
 	policy := ExitPolicy{MaxSteps: 16}
 	var wg sync.WaitGroup

@@ -52,8 +52,30 @@ type Metrics struct {
 	stage [obs.NumStages]*obs.Histogram
 	// occupancy histograms executed lockstep batches by lane count, so
 	// the batcher's occupancy signal is a distribution, not just the
-	// mean (the planned occupancy-adaptive steering consumes this).
+	// mean (the occupancy-adaptive scheduler steers on the same signal,
+	// fed per-batch through Scheduler.ObserveOccupancy).
 	occupancy *obs.Histogram
+	// exitPredErr histograms |predicted − actual| exit steps for lanes
+	// the exit history carried a prediction for (the le=0 bucket counts
+	// exact predictions) — the honesty check on exit-aware forming.
+	exitPredErr *obs.Histogram
+
+	// Steering-decision accounting (see sched.go): how many
+	// multi-request batches the scheduling plane sent lockstep vs
+	// sequential, and why (Decision.Reason counts).
+	schedLockstep   atomic.Int64
+	schedSequential atomic.Int64
+	schedMu         sync.Mutex
+	schedReasons    map[string]int64
+	// lockstepFallbacks counts batches the scheduler routed lockstep but
+	// the replica could not batch (see Batcher.run's fallback).
+	lockstepFallbacks atomic.Int64
+	// scheduler names the steering policy the model's batcher runs
+	// (Scheduler.Name()).
+	scheduler atomic.Pointer[string]
+	// exitHist is the model's exit-step history, if any; Snapshot
+	// surfaces its predict hit/miss counters.
+	exitHist atomic.Pointer[ExitHistory]
 
 	// Error accounting is split by where the failure happened:
 	// errAdmission counts requests the server refused or timed out
@@ -97,6 +119,8 @@ func newMetricsStriped(n int) *Metrics {
 		m.stage[s] = obs.NewDurationHistogram()
 	}
 	m.occupancy = obs.NewOccupancyHistogram()
+	m.exitPredErr = obs.NewStepErrorHistogram()
+	m.schedReasons = map[string]int64{}
 	return m
 }
 
@@ -171,6 +195,55 @@ func (m *Metrics) ObserveDeduped(n int) {
 	m.deduped.Add(int64(n))
 }
 
+// ObserveSchedDecision records one steering verdict for a multi-request
+// batch: the dispatch mode counter and the per-reason count.
+func (m *Metrics) ObserveSchedDecision(d Decision) {
+	if d.Lockstep {
+		m.schedLockstep.Add(1)
+	} else {
+		m.schedSequential.Add(1)
+	}
+	m.schedMu.Lock()
+	m.schedReasons[d.Reason]++
+	m.schedMu.Unlock()
+}
+
+// ObserveLockstepFallback records a batch the scheduler routed lockstep
+// but the replica could not batch, so it degraded to sequential.
+func (m *Metrics) ObserveLockstepFallback() { m.lockstepFallbacks.Add(1) }
+
+// ObserveExitPrediction scores one exit-history prediction against the
+// observed exit step (absolute error in steps; 0 = exact).
+func (m *Metrics) ObserveExitPrediction(predicted, actual int) {
+	err := predicted - actual
+	if err < 0 {
+		err = -err
+	}
+	m.exitPredErr.Observe(float64(err))
+}
+
+// ExitPredictionHistogram returns the predicted-vs-actual exit-step
+// error histogram (Prometheus exposition reads the buckets directly).
+func (m *Metrics) ExitPredictionHistogram() *obs.Histogram { return m.exitPredErr }
+
+// SetScheduler records the steering policy name for the snapshot
+// (idempotent; survives model re-registration like the kernel variant).
+func (m *Metrics) SetScheduler(name string) { m.scheduler.Store(&name) }
+
+// Scheduler returns the recorded steering policy name ("" before
+// SetScheduler).
+func (m *Metrics) Scheduler() string {
+	if s := m.scheduler.Load(); s != nil {
+		return *s
+	}
+	return ""
+}
+
+// AttachExitHistory points the snapshot's exit-prediction counters at
+// the model's exit history (nil detaches; survives re-registration
+// because the server re-attaches the fresh history).
+func (m *Metrics) AttachExitHistory(h *ExitHistory) { m.exitHist.Store(h) }
+
 // SetBatchKernel records the resolved lockstep kernel variant for the
 // snapshot (idempotent; survives model re-registration like the quant
 // cache attachment).
@@ -244,6 +317,25 @@ type Snapshot struct {
 	// BatchKernel is the lockstep compute plane the model's batcher picked
 	// at build time: "f64", or the float32 tier actually running: "f32" (pure Go), "f32-sse", or "f32-avx2".
 	BatchKernel string `json:"batchKernel,omitempty"`
+	// Scheduler names the steering policy resolved at Register time
+	// ("adaptive(crossover=2)", "static(min=6)", "sequential").
+	Scheduler string `json:"scheduler,omitempty"`
+	// SchedLockstepBatches/SchedSequentialBatches count the scheduling
+	// plane's verdicts for multi-request batches, and SchedReasons breaks
+	// them down by decision reason (see sched.go's Reason* constants) —
+	// the steering decision trace.
+	SchedLockstepBatches   int64            `json:"schedLockstepBatches"`
+	SchedSequentialBatches int64            `json:"schedSequentialBatches"`
+	SchedReasons           map[string]int64 `json:"schedReasons,omitempty"`
+	// LockstepFallbacks counts batches routed lockstep that degraded to
+	// sequential because the replica could not batch.
+	LockstepFallbacks int64 `json:"lockstepFallbacks"`
+	// ExitHistoryHits/Misses are the exit-step history's predict
+	// counters, and ExitPredictionError summarizes |predicted − actual|
+	// exit steps over predicted lanes (mean/percentiles in steps).
+	ExitHistoryHits     int64      `json:"exitHistoryHits"`
+	ExitHistoryMisses   int64      `json:"exitHistoryMisses"`
+	ExitPredictionError StageStats `json:"exitPredictionError"`
 	// DedupedRequests counts requests answered by fanning out an identical
 	// (image, policy) batchmate's outcome instead of simulating.
 	DedupedRequests int64 `json:"dedupedRequests"`
@@ -318,6 +410,22 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.BatchStepsSaved = m.batchStepsSaved.Load()
 	s.DedupedRequests = m.deduped.Load()
 	s.BatchKernel = m.BatchKernel()
+	s.Scheduler = m.Scheduler()
+	s.SchedLockstepBatches = m.schedLockstep.Load()
+	s.SchedSequentialBatches = m.schedSequential.Load()
+	m.schedMu.Lock()
+	if len(m.schedReasons) > 0 {
+		s.SchedReasons = make(map[string]int64, len(m.schedReasons))
+		for reason, n := range m.schedReasons {
+			s.SchedReasons[reason] = n
+		}
+	}
+	m.schedMu.Unlock()
+	s.LockstepFallbacks = m.lockstepFallbacks.Load()
+	s.ExitPredictionError = stageStats(m.exitPredErr, 1) // unit: steps, not ms
+	if h := m.exitHist.Load(); h != nil {
+		s.ExitHistoryHits, s.ExitHistoryMisses = h.Stats()
+	}
 	if q := m.quant.Load(); q != nil {
 		s.EncoderCacheHits, s.EncoderCacheMisses = q.Stats()
 	}

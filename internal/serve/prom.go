@@ -115,6 +115,44 @@ func (s *Server) writeProm(w io.Writer) error {
 	counter("burstsnn_deduped_requests_total",
 		"Requests answered by duplicate fan-out instead of simulating.",
 		func(s Snapshot) float64 { return float64(s.DedupedRequests) })
+	counter("burstsnn_lockstep_fallbacks_total",
+		"Batches routed lockstep that degraded to sequential because the replica could not batch.",
+		func(s Snapshot) float64 { return float64(s.LockstepFallbacks) })
+
+	pw.Header("burstsnn_sched_dispatch_total",
+		"Multi-request batches by the scheduling plane's dispatch verdict.",
+		"counter")
+	for _, r := range rows {
+		pw.Metric("burstsnn_sched_dispatch_total", []obs.Label{
+			{Name: "model", Value: r.name}, {Name: "mode", Value: "lockstep"},
+		}, float64(r.snap.SchedLockstepBatches))
+		pw.Metric("burstsnn_sched_dispatch_total", []obs.Label{
+			{Name: "model", Value: r.name}, {Name: "mode", Value: "sequential"},
+		}, float64(r.snap.SchedSequentialBatches))
+	}
+
+	pw.Header("burstsnn_sched_decisions_total",
+		"Steering decisions by reason (see internal/serve sched.go).",
+		"counter")
+	for _, r := range rows {
+		reasons := make([]string, 0, len(r.snap.SchedReasons))
+		for reason := range r.snap.SchedReasons {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		for _, reason := range reasons {
+			pw.Metric("burstsnn_sched_decisions_total", []obs.Label{
+				{Name: "model", Value: r.name}, {Name: "reason", Value: reason},
+			}, float64(r.snap.SchedReasons[reason]))
+		}
+	}
+
+	counter("burstsnn_exit_prediction_hits_total",
+		"Exit-history lookups that produced a verified exit-step prediction.",
+		func(s Snapshot) float64 { return float64(s.ExitHistoryHits) })
+	counter("burstsnn_exit_prediction_misses_total",
+		"Exit-history lookups with no usable prediction (unseen image or hash collision).",
+		func(s Snapshot) float64 { return float64(s.ExitHistoryMisses) })
 	counter("burstsnn_encoder_cache_hits_total", "Encoder quantization-cache hits.",
 		func(s Snapshot) float64 { return float64(s.EncoderCacheHits) })
 	counter("burstsnn_encoder_cache_misses_total", "Encoder quantization-cache misses.",
@@ -137,6 +175,16 @@ func (s *Server) writeProm(w io.Writer) error {
 		}
 	}
 
+	pw.Header("burstsnn_scheduler_info",
+		"Resolved batch-steering policy per model; value is always 1.", "gauge")
+	for _, r := range rows {
+		if sc := r.snap.Scheduler; sc != "" {
+			pw.Metric("burstsnn_scheduler_info", []obs.Label{
+				{Name: "model", Value: r.name}, {Name: "scheduler", Value: sc},
+			}, 1)
+		}
+	}
+
 	pw.Header("burstsnn_stage_duration_seconds",
 		"Per-request stage spans (see internal/obs for the taxonomy).", "histogram")
 	for _, r := range rows {
@@ -153,6 +201,15 @@ func (s *Server) writeProm(w io.Writer) error {
 		pw.Histogram("burstsnn_batch_occupancy",
 			[]obs.Label{{Name: "model", Value: r.name}},
 			r.m.Metrics().OccupancyHistogram().Snapshot())
+	}
+
+	pw.Header("burstsnn_exit_prediction_error_steps",
+		"Absolute predicted-vs-actual exit-step error over predicted lanes (le=0 counts exact predictions).",
+		"histogram")
+	for _, r := range rows {
+		pw.Histogram("burstsnn_exit_prediction_error_steps",
+			[]obs.Label{{Name: "model", Value: r.name}},
+			r.m.Metrics().ExitPredictionHistogram().Snapshot())
 	}
 
 	return pw.Flush()

@@ -1,0 +1,406 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"burstsnn/internal/coding"
+)
+
+func TestStaticSchedRule(t *testing.T) {
+	cases := []struct {
+		min    int
+		lanes  int
+		want   bool
+		reason string
+	}{
+		{0, 8, false, ReasonDisabled},
+		{-1, 8, false, ReasonDisabled},
+		{6, 5, false, ReasonBelowMin},
+		{6, 6, true, ReasonStaticMin},
+		{6, 8, true, ReasonStaticMin},
+		{2, 2, true, ReasonStaticMin},
+		// min 1 normalizes to 2: a single request has nothing to lockstep with.
+		{1, 1, false, ReasonBelowMin},
+		{1, 2, true, ReasonStaticMin},
+	}
+	for _, c := range cases {
+		d := NewStaticSched(c.min).Decide(c.lanes, nil)
+		if d.Lockstep != c.want || d.Reason != c.reason {
+			t.Errorf("StaticSched(min=%d).Decide(%d) = %+v, want lockstep=%v reason=%q",
+				c.min, c.lanes, d, c.want, c.reason)
+		}
+	}
+}
+
+// TestAdaptiveSchedFlipsOnOccupancy is the acceptance check for
+// measurement-driven steering: the same candidate batch flips between
+// lockstep and sequential purely on the measured occupancy stream —
+// no request-count rule involved once the controller is warm.
+func TestAdaptiveSchedFlipsOnOccupancy(t *testing.T) {
+	// High-occupancy stream: every lane stays live to the end
+	// (laneStepsSum = lanes × batchSteps → occupancy fraction 1), so an
+	// 8-lane candidate estimates occupancy 8 ≫ crossover.
+	high := NewAdaptiveSched(0, autoLockstepMinLanes)
+	for i := 0; i < adaptiveWarmup; i++ {
+		high.ObserveOccupancy(8, 100, 800)
+	}
+	if d := high.Decide(3, nil); !d.Lockstep || d.Reason != ReasonOccHigh {
+		// 3 lanes — below the old static ≥6 rule — must still go lockstep
+		// when measured occupancy says it pays.
+		t.Fatalf("high-occupancy stream, 3 lanes: %+v, want lockstep/occupancy-high", d)
+	}
+
+	// Low-occupancy stream: lanes retire almost immediately (fraction
+	// 0.2), so even a full 8-lane batch estimates 1.6 < 2.0 and stays
+	// sequential — the static rule would have said lockstep.
+	low := NewAdaptiveSched(0, autoLockstepMinLanes)
+	for i := 0; i < adaptiveWarmup; i++ {
+		low.ObserveOccupancy(8, 100, 160)
+	}
+	d := low.Decide(8, nil)
+	if d.Lockstep || d.Reason != ReasonOccLow {
+		t.Fatalf("low-occupancy stream, 8 lanes: %+v, want sequential/occupancy-low", d)
+	}
+	if d.EstOccupancy < 1.5 || d.EstOccupancy > 1.7 {
+		t.Fatalf("estimated occupancy %.3f, want ≈1.6 (8 lanes × 0.2 fraction)", d.EstOccupancy)
+	}
+
+	// The EWMA tracks a workload shift: the low-occupancy controller fed
+	// a sustained high-occupancy stream flips back to lockstep.
+	for i := 0; i < 20; i++ {
+		low.ObserveOccupancy(8, 100, 800)
+	}
+	if d := low.Decide(8, nil); !d.Lockstep {
+		t.Fatalf("after occupancy recovered: %+v, want lockstep", d)
+	}
+}
+
+func TestAdaptiveSchedColdStart(t *testing.T) {
+	a := NewAdaptiveSched(0, autoLockstepMinLanes)
+	// No measurements and unpredicted lanes: the static fallback rule
+	// decides, labelled cold-start either way.
+	if d := a.Decide(8, nil); !d.Lockstep || d.Reason != ReasonColdStart {
+		t.Fatalf("cold 8 lanes: %+v, want lockstep/cold-start (static ≥%d rule)", d, autoLockstepMinLanes)
+	}
+	if d := a.Decide(3, nil); d.Lockstep || d.Reason != ReasonColdStart {
+		t.Fatalf("cold 3 lanes: %+v, want sequential/cold-start", d)
+	}
+	// A fully predicted batch needs no measurements: sum/max of the
+	// predicted exits is the batch's occupancy.
+	if d := a.Decide(3, []int{90, 100, 95}); !d.Lockstep || d.Reason != ReasonOccHigh {
+		t.Fatalf("cold fully-predicted batch (occ 2.85): %+v, want lockstep/occupancy-high", d)
+	}
+	if d := a.Decide(3, []int{8, 10, 100}); d.Lockstep || d.Reason != ReasonOccLow {
+		t.Fatalf("cold fully-predicted spread batch (occ 1.18): %+v, want sequential/occupancy-low", d)
+	}
+}
+
+func TestAdaptiveSchedCrossoverKnob(t *testing.T) {
+	// The same measured stream lands on opposite sides of two crossovers.
+	for _, c := range []struct {
+		crossover float64
+		want      bool
+	}{{1.2, true}, {3.0, false}} {
+		a := NewAdaptiveSched(c.crossover, autoLockstepMinLanes)
+		for i := 0; i < adaptiveWarmup; i++ {
+			a.ObserveOccupancy(8, 100, 200) // fraction 0.25 → 8 lanes ≈ 2.0
+		}
+		if d := a.Decide(8, nil); d.Lockstep != c.want {
+			t.Errorf("crossover %.1f: %+v, want lockstep=%v", c.crossover, d, c.want)
+		}
+	}
+}
+
+func TestOrderByPredictedExit(t *testing.T) {
+	cases := []struct {
+		preds []int
+		want  []int
+	}{
+		// Predicted ascending first, unpredicted (<=0) last in arrival order.
+		{[]int{0, 50, 10, 0, 30}, []int{2, 4, 1, 0, 3}},
+		{[]int{5, 4, 3}, []int{2, 1, 0}},
+		{[]int{0, 0, 0}, []int{0, 1, 2}},
+		// Stable among equal predictions.
+		{[]int{7, 7, 3, 7}, []int{2, 0, 1, 3}},
+		{nil, []int{}},
+	}
+	for _, c := range cases {
+		got := OrderByPredictedExit(c.preds)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("OrderByPredictedExit(%v) = %v, want %v", c.preds, got, c.want)
+		}
+	}
+}
+
+func TestExitHistoryDiscipline(t *testing.T) {
+	h := NewExitHistory(4)
+	img := []float64{0.1, 0.2, 0.3}
+	p := ExitPolicy{MaxSteps: 96, MinSteps: 8, StableWindow: 6}
+	hash := coding.HashImage(img)
+
+	// First sighting only marks the key seen — unique traffic must not
+	// allocate entries (the QuantCache promotion discipline).
+	h.Record(hash, img, p, 40)
+	if steps, ok := h.Predict(hash, img, p); ok {
+		t.Fatalf("prediction after one sighting: %d; entries must need two sightings", steps)
+	}
+	h.Record(hash, img, p, 40)
+	steps, ok := h.Predict(hash, img, p)
+	if !ok || steps != 40 {
+		t.Fatalf("Predict after promotion = %d,%v, want 40,true", steps, ok)
+	}
+
+	// The policy is part of the key: a different exit policy observes a
+	// different step count and must not alias.
+	other := ExitPolicy{MaxSteps: 96}
+	if _, ok := h.Predict(hash, img, other); ok {
+		t.Fatal("prediction leaked across exit policies")
+	}
+
+	// Re-recording updates in place.
+	h.Record(hash, img, p, 44)
+	if steps, _ := h.Predict(hash, img, p); steps != 44 {
+		t.Fatalf("updated prediction = %d, want 44", steps)
+	}
+
+	// A hash collision (same hash, different pixels) must degrade to "no
+	// prediction", never to the other image's exit step. Predict takes
+	// the caller's hash, so the test forces the collision directly.
+	collider := []float64{9, 9, 9}
+	if steps, ok := h.Predict(hash, collider, p); ok {
+		t.Fatalf("collision produced a prediction (%d steps)", steps)
+	}
+
+	// Stats counted the traffic above: hits and misses both nonzero.
+	if hits, misses := h.Stats(); hits == 0 || misses == 0 {
+		t.Fatalf("Stats() = %d hits, %d misses; want both nonzero", hits, misses)
+	}
+}
+
+func TestExitHistoryBounded(t *testing.T) {
+	h := NewExitHistory(8)
+	img := func(i int) []float64 { return []float64{float64(i), 1, 2} }
+	p := ExitPolicy{MaxSteps: 96}
+	for i := 0; i < 100; i++ {
+		im := img(i)
+		hash := coding.HashImage(im)
+		h.Record(hash, im, p, 10+i)
+		h.Record(hash, im, p, 10+i)
+	}
+	h.mu.Lock()
+	entries, seen := len(h.entries), len(h.seen)
+	h.mu.Unlock()
+	if entries > 8 || seen > 8 {
+		t.Fatalf("history grew past its bound: %d entries, %d seen (max 8)", entries, seen)
+	}
+}
+
+// TestAdaptiveBatcherOutcomeInvariance is the outcome-invariance
+// acceptance check at the batcher level: with the adaptive scheduler
+// and exit-aware forming live, staggered-exit traffic (mixed early-exit
+// and full-budget policies, so the history reorders lanes and the
+// controller's estimate moves) still produces exactly the sequential
+// engine's outcomes — scheduling only changes who shares a microbatch.
+func TestAdaptiveBatcherOutcomeInvariance(t *testing.T) {
+	pool, image := testPool(t, 1)
+	metrics := NewMetrics()
+	images := make([][]float64, 8)
+	policies := make([]ExitPolicy, 8)
+	for i := range images {
+		img := append([]float64(nil), image...)
+		img[i*5] = float64(i+1) / 9
+		images[i] = img
+		if i%2 == 0 {
+			policies[i] = ExitPolicy{MaxSteps: 48, MinSteps: 8, StableWindow: 6}
+		} else {
+			policies[i] = ExitPolicy{MaxSteps: 48}
+		}
+	}
+	want := make([]Outcome, len(images))
+	func() {
+		rep, err := pool.Get(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Put(rep)
+		for i := range images {
+			want[i] = Classify(rep.Net, images[i], policies[i])
+		}
+	}()
+
+	history := NewExitHistory(0)
+	metrics.AttachExitHistory(history)
+	// fallbackMin 2 so even cold-start batches dispatch lockstep on the
+	// f64 plane (bit-identical, so invariance is an exact comparison).
+	sched := NewAdaptiveSched(0, 2)
+	b := NewBatcher(pool, metrics, sched, history, false, 8, 300*time.Millisecond, 0)
+	defer b.Close()
+
+	// Several rounds: round 1 runs cold (no predictions), later rounds
+	// hit the warmed history and re-order lanes by predicted exit.
+	for round := 0; round < 4; round++ {
+		var wg sync.WaitGroup
+		for i := range images {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				out, err := b.Submit(context.Background(), images[i], policies[i])
+				if err != nil {
+					t.Errorf("round %d request %d: %v", round, i, err)
+					return
+				}
+				if out != want[i] {
+					t.Errorf("round %d request %d: adaptive-scheduled %+v, sequential %+v",
+						round, i, out, want[i])
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	s := metrics.Snapshot()
+	if s.SchedLockstepBatches+s.SchedSequentialBatches == 0 {
+		t.Fatal("no steering decisions recorded")
+	}
+	if s.ExitHistoryHits == 0 {
+		t.Errorf("exit history never produced a prediction across warm rounds: %+v", s)
+	}
+	if s.ExitPredictionError.Count == 0 {
+		t.Errorf("no exit predictions were scored: %+v", s)
+	}
+	if samples, _ := sched.Stats(); samples == 0 {
+		t.Error("adaptive controller measured no batches")
+	}
+}
+
+// --- batcher backpressure (previously untested SubmitTraced paths) ---
+
+// unstartedBatcher builds a Batcher whose dispatcher never runs, so the
+// admission queue's backpressure is observable deterministically (a live
+// dispatcher would drain the queue before Submit could block).
+func unstartedBatcher(queueDepth int) *Batcher {
+	return &Batcher{
+		maxBatch: 8,
+		queue:    make(chan *batchRequest, queueDepth),
+		done:     make(chan struct{}),
+	}
+}
+
+func TestSubmitBlocksOnFullQueue(t *testing.T) {
+	b := unstartedBatcher(2)
+	img := []float64{0.5}
+	p := ExitPolicy{MaxSteps: 8}
+
+	// Fill the admission queue: these Submits enqueue immediately and
+	// then block waiting for a (never-coming) result.
+	results := make(chan error, 3)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := b.Submit(context.Background(), img, p)
+			results <- err
+		}()
+	}
+	waitFor(t, func() bool { return b.QueueDepth() == 2 })
+
+	// The queue is full: a third Submit must block in the enqueue select
+	// until its context is canceled, then return ctx.Err() — the
+	// backpressure contract.
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(ctx, img, p)
+		blocked <- err
+	}()
+	select {
+	case err := <-blocked:
+		t.Fatalf("Submit returned %v while the queue was full; it must block", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-blocked:
+		if err != context.Canceled {
+			t.Fatalf("blocked Submit returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit stayed blocked after its context was canceled")
+	}
+	// The canceled request never entered the queue.
+	if d := b.QueueDepth(); d != 2 {
+		t.Fatalf("QueueDepth = %d after canceled Submit, want 2", d)
+	}
+
+	// Unblock the two queued requests so their goroutines exit.
+	for i := 0; i < 2; i++ {
+		req := <-b.queue
+		req.done <- batchResult{err: ErrClosed}
+		if err := <-results; err != ErrClosed {
+			t.Fatalf("drained request returned %v, want ErrClosed", err)
+		}
+	}
+}
+
+func TestSubmitCancelWhileWaitingForResult(t *testing.T) {
+	b := unstartedBatcher(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(ctx, []float64{0.5}, ExitPolicy{MaxSteps: 8})
+		done <- err
+	}()
+	// The request enqueues (queue has room) and then waits on its result.
+	waitFor(t, func() bool { return b.QueueDepth() == 1 })
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Submit returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit did not observe cancellation while waiting for its result")
+	}
+	// The abandoned request's done channel is buffered: a late delivery
+	// must not block the (hypothetical) runner.
+	req := <-b.queue
+	req.done <- batchResult{}
+}
+
+func TestQueueDepthTracksLoad(t *testing.T) {
+	b := unstartedBatcher(8)
+	if d := b.QueueDepth(); d != 0 {
+		t.Fatalf("idle QueueDepth = %d, want 0", d)
+	}
+	for n := 1; n <= 8; n++ {
+		go func() { _, _ = b.Submit(context.Background(), []float64{0.5}, ExitPolicy{MaxSteps: 8}) }()
+		n := n
+		waitFor(t, func() bool { return b.QueueDepth() == n })
+	}
+	// Draining one request at a time steps the gauge back down.
+	for n := 7; n >= 0; n-- {
+		req := <-b.queue
+		req.done <- batchResult{err: ErrClosed}
+		n := n
+		waitFor(t, func() bool { return b.QueueDepth() == n })
+	}
+}
+
+// waitFor polls cond until true or the deadline; backpressure state
+// transitions are asynchronous (goroutine scheduling), never slow.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+}

@@ -58,24 +58,39 @@ type Config struct {
 	// QueueDepth bounds each model's request queue; Submits beyond it
 	// block (backpressure). Default 4×MaxBatch.
 	QueueDepth int
-	// LockstepBatch selects how multi-request microbatches execute:
-	// lockstep through the batch simulator (amortized scatter-table
-	// walks, SIMD lane kernels), or back to back on the replica.
+	// LockstepBatch selects the scheduling policy for multi-request
+	// microbatches: lockstep through the batch simulator (amortized
+	// scatter-table walks, SIMD lane kernels), or back to back on the
+	// replica. See internal/README.md "The scheduling plane".
 	//
 	//   - LockstepAuto (the default): with the float32 plane on a packed
-	//     dispatch tier (sse or avx2), microbatches of at least
-	//     autoLockstepMinLanes requests run lockstep — the measured
-	//     regime where lockstep beats the sequential engine even on
-	//     fully distinct images (~1.4–1.8× at B=8; see BENCH_batch.json
-	//     and internal/README.md "When lockstep pays") — and smaller
-	//     batches stay sequential. On the purego tier, or the f64 plane,
-	//     auto is always sequential.
+	//     dispatch tier (sse or avx2), an occupancy feedback controller
+	//     (AdaptiveSched) steers each microbatch from measured lane
+	//     occupancy — lockstep exactly when the batch's estimated
+	//     occupancy clears OccupancyCrossover, the measured break-even
+	//     point (see BENCH_batch.json and internal/README.md "When
+	//     lockstep pays"). Until the controller has measured enough
+	//     batches it falls back to the static ≥6-request rule. On the
+	//     purego tier, or the f64 plane, auto is always sequential.
+	//   - LockstepStatic: the pre-measurement policy — a fixed
+	//     ≥6-request rule on packed f32 tiers, sequential otherwise
+	//     (what LockstepAuto meant before the adaptive controller).
 	//   - LockstepOn / LockstepOff: force the choice for every
 	//     multi-request batch either way.
 	//
 	// Resolved once per model at Register time (after any
 	// kernels.ForceLevel / KERNELS_LEVEL override has been applied).
 	LockstepBatch string
+	// OccupancyCrossover overrides the occupancy at which the adaptive
+	// scheduler (LockstepAuto) switches a microbatch to lockstep
+	// execution. 0 uses DefaultOccupancyCrossover, the measured
+	// break-even on the packed tiers.
+	OccupancyCrossover float64
+	// ExitHistorySize bounds the per-model (image-hash → observed exit
+	// step) history behind exit-aware batch forming: 0 uses
+	// DefaultExitHistoryEntries, negative disables the history entirely
+	// (no exit predictions, FIFO batch forming).
+	ExitHistorySize int
 	// BatchKernel selects the lockstep simulator's compute plane:
 	// BatchKernelF32 (the default — float32 state over the
 	// internal/kernels block primitives, tolerance contract) or
@@ -114,16 +129,18 @@ const (
 
 // LockstepBatch values for Config.
 const (
-	LockstepAuto = "auto"
-	LockstepOn   = "on"
-	LockstepOff  = "off"
+	LockstepAuto   = "auto"
+	LockstepStatic = "static"
+	LockstepOn     = "on"
+	LockstepOff    = "off"
 )
 
-// autoLockstepMinLanes is the batch size from which LockstepAuto routes
-// a microbatch through the lockstep simulator: the measured crossover
-// on the packed tiers lies between the B=4 (lockstep ~0.7–0.8× of
-// sequential) and B=8 (~1.4–1.8×) benchmark points, so auto takes the
-// midpoint and leaves smaller batches on the sequential path.
+// autoLockstepMinLanes is the batch size from which the static rule
+// (LockstepStatic, and LockstepAuto's cold-start fallback) routes a
+// microbatch through the lockstep simulator: the measured crossover on
+// the packed tiers lies between the B=4 (lockstep ~0.7–0.8× of
+// sequential) and B=8 (~1.4–2.0×) benchmark points, so the rule takes
+// the midpoint and leaves smaller batches on the sequential path.
 const autoLockstepMinLanes = 6
 
 func (c Config) withDefaults() Config {
@@ -267,34 +284,54 @@ func (s *Server) Register(cfg ModelConfig, net *dnn.Network, normSamples []datas
 			s.cfg.BatchKernel, BatchKernelF32, BatchKernelF64)
 	}
 	f32 := s.cfg.BatchKernel != BatchKernelF64
-	var lockstepMin int
+	// packed: the regime where lockstep can beat the sequential engine at
+	// all — the float32 plane on a SIMD dispatch tier (the resolved tier
+	// at this moment; ForceLevel/KERNELS_LEVEL overrides apply at
+	// startup). Outside it, auto and static never dispatch lockstep.
+	packed := f32 && kernels.ActiveLevel() != kernels.LevelPurego
+	var sched Scheduler
 	switch s.cfg.LockstepBatch {
 	case LockstepOn:
-		lockstepMin = 2
+		sched = NewStaticSched(2)
 	case LockstepOff:
+		sched = NewStaticSched(0)
+	case LockstepStatic:
+		// The pre-measurement rule: a fixed request-count threshold in
+		// the winning bracket of BENCH_batch.json, sequential off the
+		// packed tiers.
+		if packed {
+			sched = NewStaticSched(autoLockstepMinLanes)
+		} else {
+			sched = NewStaticSched(0)
+		}
 	case LockstepAuto:
-		// The measured default: with the fused float32 kernels on a
-		// packed dispatch tier (sse or avx2 — the resolved tier at this
-		// moment; overrides apply at startup), lockstep beats the
-		// sequential engine at B=8 (~1.4–1.8× on distinct images) but
-		// still loses at B=4 (~0.7–0.8×), so auto routes only batches in
-		// the winning bracket lockstep and leaves small batches on the
-		// sequential path.
-		if f32 && kernels.ActiveLevel() != kernels.LevelPurego {
-			lockstepMin = autoLockstepMinLanes
+		// Measurement-driven: the occupancy feedback controller steers
+		// each microbatch from the measured occupancy of recent batches
+		// (and per-lane exit predictions), with the static rule as its
+		// cold-start fallback.
+		if packed {
+			sched = NewAdaptiveSched(s.cfg.OccupancyCrossover, autoLockstepMinLanes)
+		} else {
+			sched = NewStaticSched(0)
 		}
 	default:
-		return nil, fmt.Errorf("serve: unknown lockstep mode %q (want %q, %q, or %q)",
-			s.cfg.LockstepBatch, LockstepAuto, LockstepOn, LockstepOff)
+		return nil, fmt.Errorf("serve: unknown lockstep mode %q (want %q, %q, %q, or %q)",
+			s.cfg.LockstepBatch, LockstepAuto, LockstepStatic, LockstepOn, LockstepOff)
+	}
+	var history *ExitHistory
+	if s.cfg.ExitHistorySize >= 0 {
+		history = NewExitHistory(s.cfg.ExitHistorySize)
 	}
 	m, err := s.reg.Register(cfg, net, normSamples)
 	if err != nil {
 		return nil, err
 	}
 	m.Metrics().SetBatchKernel(resolvedKernel(s.cfg.BatchKernel))
+	m.Metrics().SetScheduler(sched.Name())
+	m.Metrics().AttachExitHistory(history)
 	s.mu.Lock()
 	old := s.batchers[cfg.Name]
-	s.batchers[cfg.Name] = NewBatcher(m.Pool(), m.Metrics(), lockstepMin,
+	s.batchers[cfg.Name] = NewBatcher(m.Pool(), m.Metrics(), sched, history,
 		f32, s.cfg.MaxBatch, s.cfg.MaxDelay, s.cfg.QueueDepth)
 	s.mu.Unlock()
 	if old != nil {
