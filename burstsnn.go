@@ -314,6 +314,23 @@ const (
 // scheduler's default threshold (ServeConfig.OccupancyCrossover).
 const DefaultOccupancyCrossover = serve.DefaultOccupancyCrossover
 
+// ErrServerOverloaded is returned when the admission plane sheds a
+// request instead of queueing it (full queue, or projected queue wait
+// past the request deadline); the HTTP layer maps it to 429 with a
+// Retry-After hint. Check with errors.Is.
+var ErrServerOverloaded = serve.ErrOverloaded
+
+// Overload-plane defaults (see ServeConfig.ResponseCacheSize /
+// ResponseCacheTTL / Degrade): the cross-batch response cache's bound
+// and TTL, and the degraded-mode controller's queue-pressure hysteresis
+// thresholds.
+const (
+	DefaultResponseCacheEntries = serve.DefaultResponseCacheEntries
+	DefaultResponseCacheTTL     = serve.DefaultResponseCacheTTL
+	DefaultDegradeEnterPressure = serve.DefaultDegradeEnterPressure
+	DefaultDegradeExitPressure  = serve.DefaultDegradeExitPressure
+)
+
 // Kernel dispatch-tier controls, re-exported from internal/kernels: the
 // float32 plane's block primitives are selected at runtime by CPUID
 // (purego → sse → avx2); KernelLevel reports the active tier,

@@ -34,6 +34,14 @@
 // scrapes /metrics, /metrics/prom (strictly validated), and /v1/trace,
 // failing on empty stage histograms or unparseable exposition;
 // -trace-out writes the scraped trace page to a file (a CI artifact).
+//
+// Overload selftest mode (-selftest-overload) squeezes capacity to one
+// replica with a short queue and injected batch latency, then proves the
+// overload plane: response-cache hits for replayed images, 429 +
+// Retry-After shedding for a past-capacity burst, degraded mode
+// engaging and lifting, and a leak-free shutdown. Serving flags:
+// -request-timeout, -response-cache / -response-cache-ttl, and -degrade
+// control the same mechanisms on a real server.
 package main
 
 import (
@@ -83,14 +91,20 @@ func main() {
 		dir      = flag.String("dir", "", "model cache directory (default: system temp)")
 		tiny     = flag.Bool("tiny", false, "use the reduced test-scale model recipes")
 
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-request end-to-end deadline; a request whose remaining deadline is below the projected queue wait is shed with 429 + Retry-After (0 = default 30s)")
+		respCache    = flag.Int("response-cache", 0, "cross-batch response cache entries per model — replayed images are answered without a replica (0 = default 4096, negative disables)")
+		respCacheTTL = flag.Duration("response-cache-ttl", 0, "response cache entry lifetime (0 = default 1m)")
+		degrade      = flag.Bool("degrade", false, "graceful degradation: while admission-queue pressure is high, serve under a tightened (halved-budget) early-exit policy instead of queueing toward timeout")
+
 		logReqs   = flag.Bool("log", false, "emit one structured log line per classification (slog, stderr)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving port")
 		slowTrace = flag.Duration("slow-trace", 0, "pin traces at or over this end-to-end latency past ring turnover (0 = default 250ms, negative disables)")
 
-		selftest = flag.Bool("selftest", false, "run the deterministic load-generator selftest and exit")
-		requests = flag.Int("requests", 200, "selftest: total classification requests")
-		workers  = flag.Int("workers", 32, "selftest: concurrent load-generator workers")
-		traceOut = flag.String("trace-out", "", "selftest: write the scraped /v1/trace page to this file")
+		selftest         = flag.Bool("selftest", false, "run the deterministic load-generator selftest and exit")
+		selftestOverload = flag.Bool("selftest-overload", false, "run the overload-resilience selftest (replay-heavy phase, then a past-capacity burst) and exit")
+		requests         = flag.Int("requests", 200, "selftest: total classification requests")
+		workers          = flag.Int("workers", 32, "selftest: concurrent load-generator workers")
+		traceOut         = flag.String("trace-out", "", "selftest: write the scraped /v1/trace page to this file")
 	)
 	flag.Parse()
 
@@ -138,6 +152,13 @@ func main() {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
+	if *selftestOverload {
+		if err := runOverloadSelftest(hybrid, exit, batchKernel, string(*lockstep), logger); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if *selftest {
 		// The selftest asserts exact accuracy parity with full-budget
 		// inference, so it defaults to a more conservative stability
@@ -157,6 +178,10 @@ func main() {
 			OccupancyCrossover: *occXover,
 			ExitHistorySize:    *exitHist,
 			BatchKernel:        batchKernel,
+			RequestTimeout:     *reqTimeout,
+			ResponseCacheSize:  *respCache,
+			ResponseCacheTTL:   *respCacheTTL,
+			Degrade:            *degrade,
 			Logger:             logger,
 		}
 		if err := runSelftest(hybrid, exit, cfg, *steps, *replicas, *requests, *workers, *traceOut); err != nil {
@@ -181,6 +206,10 @@ func main() {
 		OccupancyCrossover: *occXover,
 		ExitHistorySize:    *exitHist,
 		BatchKernel:        batchKernel,
+		RequestTimeout:     *reqTimeout,
+		ResponseCacheSize:  *respCache,
+		ResponseCacheTTL:   *respCacheTTL,
+		Degrade:            *degrade,
 		SlowTraceThreshold: *slowTrace,
 		Logger:             logger,
 		EnablePprof:        *pprofOn,

@@ -38,6 +38,13 @@ type Trace struct {
 	// Deduped marks a request served by duplicate fan-out: it rode a
 	// batchmate's simulation rather than its own.
 	Deduped bool `json:"deduped,omitempty"`
+	// Cached marks a request answered by the cross-batch response cache:
+	// it never queued, held a replica, or simulated (all stage spans but
+	// the total are zero).
+	Cached bool `json:"cached,omitempty"`
+	// Degraded marks a request served under the degraded-mode tightened
+	// exit policy (queue pressure was high at admission).
+	Degraded bool `json:"degraded,omitempty"`
 	// Error is set for failed requests (stage spans may be partial).
 	Error string `json:"error,omitempty"`
 	// Slow marks a trace at or over the ring's slow threshold; slow

@@ -16,6 +16,18 @@ import (
 // ErrClosed is returned by Submit after the batcher has been closed.
 var ErrClosed = errors.New("serve: batcher closed")
 
+// ErrOverloaded is returned by Submit when the admission plane sheds a
+// request instead of queueing it: the admission queue is full, or the
+// projected queue wait already exceeds the request's deadline. The
+// server maps it to HTTP 429 with a Retry-After hint.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// drainEWMAWeight smooths the measured per-request drain time that
+// backs projected-wait shedding and Retry-After hints (same weight as
+// the scheduler's occupancy filter — both smooth bursty per-batch
+// samples).
+const drainEWMAWeight = 0.25
+
 // Batcher is the microbatching request queue in front of a replica pool.
 // Requests are grouped into batches of up to MaxBatch, waiting at most
 // MaxDelay after the first request before dispatch; each batch checks out
@@ -27,14 +39,30 @@ var ErrClosed = errors.New("serve: batcher closed")
 // batch (and single-request dispatches) always run sequentially; both
 // paths produce outcomes pinned by the same bit-identity/tolerance
 // contracts, so scheduling is outcome-invariant.
+//
+// In front of the queue sits the overload plane: an optional cross-batch
+// response cache answers replayed (image, policy) pairs without a queue
+// slot or replica; admission sheds (ErrOverloaded) instead of blocking
+// when the queue is full or the projected wait exceeds the request's
+// deadline; requests whose deadline expired while queued are shed at
+// dispatch time, before they join a batch; and an optional degrade
+// controller tightens the exit policy of every admitted request while
+// queue pressure is high. Concurrent batch execution is bounded to the
+// pool size, so the queue — not a pile of goroutines blocked on replica
+// checkout — is where backlog accumulates and gets measured.
 type Batcher struct {
 	pool     *Pool
-	metrics  *Metrics     // batch-occupancy/steps-saved/steering gauges; may be nil
-	sched    Scheduler    // lockstep-vs-sequential policy; nil = never lockstep
-	history  *ExitHistory // exit-aware forming memory; nil disables forming/prediction
-	f32      bool         // lockstep compute plane, fixed at construction
+	metrics  *Metrics           // batch-occupancy/steps-saved/steering gauges; may be nil
+	sched    Scheduler          // lockstep-vs-sequential policy; nil = never lockstep
+	history  *ExitHistory       // exit-aware forming memory; nil disables forming/prediction
+	cache    *ResponseCache     // cross-batch response cache; nil disables
+	degrade  *DegradeController // degraded-mode state machine; nil disables
+	f32      bool               // lockstep compute plane, fixed at construction
 	maxBatch int
 	maxDelay time.Duration
+
+	injectLatency time.Duration // test hook: extra per-batch replica hold time
+	injectFault   func() error  // test hook: non-nil error fails the batch
 
 	queue chan *batchRequest
 
@@ -42,9 +70,43 @@ type Batcher struct {
 	closed  bool
 	sending sync.WaitGroup // Submits past the closed check, not yet enqueued
 
+	// drainPerReq is the EWMA'd replica-seconds one queued request costs
+	// (batch wall time / batch size), the basis of projected queue wait.
+	drainMu      sync.Mutex
+	drainPerReq  float64 // seconds
+	drainSamples int
+
 	fallbackOnce sync.Once // one log line for a replica that cannot batch
 
+	// closeCtx is canceled by Close: replica checkouts for batches that
+	// have not started abort immediately (ErrClosed) while batches
+	// already holding a replica drain normally.
+	closeCtx    context.Context
+	closeCancel context.CancelFunc
+
 	done chan struct{} // dispatcher drained and all batches finished
+}
+
+// BatcherConfig carries NewBatcher's optional collaborators and tuning;
+// the zero value is a plain 1-request-at-a-time batcher.
+type BatcherConfig struct {
+	Metrics  *Metrics           // batch/steering gauges; nil disables
+	Sched    Scheduler          // lockstep-vs-sequential policy; nil never lockstep
+	History  *ExitHistory       // exit-step memory; nil disables exit-aware forming
+	Cache    *ResponseCache     // cross-batch response cache; nil disables
+	Degrade  *DegradeController // degraded-mode controller; nil disables
+	F32      bool               // lockstep compute plane (see Config.BatchKernel)
+	MaxBatch int                // lanes per microbatch; <= 0 defaults to 1
+	MaxDelay time.Duration      // batch-forming window; <= 0 dispatches on queue drain
+	// QueueDepth bounds the admission queue; <= 0 defaults to 4× MaxBatch.
+	// Submits beyond it shed with ErrOverloaded.
+	QueueDepth int
+
+	// InjectLatency and InjectFault are overload-test hooks: every batch
+	// holds its replica InjectLatency longer, and a non-nil InjectFault
+	// error fails the batch's live requests before execution.
+	InjectLatency time.Duration
+	InjectFault   func() error
 }
 
 type batchRequest struct {
@@ -66,33 +128,42 @@ type batchResult struct {
 	err     error
 }
 
-// NewBatcher starts the dispatcher. metrics receives the batch gauges
-// (nil disables them); sched owns the lockstep-vs-sequential decision
-// for multi-request batches (nil never dispatches lockstep — see
-// Config.LockstepBatch for how the server picks a policy), and f32
-// picks the lockstep compute plane once for the batcher's lifetime (see
-// Config.BatchKernel); history, when non-nil, records every observed
-// exit step and drives exit-aware batch forming; maxBatch <= 0 defaults
-// to 1 (no batching); maxDelay <= 0 dispatches as soon as the queue
-// momentarily drains; queueDepth <= 0 defaults to 4× maxBatch.
-func NewBatcher(pool *Pool, metrics *Metrics, sched Scheduler, history *ExitHistory,
-	f32 bool, maxBatch int, maxDelay time.Duration, queueDepth int) *Batcher {
+// SubmitFlags reports how a request was served, alongside its outcome.
+type SubmitFlags struct {
+	Deduped  bool // answered by in-window duplicate fan-out
+	Cached   bool // answered by the response cache; never queued or simulated
+	Degraded bool // ran under the degraded-mode tightened policy
+}
+
+// NewBatcher starts the dispatcher. See BatcherConfig for the knobs and
+// collaborators; the batcher owns none of them (the server shares
+// Metrics/History/Cache with its snapshot plane).
+func NewBatcher(pool *Pool, cfg BatcherConfig) *Batcher {
+	maxBatch := cfg.MaxBatch
 	if maxBatch <= 0 {
 		maxBatch = 1
 	}
+	queueDepth := cfg.QueueDepth
 	if queueDepth <= 0 {
 		queueDepth = 4 * maxBatch
 	}
+	closeCtx, closeCancel := context.WithCancel(context.Background())
 	b := &Batcher{
-		pool:     pool,
-		metrics:  metrics,
-		sched:    sched,
-		history:  history,
-		f32:      f32,
-		maxBatch: maxBatch,
-		maxDelay: maxDelay,
-		queue:    make(chan *batchRequest, queueDepth),
-		done:     make(chan struct{}),
+		pool:          pool,
+		metrics:       cfg.Metrics,
+		sched:         cfg.Sched,
+		history:       cfg.History,
+		cache:         cfg.Cache,
+		degrade:       cfg.Degrade,
+		f32:           cfg.F32,
+		maxBatch:      maxBatch,
+		maxDelay:      cfg.MaxDelay,
+		injectLatency: cfg.InjectLatency,
+		injectFault:   cfg.InjectFault,
+		queue:         make(chan *batchRequest, queueDepth),
+		closeCtx:      closeCtx,
+		closeCancel:   closeCancel,
+		done:          make(chan struct{}),
 	}
 	go b.dispatch()
 	return b
@@ -107,48 +178,151 @@ func (b *Batcher) Submit(ctx context.Context, image []float64, p ExitPolicy) (Ou
 
 // SubmitTraced is Submit returning the request's measured stage spans
 // (queue wait, batch formation, and the engine's encode/simulate/readout
-// — see internal/obs) plus whether the request was answered by duplicate
-// fan-out instead of its own simulation. Spans are zero on error paths
-// that never executed.
-func (b *Batcher) SubmitTraced(ctx context.Context, image []float64, p ExitPolicy) (Outcome, obs.StageTimes, bool, error) {
+// — see internal/obs) plus how the request was served (SubmitFlags).
+// Spans are zero on error paths that never executed and on cache hits,
+// which never enter the pipeline.
+//
+// Admission runs in order: degraded-mode observation (and policy
+// tightening while degraded), response-cache lookup, then deadline-aware
+// admission — a request already past its deadline, or whose remaining
+// deadline is smaller than the projected queue wait, or arriving at a
+// full queue, is shed immediately (ErrOverloaded / its context error)
+// rather than left to time out while holding a queue slot.
+func (b *Batcher) SubmitTraced(ctx context.Context, image []float64, p ExitPolicy) (Outcome, obs.StageTimes, SubmitFlags, error) {
+	var flags SubmitFlags
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return Outcome{}, obs.StageTimes{}, false, ErrClosed
+		return Outcome{}, obs.StageTimes{}, flags, ErrClosed
 	}
 	b.sending.Add(1)
 	b.mu.Unlock()
 
-	// Hash once per request: dedupe and the exit-history lookups both key
-	// on this, so no later stage rehashes the pixels.
+	if b.degrade != nil {
+		// Pressure is sampled at every admission — including ones that end
+		// as cache hits or sheds — so the controller sees recovery too.
+		b.degrade.Observe(len(b.queue), cap(b.queue))
+		if b.degrade.Degraded() {
+			p = b.degrade.Tighten(p)
+			flags.Degraded = true
+		}
+	}
+
+	// Hash once per request: the cache, dedupe, and exit-history lookups
+	// all key on this, so no later stage rehashes the pixels. The lookup
+	// uses the (possibly tightened) effective policy — a degraded request
+	// can only be answered by a degraded-policy entry.
+	hash := coding.HashImage(image)
+	if b.cache != nil {
+		if out, ok := b.cache.Lookup(hash, image, p); ok {
+			b.sending.Done()
+			flags.Cached = true
+			return out, obs.StageTimes{}, flags, nil
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		b.sending.Done()
+		return Outcome{}, obs.StageTimes{}, flags, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if wait := b.projectedWait(); wait > 0 && time.Until(deadline) < wait {
+			b.sending.Done()
+			return Outcome{}, obs.StageTimes{}, flags,
+				fmt.Errorf("%w: projected queue wait %v exceeds request deadline", ErrOverloaded, wait)
+		}
+	}
+
 	req := &batchRequest{
-		ctx: ctx, image: image, hash: coding.HashImage(image), policy: p,
+		ctx: ctx, image: image, hash: hash, policy: p,
 		enqueued: time.Now(), done: make(chan batchResult, 1),
 	}
 	select {
 	case b.queue <- req:
 		b.sending.Done()
-	case <-ctx.Done():
+	default:
+		// Queue full: shed now. Blocking here would just convert the
+		// overload into client-side timeouts with no signal.
 		b.sending.Done()
-		return Outcome{}, obs.StageTimes{}, false, ctx.Err()
+		return Outcome{}, obs.StageTimes{}, flags, ErrOverloaded
 	}
 	select {
 	case res := <-req.done:
-		return res.out, res.stages, res.deduped, res.err
+		flags.Deduped = res.deduped
+		return res.out, res.stages, flags, res.err
 	case <-ctx.Done():
 		// The batch may still execute the request; done is buffered so
 		// the runner never blocks on an abandoned request.
-		return Outcome{}, obs.StageTimes{}, false, ctx.Err()
+		return Outcome{}, obs.StageTimes{}, flags, ctx.Err()
 	}
 }
 
 // QueueDepth reports how many submitted requests are waiting in the
 // admission queue right now (a live gauge for /metrics; the queue's
-// bound is the backpressure limit, see NewBatcher's queueDepth).
+// bound is the shedding limit, see BatcherConfig.QueueDepth).
 func (b *Batcher) QueueDepth() int { return len(b.queue) }
 
-// Close stops accepting requests, drains the queue, and waits for every
-// in-flight batch to finish. It is idempotent.
+// DegradeState reports the degraded-mode state machine's mode and
+// smoothed queue-pressure signal ("off" when no controller is attached).
+func (b *Batcher) DegradeState() (mode string, pressure float64) {
+	if b.degrade == nil {
+		return "off", 0
+	}
+	return b.degrade.State()
+}
+
+// projectedWait estimates how long a request admitted right now would
+// wait before executing: queued requests × EWMA'd per-request drain
+// time, divided across the replica pool. Zero until the first batch has
+// been measured or while the queue is empty.
+func (b *Batcher) projectedWait() time.Duration {
+	b.drainMu.Lock()
+	perReq := b.drainPerReq
+	b.drainMu.Unlock()
+	queued := len(b.queue)
+	if perReq <= 0 || queued <= 0 {
+		return 0
+	}
+	replicas := 1
+	if b.pool != nil {
+		replicas = b.pool.Size()
+	}
+	return time.Duration(float64(queued) * perReq / float64(replicas) * float64(time.Second))
+}
+
+// RetryAfter is the server's Retry-After hint on 429 responses: the
+// projected queue wait, floored at one second.
+func (b *Batcher) RetryAfter() time.Duration {
+	if wait := b.projectedWait(); wait > time.Second {
+		return wait
+	}
+	return time.Second
+}
+
+// observeDrain feeds one executed batch's wall time into the per-request
+// drain-time EWMA behind projectedWait.
+func (b *Batcher) observeDrain(wall time.Duration, requests int) {
+	if requests <= 0 || wall <= 0 {
+		return
+	}
+	perReq := wall.Seconds() / float64(requests)
+	b.drainMu.Lock()
+	if b.drainSamples == 0 {
+		b.drainPerReq = perReq
+	} else {
+		b.drainPerReq += drainEWMAWeight * (perReq - b.drainPerReq)
+	}
+	b.drainSamples++
+	b.drainMu.Unlock()
+}
+
+// Close stops accepting requests and shuts down: batches already holding
+// a replica drain to completion, while queued requests — and formed
+// batches still waiting for an execution slot — fail fast with ErrClosed
+// instead of executing (under saturation the queue can hold many
+// multiples of a replica's drain rate; executing it all would stall
+// shutdown for seconds). It is idempotent and returns only after the
+// dispatcher and every batch goroutine have exited.
 func (b *Batcher) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -158,19 +332,53 @@ func (b *Batcher) Close() {
 	}
 	b.closed = true
 	b.mu.Unlock()
+	b.closeCancel()
 	b.sending.Wait() // every in-flight Submit has enqueued or bailed
 	close(b.queue)
 	<-b.done
 }
 
-// dispatch collects batches until the queue is closed and drained.
+// shedAtDispatch fails a dequeued request that should not join a batch:
+// the batcher is closing, or the request's deadline expired / context
+// was canceled while it sat in the queue. Returns true when shed. This
+// runs before the request would consume batch-forming time or replica
+// work (previously dead requests were only dropped at batch-exec start,
+// after riding a formed batch through replica checkout).
+func (b *Batcher) shedAtDispatch(req *batchRequest) bool {
+	if b.closeCtx.Err() != nil {
+		req.done <- batchResult{err: ErrClosed}
+		return true
+	}
+	if err := req.ctx.Err(); err != nil {
+		req.done <- batchResult{err: err}
+		return true
+	}
+	return false
+}
+
+// dispatch collects batches until the queue is closed and drained. The
+// slots channel bounds concurrently executing batches to the pool size:
+// without it the dispatcher would eagerly drain the queue into a pile
+// of goroutines serialized on replica checkout, and the queue bound —
+// the overload signal — would never engage.
 func (b *Batcher) dispatch() {
 	var batches sync.WaitGroup
 	defer func() {
 		batches.Wait()
 		close(b.done)
 	}()
+	slotCap := 1
+	if b.pool != nil {
+		slotCap = b.pool.Size()
+	}
+	slots := make(chan struct{}, slotCap)
+	for i := 0; i < slotCap; i++ {
+		slots <- struct{}{}
+	}
 	for first := range b.queue {
+		if b.shedAtDispatch(first) {
+			continue
+		}
 		formStart := time.Now()
 		batch := append(make([]*batchRequest, 0, b.maxBatch), first)
 		if b.maxDelay > 0 {
@@ -182,8 +390,13 @@ func (b *Batcher) dispatch() {
 					if !ok {
 						break collect
 					}
+					if b.shedAtDispatch(req) {
+						continue
+					}
 					batch = append(batch, req)
 				case <-timer.C:
+					break collect
+				case <-b.closeCtx.Done():
 					break collect
 				}
 			}
@@ -196,23 +409,49 @@ func (b *Batcher) dispatch() {
 					if !ok {
 						break drain
 					}
+					if b.shedAtDispatch(req) {
+						continue
+					}
 					batch = append(batch, req)
 				default:
 					break drain
 				}
 			}
 		}
+		gotSlot := false
+		select {
+		case <-slots:
+			gotSlot = true
+		case <-b.closeCtx.Done():
+			// Closing while waiting to execute: take a free slot if one
+			// exists, otherwise this batch counts as queued and fails.
+			select {
+			case <-slots:
+				gotSlot = true
+			default:
+			}
+		}
+		if !gotSlot {
+			for _, req := range batch {
+				req.done <- batchResult{err: ErrClosed}
+			}
+			continue
+		}
 		batches.Add(1)
 		go func(reqs []*batchRequest, form time.Duration) {
-			defer batches.Done()
+			defer func() {
+				slots <- struct{}{}
+				batches.Done()
+			}()
 			b.run(reqs, form)
 		}(batch, time.Since(formStart))
 	}
 }
 
 // run executes one batch on a single checked-out replica. Checkout uses
-// the background context: replicas always come back (every batch returns
-// its replica), and a canceled request must not fail its batchmates.
+// closeCtx — never a request context, since a canceled request must not
+// fail its batchmates — so a batch that has not yet obtained a replica
+// when Close fires fails with ErrClosed instead of executing.
 //
 // Identical requests — same pixel contents, same policy — are classified
 // once and fanned out: the simulator is deterministic, so a duplicate's
@@ -232,10 +471,14 @@ func (b *Batcher) dispatch() {
 // — on the default float32 plane both paths produce the outcomes pinned
 // by the tolerance contract; on the float64 plane they are bit-identical.
 func (b *Batcher) run(reqs []*batchRequest, form time.Duration) {
-	rep, err := b.pool.Get(context.Background())
+	rep, err := b.pool.Get(b.closeCtx)
 	if err != nil {
+		resErr := fmt.Errorf("serve: replica checkout: %w", err)
+		if b.closeCtx.Err() != nil {
+			resErr = ErrClosed
+		}
 		for _, req := range reqs {
-			req.done <- batchResult{err: fmt.Errorf("serve: replica checkout: %w", err)}
+			req.done <- batchResult{err: resErr}
 		}
 		return
 	}
@@ -244,6 +487,10 @@ func (b *Batcher) run(reqs []*batchRequest, form time.Duration) {
 	// executing. Each request's queue span (enqueue → execStart) covers
 	// the channel wait, the formation window, and the checkout wait.
 	execStart := time.Now()
+	defer func() { b.observeDrain(time.Since(execStart), len(reqs)) }()
+	if b.injectLatency > 0 {
+		time.Sleep(b.injectLatency)
+	}
 	live := reqs[:0]
 	for _, req := range reqs {
 		if req.ctx.Err() != nil {
@@ -251,6 +498,14 @@ func (b *Batcher) run(reqs []*batchRequest, form time.Duration) {
 			continue
 		}
 		live = append(live, req)
+	}
+	if b.injectFault != nil {
+		if err := b.injectFault(); err != nil {
+			for _, req := range live {
+				req.done <- batchResult{err: fmt.Errorf("serve: injected fault: %w", err)}
+			}
+			return
+		}
 	}
 	var dups map[*batchRequest][]*batchRequest
 	if len(live) > 1 {
@@ -367,12 +622,16 @@ func (b *Batcher) run(reqs []*batchRequest, form time.Duration) {
 }
 
 // observeOutcome feeds one classified request back into the scheduling
-// plane: the exit history learns the observed exit step, and a lane that
-// carried a prediction scores it against the actual step count (the
-// predicted-vs-actual error histogram in /metrics).
+// and caching planes: the exit history learns the observed exit step, a
+// lane that carried a prediction scores it against the actual step count
+// (the predicted-vs-actual error histogram in /metrics), and the
+// response cache learns the outcome so replays are served upstream.
 func (b *Batcher) observeOutcome(req *batchRequest, pred int, out Outcome) {
 	if b.history != nil {
 		b.history.Record(req.hash, req.image, req.policy, out.Steps)
+	}
+	if b.cache != nil {
+		b.cache.Record(req.hash, req.image, req.policy, out)
 	}
 	if pred > 0 && b.metrics != nil {
 		b.metrics.ObserveExitPrediction(pred, out.Steps)

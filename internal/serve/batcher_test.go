@@ -2,7 +2,9 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -94,7 +96,7 @@ func TestBatcherMaxDelay(t *testing.T) {
 	// A lone request must still complete — the MaxDelay timer flushes the
 	// partial batch. Generous upper bound to stay robust on loaded CI.
 	const delay = 50 * time.Millisecond
-	b := NewBatcher(pool, nil, nil, nil, false, 8, delay, 0)
+	b := NewBatcher(pool, BatcherConfig{MaxBatch: 8, MaxDelay: delay})
 	began := time.Now()
 	if _, err := b.Submit(context.Background(), image, policy); err != nil {
 		t.Fatalf("Submit: %v", err)
@@ -110,7 +112,7 @@ func TestBatcherMaxDelay(t *testing.T) {
 
 	// A full batch must not wait for the delay: 8 requests with a huge
 	// MaxDelay complete as soon as the batch fills.
-	b = NewBatcher(pool, nil, nil, nil, false, 8, time.Hour, 0)
+	b = NewBatcher(pool, BatcherConfig{MaxBatch: 8, MaxDelay: time.Hour})
 	began = time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
@@ -131,7 +133,7 @@ func TestBatcherMaxDelay(t *testing.T) {
 
 func TestBatcherClose(t *testing.T) {
 	pool, image := testPool(t, 1)
-	b := NewBatcher(pool, nil, nil, nil, false, 4, time.Millisecond, 0)
+	b := NewBatcher(pool, BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond})
 	if _, err := b.Submit(context.Background(), image, ExitPolicy{MaxSteps: 8}); err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -140,6 +142,50 @@ func TestBatcherClose(t *testing.T) {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
 	}
 	b.Close() // idempotent
+}
+
+// TestBatcherCloseUnderLoad is the graceful-shutdown-under-saturation
+// contract: Close during overload lets the batch holding the replica
+// drain, fails everything still queued with ErrClosed (a 503, not a
+// hang), and leaks no goroutines.
+func TestBatcherCloseUnderLoad(t *testing.T) {
+	pool, image := testPool(t, 1)
+	baseline := runtime.NumGoroutine()
+	// MaxBatch 1 + injected latency: the first request holds the lone
+	// replica long enough that Close provably lands mid-saturation.
+	b := NewBatcher(pool, BatcherConfig{
+		MaxBatch: 1, QueueDepth: 16, InjectLatency: 200 * time.Millisecond,
+	})
+	const n = 6
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := b.Submit(context.Background(), image, ExitPolicy{MaxSteps: 8})
+			errs <- err
+		}()
+	}
+	waitFor(t, func() bool { return pool.InFlight() == 1 })
+	b.Close()
+	completed, closed := 0, 0
+	for i := 0; i < n; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			completed++
+		case errors.Is(err, ErrClosed):
+			closed++
+		default:
+			t.Fatalf("Submit during Close returned %v, want success or ErrClosed", err)
+		}
+	}
+	if completed == 0 {
+		t.Error("no in-flight request drained through Close")
+	}
+	if closed == 0 {
+		t.Error("no queued request was failed with ErrClosed")
+	}
+	// goleak-style check: everything the batcher spawned has exited.
+	// Small slack for runtime/test-framework goroutines that come and go.
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+2 })
 }
 
 func TestMetricsSnapshot(t *testing.T) {

@@ -303,7 +303,9 @@ func TestBatcherRunsF32Lockstep(t *testing.T) {
 		}
 	}()
 
-	b := NewBatcher(pool, metrics, NewStaticSched(2), nil, true, 4, 300*time.Millisecond, 0)
+	b := NewBatcher(pool, BatcherConfig{
+		Metrics: metrics, Sched: NewStaticSched(2), F32: true, MaxBatch: 4, MaxDelay: 300 * time.Millisecond,
+	})
 	defer b.Close()
 	var wg sync.WaitGroup
 	for i := range images {
@@ -362,7 +364,9 @@ func TestBatcherDedupesIdenticalRequests(t *testing.T) {
 			if lockstepMin > 0 {
 				sched = NewStaticSched(lockstepMin)
 			}
-			b := NewBatcher(pool, metrics, sched, nil, false, 8, 300*time.Millisecond, 0)
+			b := NewBatcher(pool, BatcherConfig{
+				Metrics: metrics, Sched: sched, MaxBatch: 8, MaxDelay: 300 * time.Millisecond,
+			})
 			defer b.Close()
 			type sub struct {
 				image  []float64

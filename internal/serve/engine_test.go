@@ -161,7 +161,9 @@ func TestBatcherRunsLockstepBatches(t *testing.T) {
 	}()
 
 	// Generous delay so all four submissions join one batch.
-	b := NewBatcher(pool, metrics, NewStaticSched(2), nil, false, 4, 300*time.Millisecond, 0)
+	b := NewBatcher(pool, BatcherConfig{
+		Metrics: metrics, Sched: NewStaticSched(2), MaxBatch: 4, MaxDelay: 300 * time.Millisecond,
+	})
 	defer b.Close()
 	var wg sync.WaitGroup
 	for i := range images {
@@ -195,7 +197,9 @@ func TestBatcherRunsLockstepBatches(t *testing.T) {
 func TestBatcherClampsLaneCap(t *testing.T) {
 	pool, image := testPool(t, 1)
 	metrics := NewMetrics()
-	b := NewBatcher(pool, metrics, NewStaticSched(2), nil, false, 128, 300*time.Millisecond, 0)
+	b := NewBatcher(pool, BatcherConfig{
+		Metrics: metrics, Sched: NewStaticSched(2), MaxBatch: 128, MaxDelay: 300 * time.Millisecond,
+	})
 	defer b.Close()
 	policy := ExitPolicy{MaxSteps: 16}
 	var wg sync.WaitGroup

@@ -78,12 +78,22 @@ type Metrics struct {
 	exitHist atomic.Pointer[ExitHistory]
 
 	// Error accounting is split by where the failure happened:
-	// errAdmission counts requests the server refused or timed out
-	// before simulation (queue backpressure deadline, shutdown,
-	// validation); errSim counts failures inside batch execution
-	// (replica checkout, simulator errors).
+	// errAdmission counts requests the server refused before simulation
+	// for non-overload reasons (validation, shutdown); errShed counts
+	// overload sheds (full queue, projected-wait refusal, deadline
+	// expiry, cancellation); errSim counts failures inside batch
+	// execution (replica checkout, simulator errors).
 	errAdmission atomic.Int64
+	errShed      atomic.Int64
 	errSim       atomic.Int64
+
+	// degraded counts requests served under the degraded-mode tightened
+	// exit policy (successful responses, not errors).
+	degraded atomic.Int64
+
+	// respCache is the model's cross-batch response cache, if any;
+	// Snapshot surfaces its hit/miss counters.
+	respCache atomic.Pointer[ResponseCache]
 
 	// Batch execution gauges (see Batcher): how full microbatches run and
 	// how many lockstep steps lane retirement avoided versus running every
@@ -137,6 +147,15 @@ func (m *Metrics) ObserveAdmissionError() { m.errAdmission.Add(1) }
 // checkout, simulator error).
 func (m *Metrics) ObserveSimError() { m.errSim.Add(1) }
 
+// ObserveShed records a request shed by the overload plane: refused at
+// admission (full queue, projected wait past the deadline) or expired
+// before execution completed.
+func (m *Metrics) ObserveShed() { m.errShed.Add(1) }
+
+// ObserveDegraded records a request served under the degraded-mode
+// tightened exit policy.
+func (m *Metrics) ObserveDegraded() { m.degraded.Add(1) }
+
 // ObserveError records a failed request of unspecified origin; it counts
 // as a simulation-side error. Prefer the split observers.
 func (m *Metrics) ObserveError() { m.ObserveSimError() }
@@ -170,6 +189,13 @@ func (m *Metrics) ObserveStages(st obs.StageTimes, total time.Duration) {
 	m.stage[obs.StageEncode].ObserveDuration(st.Encode)
 	m.stage[obs.StageSimulate].ObserveDuration(st.Simulate)
 	m.stage[obs.StageReadout].ObserveDuration(st.Readout)
+	m.stage[obs.StageTotal].ObserveDuration(total)
+}
+
+// ObserveTotalOnly records just the end-to-end span, for requests that
+// never entered the pipeline (response-cache hits): the per-stage
+// histograms stay pure measurements of executed work.
+func (m *Metrics) ObserveTotalOnly(total time.Duration) {
 	m.stage[obs.StageTotal].ObserveDuration(total)
 }
 
@@ -263,6 +289,11 @@ func (m *Metrics) BatchKernel() string {
 // because the registry re-attaches the fresh cache).
 func (m *Metrics) AttachQuantCache(c *coding.QuantCache) { m.quant.Store(c) }
 
+// AttachResponseCache points the snapshot's response-cache counters at
+// the model's cross-batch response cache (nil detaches; survives
+// re-registration because the server re-attaches the fresh cache).
+func (m *Metrics) AttachResponseCache(c *ResponseCache) { m.respCache.Store(c) }
+
 // StageStats is the JSON summary of one histogram: observation count
 // plus histogram-estimated mean and percentiles — in milliseconds for
 // the stage map, in lanes for the occupancy distribution. The estimates
@@ -282,9 +313,13 @@ type Snapshot struct {
 	Requests int64 `json:"requests"`
 	// Errors totals the split counters below (the pre-split schema).
 	Errors int64 `json:"errors"`
-	// AdmissionErrors counts requests refused or timed out before
-	// simulation; SimulationErrors counts failures inside execution.
+	// AdmissionErrors counts requests refused before simulation for
+	// non-overload reasons (validation, shutdown); SheddedRequests
+	// counts overload sheds (full queue, projected-wait refusal,
+	// deadline expiry, cancellation — HTTP 429/504);
+	// SimulationErrors counts failures inside execution.
 	AdmissionErrors  int64 `json:"admissionErrors"`
+	SheddedRequests  int64 `json:"sheddedRequests"`
 	SimulationErrors int64 `json:"simulationErrors"`
 	// EarlyExits counts requests that exited before their full step
 	// budget; EarlyExitRate is the same as a fraction of requests.
@@ -344,13 +379,25 @@ type Snapshot struct {
 	// quantization to cache).
 	EncoderCacheHits   int64 `json:"encoderCacheHits"`
 	EncoderCacheMisses int64 `json:"encoderCacheMisses"`
+	// ResponseCacheHits/Misses are the cross-batch response cache's
+	// lookup counters (hits are replayed requests served without a queue
+	// slot or replica checkout).
+	ResponseCacheHits   int64 `json:"responseCacheHits"`
+	ResponseCacheMisses int64 `json:"responseCacheMisses"`
+	// DegradedRequests counts requests served under the degraded-mode
+	// tightened exit policy.
+	DegradedRequests int64 `json:"degradedRequests"`
 	// Live gauges, filled by the server at scrape time (zero when the
 	// snapshot comes straight from Metrics.Snapshot): requests waiting in
-	// the model's admission queue, replicas checked out right now, and
-	// the pool bound.
-	QueueDepth   int `json:"queueDepth"`
-	PoolInFlight int `json:"poolInFlight"`
-	PoolSize     int `json:"poolSize"`
+	// the model's admission queue, replicas checked out right now, the
+	// pool bound, and the degraded-mode state machine's mode
+	// ("off"/"normal"/"degraded") with its smoothed queue-pressure
+	// signal.
+	QueueDepth    int     `json:"queueDepth"`
+	PoolInFlight  int     `json:"poolInFlight"`
+	PoolSize      int     `json:"poolSize"`
+	DegradeMode   string  `json:"degradeMode,omitempty"`
+	QueuePressure float64 `json:"queuePressure"`
 }
 
 // stageStats summarizes one histogram; scale converts the stored unit
@@ -383,8 +430,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		st.mu.Unlock()
 	}
 	s.AdmissionErrors = m.errAdmission.Load()
+	s.SheddedRequests = m.errShed.Load()
 	s.SimulationErrors = m.errSim.Load()
-	s.Errors = s.AdmissionErrors + s.SimulationErrors
+	s.Errors = s.AdmissionErrors + s.SheddedRequests + s.SimulationErrors
+	s.DegradedRequests = m.degraded.Load()
 	if s.Requests > 0 {
 		s.EarlyExitRate = float64(s.EarlyExits) / float64(s.Requests)
 		s.MeanSteps /= float64(s.Requests)
@@ -428,6 +477,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if q := m.quant.Load(); q != nil {
 		s.EncoderCacheHits, s.EncoderCacheMisses = q.Stats()
+	}
+	if c := m.respCache.Load(); c != nil {
+		s.ResponseCacheHits, s.ResponseCacheMisses = c.Stats()
 	}
 	return s
 }

@@ -159,7 +159,8 @@ func TestErrorSplitCounters(t *testing.T) {
 	}); err == nil {
 		t.Fatal("negative MaxSteps accepted")
 	}
-	// An already-canceled context is an admission error too.
+	// An already-canceled context counts as a shed: the caller's deadline
+	// budget was gone before the request reached a replica.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := s.Classify(ctx, ClassifyRequest{
@@ -168,8 +169,11 @@ func TestErrorSplitCounters(t *testing.T) {
 		t.Fatal("canceled context classified")
 	}
 	snap := m.Metrics().Snapshot()
-	if snap.AdmissionErrors != 3 {
-		t.Errorf("AdmissionErrors = %d, want 3", snap.AdmissionErrors)
+	if snap.AdmissionErrors != 2 {
+		t.Errorf("AdmissionErrors = %d, want 2", snap.AdmissionErrors)
+	}
+	if snap.SheddedRequests != 1 {
+		t.Errorf("SheddedRequests = %d, want 1 (canceled context)", snap.SheddedRequests)
 	}
 	if snap.SimulationErrors != 0 {
 		t.Errorf("SimulationErrors = %d, want 0", snap.SimulationErrors)

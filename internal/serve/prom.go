@@ -71,6 +71,7 @@ func (s *Server) writeProm(w io.Writer) error {
 		s.mu.Unlock()
 		if b != nil {
 			snap.QueueDepth = b.QueueDepth()
+			snap.DegradeMode, snap.QueuePressure = b.DegradeState()
 		}
 		snap.PoolInFlight = m.Pool().InFlight()
 		snap.PoolSize = m.Pool().Size()
@@ -94,12 +95,15 @@ func (s *Server) writeProm(w io.Writer) error {
 		func(s Snapshot) float64 { return float64(s.Requests) })
 
 	pw.Header("burstsnn_errors_total",
-		"Failed requests by failure site: admission (refused or expired before simulating) vs simulation (failed during batch execution).",
+		"Failed requests by failure site: admission (refused before simulating: validation, shutdown), shed (overload: full queue, projected-wait refusal, deadline expiry), simulation (failed during batch execution).",
 		"counter")
 	for _, r := range rows {
 		pw.Metric("burstsnn_errors_total", []obs.Label{
 			{Name: "model", Value: r.name}, {Name: "kind", Value: "admission"},
 		}, float64(r.snap.AdmissionErrors))
+		pw.Metric("burstsnn_errors_total", []obs.Label{
+			{Name: "model", Value: r.name}, {Name: "kind", Value: "shed"},
+		}, float64(r.snap.SheddedRequests))
 		pw.Metric("burstsnn_errors_total", []obs.Label{
 			{Name: "model", Value: r.name}, {Name: "kind", Value: "simulation"},
 		}, float64(r.snap.SimulationErrors))
@@ -157,6 +161,14 @@ func (s *Server) writeProm(w io.Writer) error {
 		func(s Snapshot) float64 { return float64(s.EncoderCacheHits) })
 	counter("burstsnn_encoder_cache_misses_total", "Encoder quantization-cache misses.",
 		func(s Snapshot) float64 { return float64(s.EncoderCacheMisses) })
+	counter("burstsnn_response_cache_hits_total",
+		"Cross-batch response-cache hits (replayed requests served without a queue slot or replica).",
+		func(s Snapshot) float64 { return float64(s.ResponseCacheHits) })
+	counter("burstsnn_response_cache_misses_total", "Cross-batch response-cache misses.",
+		func(s Snapshot) float64 { return float64(s.ResponseCacheMisses) })
+	counter("burstsnn_degraded_requests_total",
+		"Requests served under the degraded-mode tightened exit policy.",
+		func(s Snapshot) float64 { return float64(s.DegradedRequests) })
 
 	gauge("burstsnn_queue_depth", "Requests waiting in the model's admission queue right now.",
 		func(s Snapshot) float64 { return float64(s.QueueDepth) })
@@ -164,6 +176,17 @@ func (s *Server) writeProm(w io.Writer) error {
 		func(s Snapshot) float64 { return float64(s.PoolInFlight) })
 	gauge("burstsnn_pool_size", "Replica pool bound.",
 		func(s Snapshot) float64 { return float64(s.PoolSize) })
+	gauge("burstsnn_queue_pressure",
+		"EWMA'd admission-queue fill fraction driving degraded mode (0 with no degrade controller).",
+		func(s Snapshot) float64 { return s.QueuePressure })
+	gauge("burstsnn_degraded_mode",
+		"1 while the model serves under the degraded-mode tightened policy, else 0.",
+		func(s Snapshot) float64 {
+			if s.DegradeMode == "degraded" {
+				return 1
+			}
+			return 0
+		})
 
 	pw.Header("burstsnn_batch_kernel_info",
 		"Resolved lockstep compute plane per model; value is always 1.", "gauge")

@@ -52,7 +52,13 @@ func TestPromExposition(t *testing.T) {
 	for _, want := range []string{
 		`burstsnn_requests_total{model="digits"} 5`,
 		`burstsnn_errors_total{model="digits",kind="admission"} 1`,
+		`burstsnn_errors_total{model="digits",kind="shed"} 0`,
 		`burstsnn_errors_total{model="digits",kind="simulation"} 0`,
+		`burstsnn_response_cache_hits_total{model="digits"} 0`,
+		`burstsnn_response_cache_misses_total{model="digits"} 5`,
+		`burstsnn_degraded_requests_total{model="digits"} 0`,
+		`burstsnn_queue_pressure{model="digits"} 0`,
+		`burstsnn_degraded_mode{model="digits"} 0`,
 		`burstsnn_stage_duration_seconds_count{model="digits",stage="simulate"} 5`,
 		`burstsnn_pool_size{model="digits"} 4`,
 		`burstsnn_queue_depth{model="digits"} 0`,

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"burstsnn/internal/coding"
+)
+
+// DefaultResponseCacheEntries bounds a model's response cache. Each
+// entry keeps the source image for collision verification plus one
+// Outcome (~6.4 KB at MNIST scale), so the default costs at most ~26 MB
+// per model — the same order as the exit history and quant cache it
+// sits beside.
+const DefaultResponseCacheEntries = 4096
+
+// DefaultResponseCacheTTL bounds how long a cached Outcome may be
+// served. The simulator is deterministic, so a cached outcome never
+// goes *wrong* — the TTL only bounds how long a retired model revision
+// could keep answering through a cache that outlives it, and keeps the
+// promotion set from accumulating cold keys.
+const DefaultResponseCacheTTL = time.Minute
+
+// ResponseCache is the cross-batch (image-hash, policy) → Outcome cache
+// in front of the batcher: replay-heavy traffic is answered without
+// holding a queue slot or checking out a replica. It generalizes the
+// batcher's in-window dedupe (which only collapses duplicates landing
+// in the same dispatch window) across dispatch windows, bounded by a
+// TTL.
+//
+// The discipline is coding.QuantCache's / ExitHistory's, exactly: keys
+// go through coding.HashImage, every hit verifies pixel equality
+// against the stored image (a hash collision degrades to a miss, never
+// to another image's outcome), and an entry — with its verification
+// image copy — is only stored on a key's second sighting inside one
+// TTL window, so unique-image traffic never allocates entries. The
+// outcome is policy-dependent, so the policy is part of the key. When
+// full, an arbitrary entry is evicted per insert (the workloads this
+// serves are dominated by a small hot set). Safe for concurrent use.
+type ResponseCache struct {
+	mu      sync.Mutex
+	max     int
+	ttl     time.Duration
+	now     func() time.Time // injectable clock for deterministic TTL tests
+	entries map[exitKey]respEntry
+	seen    map[exitKey]time.Time // first-sighting times (promotion gate)
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type respEntry struct {
+	image   []float64
+	out     Outcome
+	expires time.Time
+}
+
+// NewResponseCache returns a cache bounded to maxEntries (<= 0 uses
+// DefaultResponseCacheEntries) whose entries expire ttl after their
+// last Record (<= 0 uses DefaultResponseCacheTTL).
+func NewResponseCache(maxEntries int, ttl time.Duration) *ResponseCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultResponseCacheEntries
+	}
+	if ttl <= 0 {
+		ttl = DefaultResponseCacheTTL
+	}
+	return &ResponseCache{
+		max:     maxEntries,
+		ttl:     ttl,
+		now:     time.Now,
+		entries: map[exitKey]respEntry{},
+		seen:    map[exitKey]time.Time{},
+	}
+}
+
+// Stats returns the lifetime lookup hit/miss counters (surfaced as
+// responseCacheHits/responseCacheMisses in /metrics).
+func (c *ResponseCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports how many promoted entries the cache holds right now.
+func (c *ResponseCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Lookup returns the cached Outcome for (image, policy) if an unexpired,
+// pixel-verified entry exists. hash must be coding.HashImage(image) —
+// the batcher hashes each request once at submit and reuses it here,
+// in dedupe, and in the exit history. An expired entry is dropped; a
+// key match with different pixel contents counts as a miss.
+func (c *ResponseCache) Lookup(hash uint64, image []float64, p ExitPolicy) (Outcome, bool) {
+	k := exitKey{hash: hash, policy: p}
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if ok && c.now().After(e.expires) {
+		delete(c.entries, k)
+		ok = false
+	}
+	c.mu.Unlock()
+	if ok && coding.SameImage(e.image, image) {
+		c.hits.Add(1)
+		return e.out, true
+	}
+	c.misses.Add(1)
+	return Outcome{}, false
+}
+
+// Record notes one classified (image, policy) → Outcome. The first
+// sighting of a key inside a TTL window only marks it seen; the second
+// stores the entry (copying the image for collision verification);
+// later sightings refresh the outcome and TTL in place. A colliding
+// key (same hash, different pixels) replaces the stored entry,
+// mirroring QuantCache's re-store.
+func (c *ResponseCache) Record(hash uint64, image []float64, p ExitPolicy, out Outcome) {
+	k := exitKey{hash: hash, policy: p}
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		if coding.SameImage(e.image, image) {
+			e.out, e.expires = out, now.Add(c.ttl)
+			c.entries[k] = e
+			return
+		}
+		// Collision (or changed pixels under the same hash): replace.
+		c.entries[k] = respEntry{
+			image: append([]float64(nil), image...), out: out, expires: now.Add(c.ttl),
+		}
+		return
+	}
+	if first, ok := c.seen[k]; !ok || now.Sub(first) > c.ttl {
+		// First sighting (or the previous one aged past the TTL — a key
+		// must be hot within one window to earn an entry).
+		if len(c.seen) >= c.max {
+			for old := range c.seen {
+				delete(c.seen, old)
+				break
+			}
+		}
+		c.seen[k] = now
+		return
+	}
+	delete(c.seen, k)
+	if len(c.entries) >= c.max {
+		for old := range c.entries {
+			delete(c.entries, old)
+			break
+		}
+	}
+	c.entries[k] = respEntry{
+		image: append([]float64(nil), image...), out: out, expires: now.Add(c.ttl),
+	}
+}

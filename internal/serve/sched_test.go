@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
@@ -240,7 +241,10 @@ func TestAdaptiveBatcherOutcomeInvariance(t *testing.T) {
 	// fallbackMin 2 so even cold-start batches dispatch lockstep on the
 	// f64 plane (bit-identical, so invariance is an exact comparison).
 	sched := NewAdaptiveSched(0, 2)
-	b := NewBatcher(pool, metrics, sched, history, false, 8, 300*time.Millisecond, 0)
+	b := NewBatcher(pool, BatcherConfig{
+		Metrics: metrics, Sched: sched, History: history,
+		MaxBatch: 8, MaxDelay: 300 * time.Millisecond,
+	})
 	defer b.Close()
 
 	// Several rounds: round 1 runs cold (no predictions), later rounds
@@ -278,29 +282,64 @@ func TestAdaptiveBatcherOutcomeInvariance(t *testing.T) {
 	if samples, _ := sched.Stats(); samples == 0 {
 		t.Error("adaptive controller measured no batches")
 	}
-}
 
-// --- batcher backpressure (previously untested SubmitTraced paths) ---
-
-// unstartedBatcher builds a Batcher whose dispatcher never runs, so the
-// admission queue's backpressure is observable deterministically (a live
-// dispatcher would drain the queue before Submit could block).
-func unstartedBatcher(queueDepth int) *Batcher {
-	return &Batcher{
-		maxBatch: 8,
-		queue:    make(chan *batchRequest, queueDepth),
-		done:     make(chan struct{}),
+	// Invariance across the response cache: attach it to the warmed
+	// batcher and replay one request. The first two replays run the full
+	// pipeline (sighting, then promotion); the third is a cache hit and
+	// must still report the exact sequential outcome — with no pipeline
+	// spans, since it never queued or simulated.
+	cache := NewResponseCache(0, time.Hour)
+	metrics.AttachResponseCache(cache)
+	b.cache = cache
+	for replay := 0; replay < 2; replay++ {
+		out, err := b.Submit(context.Background(), images[0], policies[0])
+		if err != nil {
+			t.Fatalf("replay %d: %v", replay, err)
+		}
+		if out != want[0] {
+			t.Errorf("replay %d: outcome %+v, sequential %+v", replay, out, want[0])
+		}
+	}
+	out, stages, flags, err := b.SubmitTraced(context.Background(), images[0], policies[0])
+	if err != nil || !flags.Cached {
+		t.Fatalf("replay after promotion: err=%v cached=%v, want cached hit", err, flags.Cached)
+	}
+	if out != want[0] {
+		t.Errorf("cached outcome %+v differs from fresh classification %+v", out, want[0])
+	}
+	if stages.Simulate != 0 || stages.Queue != 0 {
+		t.Errorf("cache hit reported pipeline spans %+v, want none", stages)
+	}
+	if hits, _ := cache.Stats(); hits == 0 {
+		t.Error("response cache recorded no hits after promotion replay")
 	}
 }
 
-func TestSubmitBlocksOnFullQueue(t *testing.T) {
+// --- deterministic overload harness (unstarted batcher) ---
+
+// unstartedBatcher builds a Batcher whose dispatcher never runs, so
+// admission behavior — queue fill, shedding, dispatch-time expiry — is
+// observable deterministically (a live dispatcher would drain the queue
+// before the states of interest could be pinned).
+func unstartedBatcher(queueDepth int) *Batcher {
+	closeCtx, closeCancel := context.WithCancel(context.Background())
+	return &Batcher{
+		maxBatch:    8,
+		queue:       make(chan *batchRequest, queueDepth),
+		done:        make(chan struct{}),
+		closeCtx:    closeCtx,
+		closeCancel: closeCancel,
+	}
+}
+
+func TestSubmitShedsOnFullQueue(t *testing.T) {
 	b := unstartedBatcher(2)
 	img := []float64{0.5}
 	p := ExitPolicy{MaxSteps: 8}
 
 	// Fill the admission queue: these Submits enqueue immediately and
 	// then block waiting for a (never-coming) result.
-	results := make(chan error, 3)
+	results := make(chan error, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
 			_, err := b.Submit(context.Background(), img, p)
@@ -309,32 +348,15 @@ func TestSubmitBlocksOnFullQueue(t *testing.T) {
 	}
 	waitFor(t, func() bool { return b.QueueDepth() == 2 })
 
-	// The queue is full: a third Submit must block in the enqueue select
-	// until its context is canceled, then return ctx.Err() — the
-	// backpressure contract.
-	ctx, cancel := context.WithCancel(context.Background())
-	blocked := make(chan error, 1)
-	go func() {
-		_, err := b.Submit(ctx, img, p)
-		blocked <- err
-	}()
-	select {
-	case err := <-blocked:
-		t.Fatalf("Submit returned %v while the queue was full; it must block", err)
-	case <-time.After(50 * time.Millisecond):
+	// The queue is full: a third Submit must shed immediately with
+	// ErrOverloaded — the admission contract is shed-don't-block, so
+	// overload becomes a 429 signal instead of client-side timeouts.
+	if _, err := b.Submit(context.Background(), img, p); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Submit on a full queue returned %v, want ErrOverloaded", err)
 	}
-	cancel()
-	select {
-	case err := <-blocked:
-		if err != context.Canceled {
-			t.Fatalf("blocked Submit returned %v, want context.Canceled", err)
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("Submit stayed blocked after its context was canceled")
-	}
-	// The canceled request never entered the queue.
+	// The shed request never entered the queue.
 	if d := b.QueueDepth(); d != 2 {
-		t.Fatalf("QueueDepth = %d after canceled Submit, want 2", d)
+		t.Fatalf("QueueDepth = %d after shed Submit, want 2", d)
 	}
 
 	// Unblock the two queued requests so their goroutines exit.
@@ -344,6 +366,191 @@ func TestSubmitBlocksOnFullQueue(t *testing.T) {
 		if err := <-results; err != ErrClosed {
 			t.Fatalf("drained request returned %v, want ErrClosed", err)
 		}
+	}
+}
+
+func TestSubmitShedsOnProjectedWait(t *testing.T) {
+	b := unstartedBatcher(8)
+	img := []float64{0.5}
+	p := ExitPolicy{MaxSteps: 8}
+
+	// Teach the drain estimator one second per request and park four
+	// requests in the queue: projected wait = 4s (pool of 1).
+	b.observeDrain(4*time.Second, 4)
+	results := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := b.Submit(context.Background(), img, p)
+			results <- err
+		}()
+	}
+	waitFor(t, func() bool { return b.QueueDepth() == 4 })
+	if w := b.projectedWait(); w < 3*time.Second {
+		t.Fatalf("projectedWait = %v with 4 queued at 1s/request, want ~4s", w)
+	}
+
+	// A request with 50ms of deadline left cannot possibly be served
+	// through a 4s backlog: it must shed now, without a queue slot.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := b.Submit(ctx, img, p); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Submit with doomed deadline returned %v, want ErrOverloaded", err)
+	}
+	if d := b.QueueDepth(); d != 4 {
+		t.Fatalf("QueueDepth = %d after projected-wait shed, want 4", d)
+	}
+	// Retry-After reflects the projected backlog (floored at 1s).
+	if ra := b.RetryAfter(); ra < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", ra)
+	}
+
+	for i := 0; i < 4; i++ {
+		req := <-b.queue
+		req.done <- batchResult{err: ErrClosed}
+		if err := <-results; err != ErrClosed {
+			t.Fatalf("drained request returned %v, want ErrClosed", err)
+		}
+	}
+}
+
+// TestDispatchShedsExpired proves expired requests are failed at
+// dispatch time without joining a batch: the batcher has a nil pool, so
+// any attempt to execute would panic in run().
+func TestDispatchShedsExpired(t *testing.T) {
+	b := unstartedBatcher(4)
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := make([]*batchRequest, 3)
+	for i := range reqs {
+		reqs[i] = &batchRequest{ctx: canceled, done: make(chan batchResult, 1)}
+		b.queue <- reqs[i]
+	}
+	close(b.queue)
+	b.dispatch() // synchronous: runs to completion on the closed queue
+	<-b.done
+	for i, req := range reqs {
+		select {
+		case res := <-req.done:
+			if !errors.Is(res.err, context.Canceled) {
+				t.Fatalf("request %d: err = %v, want context.Canceled", i, res.err)
+			}
+		default:
+			t.Fatalf("request %d was never resolved at dispatch", i)
+		}
+	}
+}
+
+// TestDispatchShedsOnClose proves queued requests fail with ErrClosed at
+// dispatch once Close has fired, instead of executing (nil pool again:
+// execution would panic).
+func TestDispatchShedsOnClose(t *testing.T) {
+	b := unstartedBatcher(4)
+	b.closeCancel() // Close's signal, without Close's queue teardown
+	reqs := make([]*batchRequest, 3)
+	for i := range reqs {
+		reqs[i] = &batchRequest{ctx: context.Background(), done: make(chan batchResult, 1)}
+		b.queue <- reqs[i]
+	}
+	close(b.queue)
+	b.dispatch()
+	<-b.done
+	for i, req := range reqs {
+		select {
+		case res := <-req.done:
+			if !errors.Is(res.err, ErrClosed) {
+				t.Fatalf("request %d: err = %v, want ErrClosed", i, res.err)
+			}
+		default:
+			t.Fatalf("request %d was never resolved at dispatch", i)
+		}
+	}
+}
+
+// TestDegradeControllerHysteresis pins the degraded-mode state machine
+// deterministically: EWMA'd pressure enters at the high threshold, holds
+// through the hysteresis band, and exits only below the low threshold.
+func TestDegradeControllerHysteresis(t *testing.T) {
+	d := NewDegradeController(0, 0)
+	if d.Degraded() {
+		t.Fatal("controller born degraded")
+	}
+	// Saturated queue: pressure EWMA climbs to 1.0 and crosses enter.
+	for i := 0; i < 10; i++ {
+		d.Observe(8, 8)
+	}
+	if !d.Degraded() {
+		t.Fatal("controller not degraded after sustained full-queue pressure")
+	}
+	if mode, p := d.State(); mode != "degraded" || p < DefaultDegradeEnterPressure {
+		t.Fatalf("State() = %q/%.2f, want degraded at >= %.2f", mode, p, DefaultDegradeEnterPressure)
+	}
+	// Mid-band pressure (0.5): inside the hysteresis band, stays degraded.
+	for i := 0; i < 20; i++ {
+		d.Observe(4, 8)
+	}
+	if !d.Degraded() {
+		t.Fatal("controller left degraded mode inside the hysteresis band")
+	}
+	// Empty queue: pressure decays below exit and the mode relaxes.
+	for i := 0; i < 20; i++ {
+		d.Observe(0, 8)
+	}
+	if d.Degraded() {
+		t.Fatal("controller still degraded after sustained recovery")
+	}
+	if d.Enters() != 1 {
+		t.Fatalf("Enters() = %d, want exactly 1 transition", d.Enters())
+	}
+}
+
+func TestDegradeTightenPolicy(t *testing.T) {
+	d := NewDegradeController(0, 0)
+	cases := []struct{ in, want ExitPolicy }{
+		{ExitPolicy{MaxSteps: 96, MinSteps: 16, StableWindow: 12, Margin: 0.1},
+			ExitPolicy{MaxSteps: 48, MinSteps: 8, StableWindow: 6, Margin: 0.1}},
+		{ExitPolicy{MaxSteps: 96}, ExitPolicy{MaxSteps: 48}},
+		{ExitPolicy{MaxSteps: 1}, ExitPolicy{MaxSteps: 1}},
+		{ExitPolicy{MaxSteps: 3, MinSteps: 3, StableWindow: 1},
+			ExitPolicy{MaxSteps: 2, MinSteps: 2, StableWindow: 1}},
+	}
+	for _, c := range cases {
+		got := d.Tighten(c.in)
+		if got != c.want {
+			t.Errorf("Tighten(%+v) = %+v, want %+v", c.in, got, c.want)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("Tighten(%+v) produced invalid policy: %v", c.in, err)
+		}
+		// Determinism: same input, same tightened policy.
+		if again := d.Tighten(c.in); again != got {
+			t.Errorf("Tighten not deterministic: %+v then %+v", got, again)
+		}
+	}
+}
+
+// TestSubmitDegradedPolicy proves a degraded batcher enqueues requests
+// under the tightened policy and flags them Degraded.
+func TestSubmitDegradedPolicy(t *testing.T) {
+	b := unstartedBatcher(4)
+	d := NewDegradeController(0, 0)
+	for i := 0; i < 10; i++ {
+		d.Observe(8, 8) // force degraded before the batcher observes
+	}
+	b.degrade = d
+	p := ExitPolicy{MaxSteps: 96, MinSteps: 16, StableWindow: 12}
+
+	flagsCh := make(chan SubmitFlags, 1)
+	go func() {
+		_, _, flags, _ := b.SubmitTraced(context.Background(), []float64{0.5}, p)
+		flagsCh <- flags
+	}()
+	req := <-b.queue
+	if want := d.Tighten(p); req.policy != want {
+		t.Fatalf("degraded request enqueued with policy %+v, want tightened %+v", req.policy, want)
+	}
+	req.done <- batchResult{err: ErrClosed}
+	if flags := <-flagsCh; !flags.Degraded {
+		t.Fatalf("SubmitFlags = %+v, want Degraded", flags)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -55,8 +56,9 @@ type Config struct {
 	// MaxDelay is how long a batch waits for company after its first
 	// request (default 2ms). Negative dispatches immediately.
 	MaxDelay time.Duration
-	// QueueDepth bounds each model's request queue; Submits beyond it
-	// block (backpressure). Default 4×MaxBatch.
+	// QueueDepth bounds each model's admission queue; Submits beyond it
+	// are shed with ErrOverloaded (HTTP 429 + Retry-After) rather than
+	// blocked. Default 4×MaxBatch.
 	QueueDepth int
 	// LockstepBatch selects the scheduling policy for multi-request
 	// microbatches: lockstep through the batch simulator (amortized
@@ -102,7 +104,34 @@ type Config struct {
 	// "The float32 compute plane" for the contract each plane offers.
 	BatchKernel string
 	// RequestTimeout bounds one classification end to end (default 30s).
+	// The resulting deadline also drives admission: a request whose
+	// remaining deadline is below the projected queue wait is shed
+	// immediately (429) instead of queued to time out.
 	RequestTimeout time.Duration
+	// ResponseCacheSize bounds each model's cross-batch
+	// (image-hash, policy) → Outcome response cache: replayed requests
+	// are answered without a queue slot or replica checkout, with
+	// pixel-verified hits (collisions degrade to misses — see
+	// ResponseCache). 0 uses DefaultResponseCacheEntries; negative
+	// disables the cache. Cached outcomes are byte-identical to fresh
+	// classification (the simulator is deterministic), so the cache is
+	// on by default.
+	ResponseCacheSize int
+	// ResponseCacheTTL bounds how long a cached outcome may be served
+	// (0 uses DefaultResponseCacheTTL).
+	ResponseCacheTTL time.Duration
+	// Degrade enables graceful degradation: a per-model controller
+	// EWMAs admission-queue pressure and, while it is high, serves every
+	// admitted request under a tightened exit policy (halved step
+	// budget — see DegradeController.Tighten), relaxing again on
+	// recovery. Off by default: degraded outcomes intentionally differ
+	// from the full-budget ones, so the trade is opt-in. Mode and
+	// pressure are visible in /metrics, /metrics/prom, and /healthz.
+	Degrade bool
+	// InjectLatency artificially extends every batch's replica hold time
+	// (overload-testing hook used by the selftest to saturate a pool
+	// deterministically; zero in production).
+	InjectLatency time.Duration
 	// TraceCapacity bounds the recent-trace ring behind GET /v1/trace
 	// (default 256 traces; negative disables tracing entirely).
 	TraceCapacity int
@@ -221,6 +250,11 @@ type ClassifyResult struct {
 	Spikes       int `json:"spikes"`
 	// LatencyMs is wall-clock time including queueing and batching.
 	LatencyMs float64 `json:"latencyMs"`
+	// Cached marks a response served from the cross-batch response cache
+	// (no queue wait, no simulation); Degraded marks a request served
+	// under the degraded-mode tightened exit policy.
+	Cached   bool `json:"cached,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
 	// RequestID identifies this request in the server's trace ring: the
 	// matching GET /v1/trace entry carries the same id with the
 	// per-stage breakdown. Empty for in-process calls without tracing.
@@ -322,6 +356,14 @@ func (s *Server) Register(cfg ModelConfig, net *dnn.Network, normSamples []datas
 	if s.cfg.ExitHistorySize >= 0 {
 		history = NewExitHistory(s.cfg.ExitHistorySize)
 	}
+	var cache *ResponseCache
+	if s.cfg.ResponseCacheSize >= 0 {
+		cache = NewResponseCache(s.cfg.ResponseCacheSize, s.cfg.ResponseCacheTTL)
+	}
+	var degrade *DegradeController
+	if s.cfg.Degrade {
+		degrade = NewDegradeController(0, 0)
+	}
 	m, err := s.reg.Register(cfg, net, normSamples)
 	if err != nil {
 		return nil, err
@@ -329,10 +371,21 @@ func (s *Server) Register(cfg ModelConfig, net *dnn.Network, normSamples []datas
 	m.Metrics().SetBatchKernel(resolvedKernel(s.cfg.BatchKernel))
 	m.Metrics().SetScheduler(sched.Name())
 	m.Metrics().AttachExitHistory(history)
+	m.Metrics().AttachResponseCache(cache)
 	s.mu.Lock()
 	old := s.batchers[cfg.Name]
-	s.batchers[cfg.Name] = NewBatcher(m.Pool(), m.Metrics(), sched, history,
-		f32, s.cfg.MaxBatch, s.cfg.MaxDelay, s.cfg.QueueDepth)
+	s.batchers[cfg.Name] = NewBatcher(m.Pool(), BatcherConfig{
+		Metrics:       m.Metrics(),
+		Sched:         sched,
+		History:       history,
+		Cache:         cache,
+		Degrade:       degrade,
+		F32:           f32,
+		MaxBatch:      s.cfg.MaxBatch,
+		MaxDelay:      s.cfg.MaxDelay,
+		QueueDepth:    s.cfg.QueueDepth,
+		InjectLatency: s.cfg.InjectLatency,
+	})
 	s.mu.Unlock()
 	if old != nil {
 		old.Close()
@@ -387,24 +440,37 @@ func (s *Server) Classify(ctx context.Context, req ClassifyRequest) (ClassifyRes
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	began := time.Now()
-	out, stages, deduped, err := b.SubmitTraced(ctx, req.Image, policy)
+	out, stages, flags, err := b.SubmitTraced(ctx, req.Image, policy)
 	latency := time.Since(began)
 	if err != nil {
-		// Split error accounting: requests refused or expired before
-		// simulating (queue backpressure deadline, cancellation,
-		// shutdown) are admission errors; failures inside batch
-		// execution are simulation errors.
-		if isAdmissionError(err) {
+		// Split error accounting three ways: overload sheds (queue full,
+		// projected-wait refusal, deadline expiry, cancellation) are
+		// distinguishable from bad-input/shutdown admission errors, and
+		// both from failures inside batch execution.
+		switch {
+		case isShedError(err):
+			m.Metrics().ObserveShed()
+		case isAdmissionError(err):
 			m.Metrics().ObserveAdmissionError()
-		} else {
+		default:
 			m.Metrics().ObserveSimError()
 		}
-		s.record(rid, req.Model, began, latency, stages, out, deduped, m, err)
+		s.record(rid, req.Model, began, latency, stages, out, flags, m, err)
 		return ClassifyResult{}, err
 	}
+	if flags.Degraded {
+		m.Metrics().ObserveDegraded()
+	}
 	m.Metrics().Observe(out, latency)
-	m.Metrics().ObserveStages(stages, latency)
-	s.record(rid, req.Model, began, latency, stages, out, deduped, m, nil)
+	if flags.Cached {
+		// A cache hit never entered the pipeline: record only the
+		// end-to-end span so the per-stage histograms stay pure
+		// measurements of executed work.
+		m.Metrics().ObserveTotalOnly(latency)
+	} else {
+		m.Metrics().ObserveStages(stages, latency)
+	}
+	s.record(rid, req.Model, began, latency, stages, out, flags, m, nil)
 	return ClassifyResult{
 		Model:        req.Model,
 		Prediction:   out.Prediction,
@@ -416,6 +482,8 @@ func (s *Server) Classify(ctx context.Context, req ClassifyRequest) (ClassifyRes
 		HiddenSpikes: out.HiddenSpikes,
 		Spikes:       out.TotalSpikes(),
 		LatencyMs:    float64(latency) / float64(time.Millisecond),
+		Cached:       flags.Cached,
+		Degraded:     flags.Degraded,
 		RequestID:    rid,
 	}, nil
 }
@@ -429,19 +497,28 @@ func (s *Server) requestID() string {
 	return strconv.FormatUint(s.reqID.Add(1), 16)
 }
 
+// isShedError reports whether err is an overload shed: the admission
+// plane refused the request (full queue, projected wait past the
+// deadline) or its deadline/cancellation fired before execution
+// completed. Sheds are counted separately (sheddedRequests) so overload
+// is distinguishable from bad input and shutdown.
+func isShedError(err error) bool {
+	return errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
 // isAdmissionError reports whether err happened before the request
-// simulated: context expiry/cancellation while queued and batcher
-// shutdown, as opposed to failures inside batch execution.
+// simulated without being an overload shed: today that is batcher
+// shutdown (input validation errors are counted at the call site).
 func isAdmissionError(err error) bool {
-	return errors.Is(err, context.DeadlineExceeded) ||
-		errors.Is(err, context.Canceled) ||
-		errors.Is(err, ErrClosed)
+	return errors.Is(err, ErrClosed)
 }
 
 // record adds the request's trace to the ring and emits the structured
 // request log line, when either is enabled.
 func (s *Server) record(rid, model string, began time.Time, latency time.Duration,
-	stages obs.StageTimes, out Outcome, deduped bool, m *Model, err error) {
+	stages obs.StageTimes, out Outcome, flags SubmitFlags, m *Model, err error) {
 	if s.traces == nil && s.cfg.Logger == nil {
 		return
 	}
@@ -452,7 +529,9 @@ func (s *Server) record(rid, model string, began time.Time, latency time.Duratio
 		Steps:      out.Steps,
 		EarlyExit:  out.EarlyExit,
 		Prediction: out.Prediction,
-		Deduped:    deduped,
+		Deduped:    flags.Deduped,
+		Cached:     flags.Cached,
+		Degraded:   flags.Degraded,
 	}
 	tr.SetTimes(stages, latency)
 	if stages.Lockstep {
@@ -476,8 +555,14 @@ func (s *Server) record(rid, model string, began time.Time, latency time.Duratio
 			slog.Bool("lockstep", stages.Lockstep),
 			slog.Int("lanes", stages.Lanes),
 		}
-		if deduped {
+		if flags.Deduped {
 			attrs = append(attrs, slog.Bool("deduped", true))
+		}
+		if flags.Cached {
+			attrs = append(attrs, slog.Bool("cached", true))
+		}
+		if flags.Degraded {
+			attrs = append(attrs, slog.Bool("degraded", true))
 		}
 		if err != nil {
 			attrs = append(attrs, slog.String("error", err.Error()))
@@ -519,6 +604,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
+		case errors.Is(err, ErrOverloaded):
+			// Shed at admission: tell the client when the queue should
+			// have drained enough to try again.
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(req.Model)))
 		case errors.Is(err, ErrClosed), context.Cause(r.Context()) != nil:
 			status = http.StatusServiceUnavailable
 		case errors.Is(err, context.DeadlineExceeded):
@@ -533,6 +623,22 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// retryAfterSeconds rounds the model queue's projected drain time up to
+// whole seconds (the Retry-After unit), floored at 1.
+func (s *Server) retryAfterSeconds(model string) int {
+	s.mu.Lock()
+	b := s.batchers[model]
+	s.mu.Unlock()
+	if b == nil {
+		return 1
+	}
+	secs := int(math.Ceil(b.RetryAfter().Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
@@ -581,6 +687,16 @@ func buildInfo() (path, version string) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	path, version := buildInfo()
+	// Per-model overload state: degraded-mode status and the smoothed
+	// queue-pressure signal driving it, so a health probe sees "up but
+	// degraded" without parsing /metrics.
+	overload := map[string]any{}
+	s.mu.Lock()
+	for name, b := range s.batchers {
+		mode, pressure := b.DegradeState()
+		overload[name] = map[string]any{"mode": mode, "queuePressure": pressure}
+	}
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"uptimeSec":  time.Since(s.start).Seconds(),
@@ -589,6 +705,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"goVersion":  runtime.Version(),
 		"goroutines": runtime.NumGoroutine(),
 		"models":     len(s.reg.List()),
+		"overload":   overload,
 		"kernels": map[string]string{
 			// active is the tier actually dispatching (after any
 			// KERNELS_LEVEL / ForceLevel override); detected is what CPUID
@@ -614,6 +731,7 @@ func (s *Server) snapshotModels() map[string]Snapshot {
 		s.mu.Unlock()
 		if b != nil {
 			snap.QueueDepth = b.QueueDepth()
+			snap.DegradeMode, snap.QueuePressure = b.DegradeState()
 		}
 		snap.PoolInFlight = m.Pool().InFlight()
 		snap.PoolSize = m.Pool().Size()

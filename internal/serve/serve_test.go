@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"burstsnn/internal/coding"
 	"burstsnn/internal/core"
@@ -107,7 +109,9 @@ func TestClassifyValidation(t *testing.T) {
 func TestDeterminismUnderContention(t *testing.T) {
 	// Lockstep batching on: the invariant must hold regardless of which
 	// execution path (lockstep or sequential fallback) serves a request.
-	s := testServer(t, Config{MaxBatch: 4, LockstepBatch: LockstepOn})
+	// QueueDepth covers the full burst so overload shedding (a 429, not
+	// an invariance question) can't fail the test.
+	s := testServer(t, Config{MaxBatch: 4, LockstepBatch: LockstepOn, QueueDepth: 64})
 	_, set := testModel(t)
 	images := set.Test[:8]
 	ctx := context.Background()
@@ -288,6 +292,124 @@ func TestHTTPAPI(t *testing.T) {
 	if snap := metrics.Models["digits"]; snap.Requests < 1 || snap.MeanSteps <= 0 {
 		t.Errorf("metrics snapshot = %+v", snap)
 	}
+}
+
+// TestResponseCacheServesReplays drives the cross-batch response cache
+// end to end: the third classification of the same image is answered
+// from the cache (two sightings promote, the third hits), reports
+// Cached, matches the fresh outcome exactly, and shows up in the trace
+// ring with no simulate span.
+func TestResponseCacheServesReplays(t *testing.T) {
+	s := testServer(t, Config{})
+	_, set := testModel(t)
+	ctx := context.Background()
+	img := set.Test[1].Image
+	var first ClassifyResult
+	for i := 0; i < 3; i++ {
+		res, err := s.Classify(ctx, ClassifyRequest{Model: "digits", Image: img})
+		if err != nil {
+			t.Fatalf("classify %d: %v", i, err)
+		}
+		if i == 0 {
+			first = res
+			continue
+		}
+		if res.Prediction != first.Prediction || res.Steps != first.Steps ||
+			res.Spikes != first.Spikes || res.EarlyExit != first.EarlyExit {
+			t.Errorf("replay %d: %+v differs from first %+v", i, res, first)
+		}
+		if i == 2 && !res.Cached {
+			t.Errorf("third sighting not served from cache: %+v", res)
+		}
+	}
+	m, err := s.Registry().Get("digits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Metrics().Snapshot()
+	if snap.ResponseCacheHits == 0 {
+		t.Errorf("ResponseCacheHits = 0 after promotion replay: %+v", snap)
+	}
+	cached := false
+	for _, tr := range s.Traces().Recent(0) {
+		if tr.Cached {
+			cached = true
+			if tr.SimulateMs != 0 || tr.QueueMs != 0 {
+				t.Errorf("cached trace carries pipeline spans: %+v", tr)
+			}
+		}
+	}
+	if !cached {
+		t.Error("no cached trace recorded")
+	}
+}
+
+// TestOverloadSheds429 is the admission-control contract over HTTP: a
+// burst past capacity gets a mix of 200s and 429s — never a hang or a
+// 5xx — and every 429 carries a Retry-After hint.
+func TestOverloadSheds429(t *testing.T) {
+	// One-lane batches over a tiny queue, with injected per-batch latency
+	// so the burst provably outruns capacity. Cache off: every request
+	// must take the full pipeline.
+	s := testServer(t, Config{
+		MaxBatch: 1, QueueDepth: 1, ResponseCacheSize: -1,
+		InjectLatency: 250 * time.Millisecond,
+	})
+	_, set := testModel(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 12
+	type reply struct {
+		status     int
+		retryAfter string
+	}
+	replies := make(chan reply, n)
+	for i := 0; i < n; i++ {
+		img := append([]float64(nil), set.Test[0].Image...)
+		img[0] = float64(i+1) / 16 // distinct images: dedupe can't collapse the burst
+		go func(img []float64) {
+			body, _ := json.Marshal(ClassifyRequest{Model: "digits", Image: img})
+			resp, err := http.Post(ts.URL+"/v1/classify", "application/json", strings.NewReader(string(body)))
+			if err != nil {
+				t.Errorf("classify: %v", err)
+				replies <- reply{}
+				return
+			}
+			resp.Body.Close()
+			replies <- reply{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}(img)
+	}
+	completed, shed := 0, 0
+	for i := 0; i < n; i++ {
+		r := <-replies
+		switch r.status {
+		case http.StatusOK:
+			completed++
+		case http.StatusTooManyRequests:
+			shed++
+			if sec, err := strconv.Atoi(r.retryAfter); err != nil || sec < 1 {
+				t.Errorf("429 Retry-After = %q, want integer >= 1", r.retryAfter)
+			}
+		default:
+			t.Errorf("burst request status %d, want 200 or 429", r.status)
+		}
+	}
+	if completed == 0 || shed == 0 {
+		t.Errorf("burst of %d: %d completed, %d shed — want both > 0", n, completed, shed)
+	}
+	if snap := mustSnapshot(t, s); snap.SheddedRequests == 0 {
+		t.Errorf("sheddedRequests = 0 after overload burst: %+v", snap)
+	}
+}
+
+func mustSnapshot(t *testing.T, s *Server) Snapshot {
+	t.Helper()
+	m, err := s.Registry().Get("digits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Metrics().Snapshot()
 }
 
 func TestShutdown(t *testing.T) {
