@@ -41,6 +41,9 @@ func main() {
 		batchOut  = flag.String("batch", "", "run the batched-throughput sweep (every kernel dispatch tier this machine supports) and write the JSON artifact to this path (skips the exhibits)")
 		batchPrev = flag.String("batch-prev", "", "previous BENCH_batch.json to gate against after -batch (like-for-like tiers only; exit nonzero on regression)")
 		batchTol  = flag.Float64("batch-tolerance", 0.25, "allowed fractional lockstep img/s regression vs -batch-prev")
+		fleetOut  = flag.String("fleet", "", "run the fleet saturation sweep (shard counts 1..NumCPU at fixed offered load) and write the JSON artifact to this path (skips the exhibits)")
+		fleetPrev = flag.String("fleet-prev", "", "previous BENCH_fleet.json to gate against after -fleet (like-for-like shard counts only; exit nonzero on regression)")
+		fleetTol  = flag.Float64("fleet-tolerance", 0.30, "allowed fractional saturation img/s regression vs -fleet-prev")
 		probe     = flag.String("probe-level", "", "exit 0 iff the named kernel dispatch tier (purego, sse, avx2) is available on this machine and build, else 1 (CI capability gating)")
 	)
 	flag.Parse()
@@ -79,6 +82,19 @@ func main() {
 		if *batchPrev != "" {
 			if err := compareBatch(*batchPrev, *batchOut, *batchTol); err != nil {
 				fmt.Fprintf(os.Stderr, "snnbench: batch gate: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if *fleetOut != "" {
+		if err := runFleetBench(*fleetOut); err != nil {
+			fmt.Fprintf(os.Stderr, "snnbench: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		if *fleetPrev != "" {
+			if err := compareFleet(*fleetPrev, *fleetOut, *fleetTol); err != nil {
+				fmt.Fprintf(os.Stderr, "snnbench: fleet gate: %v\n", err)
 				os.Exit(1)
 			}
 		}

@@ -91,6 +91,8 @@ func main() {
 		dir      = flag.String("dir", "", "model cache directory (default: system temp)")
 		tiny     = flag.Bool("tiny", false, "use the reduced test-scale model recipes")
 
+		queueDepth   = flag.Int("queue-depth", 0, "admission queue bound per model; requests beyond it shed with 429 (0 = default 4×maxbatch×GOMAXPROCS)")
+		maxReplicas  = flag.Int("max-replicas", 0, "replica pool growth ceiling per model for the fleet autoscaler (0 = fixed pool at -replicas)")
 		reqTimeout   = flag.Duration("request-timeout", 0, "per-request end-to-end deadline; a request whose remaining deadline is below the projected queue wait is shed with 429 + Retry-After (0 = default 30s)")
 		respCache    = flag.Int("response-cache", 0, "cross-batch response cache entries per model — replayed images are answered without a replica (0 = default 4096, negative disables)")
 		respCacheTTL = flag.Duration("response-cache-ttl", 0, "response cache entry lifetime (0 = default 1m)")
@@ -100,8 +102,15 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving port")
 		slowTrace = flag.Duration("slow-trace", 0, "pin traces at or over this end-to-end latency past ring turnover (0 = default 250ms, negative disables)")
 
+		fleetN       = flag.Int("fleet", 0, "serve through the sharded fleet tier with this many shard workers (0 = single server)")
+		fleetBackend = flag.String("fleet-workers", "inproc", "fleet shard backend: inproc (goroutine pools in this process) or proc (one snnserve -worker child process per shard)")
+		fleetHops    = flag.Int("fleet-fallback-hops", 1, "fleet: additional shards a request may be offered after its owner sheds it (0 pins requests to their owner)")
+		fleetScale   = flag.Bool("fleet-autoscale", false, "fleet: widen/narrow each shard's replica pools (up to -max-replicas) from its queue-pressure EWMA")
+		workerMode   = flag.Bool("worker", false, "run as a fleet shard worker: serve on an ephemeral port (unless -addr is explicit) and announce FLEET_WORKER_ADDR=<addr> on stdout")
+
 		selftest         = flag.Bool("selftest", false, "run the deterministic load-generator selftest and exit")
 		selftestOverload = flag.Bool("selftest-overload", false, "run the overload-resilience selftest (replay-heavy phase, then a past-capacity burst) and exit")
+		selftestFleet    = flag.Bool("selftest-fleet", false, "run the sharded fleet selftest (routing affinity, per-shard caches, merged telemetry, respawn) and exit")
 		requests         = flag.Int("requests", 200, "selftest: total classification requests")
 		workers          = flag.Int("workers", 32, "selftest: concurrent load-generator workers")
 		traceOut         = flag.String("trace-out", "", "selftest: write the scraped /v1/trace page to this file")
@@ -159,6 +168,17 @@ func main() {
 		return
 	}
 
+	if *selftestFleet {
+		shards := *fleetN
+		if shards < 2 {
+			shards = 2
+		}
+		if err := runFleetSelftest(hybrid, exit, batchKernel, string(*lockstep), shards, logger); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if *selftest {
 		// The selftest asserts exact accuracy parity with full-budget
 		// inference, so it defaults to a more conservative stability
@@ -198,47 +218,90 @@ func main() {
 	}
 	lab := experiments.NewLab(settings)
 
-	srv := burstsnn.NewServer(burstsnn.ServeConfig{
-		Addr:               *addr,
-		MaxBatch:           *maxBatch,
-		MaxDelay:           *maxDelay,
-		LockstepBatch:      string(*lockstep),
-		OccupancyCrossover: *occXover,
-		ExitHistorySize:    *exitHist,
-		BatchKernel:        batchKernel,
-		RequestTimeout:     *reqTimeout,
-		ResponseCacheSize:  *respCache,
-		ResponseCacheTTL:   *respCacheTTL,
-		Degrade:            *degrade,
-		SlowTraceThreshold: *slowTrace,
-		Logger:             logger,
-		EnablePprof:        *pprofOn,
-	})
 	if batchKernel != serve.BatchKernelF64 {
 		fmt.Fprintf(os.Stderr, "float32 kernels: %s (dispatch tier %s, detected %s)\n",
 			kernels.Kind(), kernels.ActiveLevel(), kernels.DetectedLevel())
 	}
-	for _, name := range strings.Split(*models, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+
+	// buildServer constructs one fully-registered server — the single
+	// server below, a fleet shard's in-process worker, or the -worker
+	// child's backend all use the same recipe.
+	buildServer := func(quiet bool) (*burstsnn.Server, error) {
+		srv := burstsnn.NewServer(burstsnn.ServeConfig{
+			Addr:               *addr,
+			MaxBatch:           *maxBatch,
+			MaxDelay:           *maxDelay,
+			QueueDepth:         *queueDepth,
+			LockstepBatch:      string(*lockstep),
+			OccupancyCrossover: *occXover,
+			ExitHistorySize:    *exitHist,
+			BatchKernel:        batchKernel,
+			RequestTimeout:     *reqTimeout,
+			ResponseCacheSize:  *respCache,
+			ResponseCacheTTL:   *respCacheTTL,
+			Degrade:            *degrade,
+			SlowTraceThreshold: *slowTrace,
+			Logger:             logger,
+			EnablePprof:        *pprofOn,
+		})
+		for _, name := range strings.Split(*models, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			m, err := lab.Model(name)
+			if err != nil {
+				return nil, err
+			}
+			info, err := srv.Register(serve.ModelConfig{
+				Name:        name,
+				Hybrid:      hybrid,
+				Steps:       *steps,
+				Exit:        exit,
+				Replicas:    *replicas,
+				MaxReplicas: *maxReplicas,
+			}, m.Net, m.Set.Train)
+			if err != nil {
+				return nil, err
+			}
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "serving %s as %s: %d neurons, %d replicas, budget %d steps (DNN acc %.4f)\n",
+					name, hybrid.Notation(), info.Info().Neurons, info.Pool().Size(), *steps, m.DNNAcc)
+			}
 		}
-		m, err := lab.Model(name)
-		if err != nil {
+		return srv, nil
+	}
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *workerMode {
+		workerAddr := *addr
+		if !explicit["addr"] {
+			workerAddr = "127.0.0.1:0"
+		}
+		if err := runFleetWorker(buildServer, workerAddr); err != nil {
 			fail(err)
 		}
-		info, err := srv.Register(serve.ModelConfig{
-			Name:     name,
-			Hybrid:   hybrid,
-			Steps:    *steps,
-			Exit:     exit,
-			Replicas: *replicas,
-		}, m.Net, m.Set.Train)
-		if err != nil {
+		return
+	}
+
+	if *fleetN > 0 {
+		if err := runFleetFront(fleetOptions{
+			shards:    *fleetN,
+			backend:   *fleetBackend,
+			hops:      *fleetHops,
+			autoscale: *fleetScale,
+			addr:      *addr,
+		}, buildServer, explicit); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "serving %s as %s: %d neurons, %d replicas, budget %d steps (DNN acc %.4f)\n",
-			name, hybrid.Notation(), info.Info().Neurons, info.Pool().Size(), *steps, m.DNNAcc)
+		return
+	}
+
+	srv, err := buildServer(false)
+	if err != nil {
+		fail(err)
 	}
 
 	// Graceful shutdown on SIGINT/SIGTERM.

@@ -195,12 +195,90 @@ func (h *Histogram) Quantile(p float64) float64 {
 
 // HistSnapshot is a point-in-time bucket view for exposition: per-bucket
 // (non-cumulative) counts aligned with Bounds, plus the implicit +Inf
-// bucket as the final count.
+// bucket as the final count. It is also the histogram's wire format: the
+// JSON shape round-trips through encoding/json, so a worker process can
+// ship its stage histograms to a fleet front tier, which merges them
+// (Merge) and reads bucket-resolution estimates (Mean, Quantile) exactly
+// like a live Histogram would report them.
 type HistSnapshot struct {
-	Bounds []float64 // upper bounds (le); the +Inf bucket is Counts[len(Bounds)]
-	Counts []uint64  // len(Bounds)+1 per-bucket counts
-	Count  uint64
-	Sum    float64
+	Bounds []float64 `json:"bounds"` // upper bounds (le); the +Inf bucket is Counts[len(Bounds)]
+	Counts []uint64  `json:"counts"` // len(Bounds)+1 per-bucket counts
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Merge adds o's buckets into s. Like Histogram.Merge, the snapshots
+// must share a bucket layout; a zero-value s (no bounds) adopts o's
+// layout, so a merge accumulator can start empty and fold shards in.
+func (s *HistSnapshot) Merge(o HistSnapshot) error {
+	if len(s.Bounds) == 0 && len(s.Counts) == 0 {
+		s.Bounds = append([]float64(nil), o.Bounds...)
+		s.Counts = append([]uint64(nil), o.Counts...)
+		s.Count, s.Sum = o.Count, o.Sum
+		return nil
+	}
+	if len(s.Bounds) != len(o.Bounds) || len(s.Counts) != len(o.Counts) {
+		return fmt.Errorf("obs: merging %d-bucket snapshot into %d-bucket one",
+			len(o.Counts), len(s.Counts))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return fmt.Errorf("obs: snapshot bucket layouts differ at bound %d: %v vs %v",
+				i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	return nil
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count > 0 {
+		return s.Sum / float64(s.Count)
+	}
+	return 0
+}
+
+// Quantile estimates the p-th percentile over the snapshot's buckets
+// with Histogram.Quantile's exact method (nearest rank, linear
+// interpolation inside the located bucket), so merged per-shard
+// snapshots report the same estimates a single merged Histogram would.
+func (s HistSnapshot) Quantile(p float64) float64 {
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		if i == len(s.Bounds) { // overflow bucket: no finite upper bound
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		frac := (float64(rank-cum) - 0.5) / float64(c)
+		return lower + frac*(s.Bounds[i]-lower)
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Snapshot copies the current bucket counts.

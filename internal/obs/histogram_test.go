@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 	"sync"
@@ -111,6 +112,73 @@ func TestHistogramQuantileVsExact(t *testing.T) {
 				t.Errorf("%s p%v = %v, exact %v: outside one √2 bucket", name, p, got, want)
 			}
 		}
+	}
+}
+
+// TestHistSnapshotMergeWire pins the fleet tier's wire-format merge:
+// per-shard snapshots round-tripped through JSON and folded into a
+// zero-value accumulator must equal the snapshot of one histogram fed
+// everything — buckets, count, sum, and the quantile/mean estimates.
+func TestHistSnapshotMergeWire(t *testing.T) {
+	const shards = 3
+	parts := make([]*Histogram, shards)
+	for i := range parts {
+		parts[i] = NewDurationHistogram()
+	}
+	whole := NewDurationHistogram()
+	r := uint64(7)
+	for i := 0; i < 6000; i++ {
+		r = r*6364136223846793005 + 1442695040888963407
+		v := 1e-6 * math.Pow(2, float64(r%1500)/100)
+		parts[i%shards].Observe(v)
+		whole.Observe(v)
+	}
+	var merged HistSnapshot
+	for _, p := range parts {
+		// Round-trip through JSON: the merge must work on what a worker
+		// process would actually ship.
+		data, err := json.Marshal(p.Snapshot())
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var s HistSnapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if err := merged.Merge(s); err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+	}
+	ws := whole.Snapshot()
+	if merged.Count != ws.Count {
+		t.Fatalf("merged Count = %d, want %d", merged.Count, ws.Count)
+	}
+	for i := range merged.Counts {
+		if merged.Counts[i] != ws.Counts[i] {
+			t.Errorf("merged bucket %d = %d, want %d", i, merged.Counts[i], ws.Counts[i])
+		}
+	}
+	if math.Abs(merged.Sum-ws.Sum) > 1e-9*math.Abs(ws.Sum) {
+		t.Errorf("merged Sum = %v, want %v", merged.Sum, ws.Sum)
+	}
+	for _, p := range []float64{50, 90, 99} {
+		if got, want := merged.Quantile(p), whole.Quantile(p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("merged Quantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if got, want := merged.Mean(), whole.Mean(); math.Abs(got-want) > 1e-12*math.Abs(want) {
+		t.Errorf("merged Mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistSnapshotMergeMismatch(t *testing.T) {
+	a := NewDurationHistogram().Snapshot()
+	if err := a.Merge(NewOccupancyHistogram().Snapshot()); err == nil {
+		t.Fatal("merging mismatched snapshot layouts succeeded")
+	}
+	b := NewHistogram([]float64{1, 2}).Snapshot()
+	if err := b.Merge(NewHistogram([]float64{1, 3}).Snapshot()); err == nil {
+		t.Fatal("merging same-length different-bounds snapshots succeeded")
 	}
 }
 

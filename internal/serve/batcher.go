@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"sync"
 	"time"
 
@@ -75,6 +76,15 @@ type Batcher struct {
 	drainMu      sync.Mutex
 	drainPerReq  float64 // seconds
 	drainSamples int
+
+	// pressure is an always-on EWMA of queue fill (len/cap in [0,1])
+	// sampled at every admission — the same signal the degrade controller
+	// filters, but available even when no controller is attached. The
+	// fleet tier's pool autoscaler reads it per shard. pressureAt is the
+	// filter's last-fold time, driving idle decay (see decayPressure).
+	pressureMu sync.Mutex
+	pressure   float64
+	pressureAt time.Time
 
 	fallbackOnce sync.Once // one log line for a replica that cannot batch
 
@@ -198,6 +208,7 @@ func (b *Batcher) SubmitTraced(ctx context.Context, image []float64, p ExitPolic
 	b.sending.Add(1)
 	b.mu.Unlock()
 
+	b.observePressure()
 	if b.degrade != nil {
 		// Pressure is sampled at every admission — including ones that end
 		// as cache hits or sheds — so the controller sees recovery too.
@@ -269,6 +280,48 @@ func (b *Batcher) DegradeState() (mode string, pressure float64) {
 		return "off", 0
 	}
 	return b.degrade.State()
+}
+
+// pressureIdleTick is the synthetic observation period for the pressure
+// EWMA while no admissions arrive. The filter is admission-driven, so
+// without it a saturated reading would pin forever once traffic stops —
+// an idle queue is an empty queue, and the autoscaler's shrink path must
+// see that drain.
+const pressureIdleTick = 100 * time.Millisecond
+
+// observePressure folds the instantaneous queue fill into the always-on
+// pressure EWMA (same smoothing weight as the drain filter).
+func (b *Batcher) observePressure() {
+	fill := float64(len(b.queue)) / float64(cap(b.queue))
+	now := time.Now()
+	b.pressureMu.Lock()
+	b.decayPressureLocked(now)
+	b.pressure += drainEWMAWeight * (fill - b.pressure)
+	b.pressureAt = now
+	b.pressureMu.Unlock()
+}
+
+// decayPressureLocked applies one zero-fill fold per pressureIdleTick
+// elapsed since the last observation. Under steady traffic admissions
+// arrive well inside a tick and this is a no-op.
+func (b *Batcher) decayPressureLocked(now time.Time) {
+	if b.pressureAt.IsZero() {
+		return
+	}
+	if ticks := now.Sub(b.pressureAt) / pressureIdleTick; ticks > 0 {
+		b.pressure *= math.Pow(1-drainEWMAWeight, float64(ticks))
+		b.pressureAt = b.pressureAt.Add(ticks * pressureIdleTick)
+	}
+}
+
+// Pressure reports the smoothed queue-fill fraction in [0,1]. Unlike
+// DegradeState's signal it needs no controller attached; it is the fleet
+// autoscaler's per-shard control input.
+func (b *Batcher) Pressure() float64 {
+	b.pressureMu.Lock()
+	defer b.pressureMu.Unlock()
+	b.decayPressureLocked(time.Now())
+	return b.pressure
 }
 
 // projectedWait estimates how long a request admitted right now would
@@ -367,9 +420,14 @@ func (b *Batcher) dispatch() {
 		batches.Wait()
 		close(b.done)
 	}()
+	// Slots are sized to the pool's ceiling, not its current width:
+	// replica checkout still serializes execution at the live Size, and
+	// sizing to Max lets an autoscaler grow the pool without restarting
+	// the dispatcher. With a fixed pool (Max == Size, the non-fleet
+	// default) this is the old bound exactly.
 	slotCap := 1
 	if b.pool != nil {
-		slotCap = b.pool.Size()
+		slotCap = b.pool.Max()
 	}
 	slots := make(chan struct{}, slotCap)
 	for i := 0; i < slotCap; i++ {

@@ -29,6 +29,10 @@ type ModelConfig struct {
 	Exit ExitPolicy
 	// Replicas sizes the simulator pool (default GOMAXPROCS).
 	Replicas int
+	// MaxReplicas caps pool growth for autoscaling (Pool.Resize): the
+	// pool starts at Replicas and may be widened up to this bound by a
+	// fleet shard's autoscaler. Default Replicas — a fixed pool.
+	MaxReplicas int
 	// Norm, Percentile, and NormSamples configure weight normalization
 	// (defaults: percentile 99.9 over 64 samples, as in EvalConfig).
 	Norm        convert.NormMethod
@@ -132,6 +136,9 @@ func (r *Registry) Register(cfg ModelConfig, net *dnn.Network, normSamples []dat
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxReplicas < cfg.Replicas {
+		cfg.MaxReplicas = cfg.Replicas
+	}
 	if cfg.Exit == (ExitPolicy{}) {
 		cfg.Exit = DefaultExitPolicy(cfg.Steps)
 	} else if cfg.Exit.MaxSteps == 0 {
@@ -161,7 +168,7 @@ func (r *Registry) Register(cfg ModelConfig, net *dnn.Network, normSamples []dat
 	if qc, ok := conv.Net.Encoder.(coding.QuantCached); ok {
 		qc.SetQuantCache(quant)
 	}
-	pool, err := NewPool(conv.Net, cfg.Replicas)
+	pool, err := NewPoolMax(conv.Net, cfg.Replicas, cfg.MaxReplicas)
 	if err != nil {
 		return nil, fmt.Errorf("serve: model %q: %w", cfg.Name, err)
 	}

@@ -58,7 +58,10 @@ type Config struct {
 	MaxDelay time.Duration
 	// QueueDepth bounds each model's admission queue; Submits beyond it
 	// are shed with ErrOverloaded (HTTP 429 + Retry-After) rather than
-	// blocked. Default 4×MaxBatch.
+	// blocked. Default 4×MaxBatch×GOMAXPROCS — the queue scales with the
+	// cores (and so the default pool width) actually draining it, so a
+	// wide machine is not throttled by a 1-core queue bound. The old
+	// fixed bound is reachable explicitly (snnserve -queue-depth).
 	QueueDepth int
 	// LockstepBatch selects the scheduling policy for multi-request
 	// microbatches: lockstep through the batch simulator (amortized
@@ -181,6 +184,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxDelay == 0 {
 		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch * runtime.GOMAXPROCS(0)
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
@@ -583,6 +589,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics/prom", s.handleMetricsProm)
+	mux.HandleFunc("GET /metrics/shard", s.handleShardStats)
+	mux.HandleFunc("POST /v1/pool", s.handlePoolResize)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -625,16 +633,49 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// retryAfterSeconds rounds the model queue's projected drain time up to
-// whole seconds (the Retry-After unit), floored at 1.
-func (s *Server) retryAfterSeconds(model string) int {
+// RetryAfter is the model queue's projected drain time (the Retry-After
+// hint on 429s), floored at one second. Exported so a fleet front tier
+// can surface the owning shard's projection — not a fleet average — when
+// it sheds on that shard's behalf.
+func (s *Server) RetryAfter(model string) time.Duration {
 	s.mu.Lock()
 	b := s.batchers[model]
 	s.mu.Unlock()
 	if b == nil {
-		return 1
+		return time.Second
 	}
-	secs := int(math.Ceil(b.RetryAfter().Seconds()))
+	return b.RetryAfter()
+}
+
+// Pressure reports the model queue's smoothed fill fraction in [0,1]
+// (see Batcher.Pressure) — the fleet autoscaler's per-shard control
+// signal. Zero for unknown models.
+func (s *Server) Pressure(model string) float64 {
+	s.mu.Lock()
+	b := s.batchers[model]
+	s.mu.Unlock()
+	if b == nil {
+		return 0
+	}
+	return b.Pressure()
+}
+
+// ResizePool retargets the model's replica pool within [1, MaxReplicas]
+// (see Pool.Resize), returning the clamped width. The fleet autoscaler
+// calls this — directly in process, or through POST /v1/pool on a worker
+// process.
+func (s *Server) ResizePool(model string, replicas int) (int, error) {
+	m, err := s.reg.Get(model)
+	if err != nil {
+		return 0, err
+	}
+	return m.Pool().Resize(replicas)
+}
+
+// retryAfterSeconds rounds the model queue's projected drain time up to
+// whole seconds (the Retry-After unit), floored at 1.
+func (s *Server) retryAfterSeconds(model string) int {
+	secs := int(math.Ceil(s.RetryAfter(model).Seconds()))
 	if secs < 1 {
 		secs = 1
 	}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"burstsnn/internal/obs"
+)
+
+// ShardStats is the wire view a fleet front tier scrapes from one shard
+// (GET /metrics/shard, or Server.ShardStats in process): the digested
+// counters plus the RAW stage/occupancy histogram buckets, so the front
+// tier can merge shards with obs.HistSnapshot.Merge and report fleet
+// quantiles at full bucket resolution — digested percentiles don't merge,
+// buckets do.
+type ShardStats struct {
+	UptimeSec float64                    `json:"uptimeSec"`
+	Models    map[string]ModelShardStats `json:"models"`
+}
+
+// ModelShardStats is one model's slice of a ShardStats scrape.
+type ModelShardStats struct {
+	// Counters is the model's /metrics snapshot (requests, sheds, cache
+	// hits, live gauges) — everything additive across shards plus the
+	// per-shard gauges the fleet reports under a shard label.
+	Counters Snapshot `json:"counters"`
+	// Stages carries the raw per-stage duration buckets (seconds) keyed
+	// by obs.Stage name; Occupancy the lockstep lane-occupancy buckets.
+	Stages    map[string]obs.HistSnapshot `json:"stages"`
+	Occupancy obs.HistSnapshot            `json:"occupancy"`
+	// Pressure is the shard's smoothed queue-fill signal (the autoscaler
+	// input); RetryAfterSec the shard's own drain-time projection, which
+	// the front tier must surface verbatim on 429s for this shard.
+	Pressure      float64 `json:"pressure"`
+	RetryAfterSec float64 `json:"retryAfterSec"`
+	PoolSize      int     `json:"poolSize"`
+	PoolMax       int     `json:"poolMax"`
+}
+
+// ShardStats collects the shard-facing stats for every registered model.
+func (s *Server) ShardStats() ShardStats {
+	out := ShardStats{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Models:    map[string]ModelShardStats{},
+	}
+	for _, info := range s.reg.List() {
+		m, err := s.reg.Get(info.Name)
+		if err != nil {
+			continue
+		}
+		mm := m.Metrics()
+		ms := ModelShardStats{
+			Counters:      mm.Snapshot(),
+			Stages:        make(map[string]obs.HistSnapshot, obs.NumStages),
+			Occupancy:     mm.OccupancyHistogram().Snapshot(),
+			Pressure:      s.Pressure(info.Name),
+			RetryAfterSec: s.RetryAfter(info.Name).Seconds(),
+			PoolSize:      m.Pool().Size(),
+			PoolMax:       m.Pool().Max(),
+		}
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			ms.Stages[st.String()] = mm.StageHistogram(st).Snapshot()
+		}
+		s.mu.Lock()
+		b := s.batchers[info.Name]
+		s.mu.Unlock()
+		if b != nil {
+			ms.Counters.QueueDepth = b.QueueDepth()
+			ms.Counters.DegradeMode, ms.Counters.QueuePressure = b.DegradeState()
+		}
+		ms.Counters.PoolInFlight = m.Pool().InFlight()
+		ms.Counters.PoolSize = m.Pool().Size()
+		out.Models[info.Name] = ms
+	}
+	return out
+}
+
+func (s *Server) handleShardStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.ShardStats())
+}
+
+// poolResizeRequest is the POST /v1/pool body; the response echoes the
+// model with the clamped replica count actually in effect.
+type poolResizeRequest struct {
+	Model    string `json:"model"`
+	Replicas int    `json:"replicas"`
+}
+
+func (s *Server) handlePoolResize(w http.ResponseWriter, r *http.Request) {
+	var req poolResizeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	n, err := s.ResizePool(req.Model, req.Replicas)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"model": req.Model, "replicas": n})
+}
