@@ -57,6 +57,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -98,6 +99,11 @@ func main() {
 		respCacheTTL = flag.Duration("response-cache-ttl", 0, "response cache entry lifetime (0 = default 1m)")
 		degrade      = flag.Bool("degrade", false, "graceful degradation: while admission-queue pressure is high, serve under a tightened (halved-budget) early-exit policy instead of queueing toward timeout")
 
+		maxResident = flag.Int("max-resident-models", 0, "resident-model bound: keep at most this many models' replica pools live, LRU-evicting the rest to the conversion archive; evicted models warm back in transparently on the next request (0 = unbounded)")
+		evictIdle   = flag.Duration("evict-idle", 0, "evict any model idle for this long to the conversion archive (0 disables)")
+		fairSlots   = flag.Int("fair-slots", 0, "cross-model weighted-fair batch scheduling with this many concurrent execution slots (0 = auto: GOMAXPROCS slots when any -model-weight is set, off otherwise; negative forces off)")
+		weights     = modelWeightsFlagVar("model-weight", "fair-share weight as name=w (repeatable; unlisted models weigh 1); a model's long-run share of the execution slots is w over the sum of contending weights")
+
 		logReqs   = flag.Bool("log", false, "emit one structured log line per classification (slog, stderr)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving port")
 		slowTrace = flag.Duration("slow-trace", 0, "pin traces at or over this end-to-end latency past ring turnover (0 = default 250ms, negative disables)")
@@ -111,6 +117,7 @@ func main() {
 		selftest         = flag.Bool("selftest", false, "run the deterministic load-generator selftest and exit")
 		selftestOverload = flag.Bool("selftest-overload", false, "run the overload-resilience selftest (replay-heavy phase, then a past-capacity burst) and exit")
 		selftestFleet    = flag.Bool("selftest-fleet", false, "run the sharded fleet selftest (routing affinity, per-shard caches, merged telemetry, respawn) and exit")
+		selftestLife     = flag.Bool("selftest-lifecycle", false, "run the model-lifecycle selftest (hot re-register under load, resident-bound eviction/warm, weighted-fair isolation) and exit")
 		requests         = flag.Int("requests", 200, "selftest: total classification requests")
 		workers          = flag.Int("workers", 32, "selftest: concurrent load-generator workers")
 		traceOut         = flag.String("trace-out", "", "selftest: write the scraped /v1/trace page to this file")
@@ -159,6 +166,13 @@ func main() {
 	var logger *slog.Logger
 	if *logReqs {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	if *selftestLife {
+		if err := runLifecycleSelftest(hybrid, exit, batchKernel, string(*lockstep), logger); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *selftestOverload {
@@ -241,6 +255,10 @@ func main() {
 			ResponseCacheTTL:   *respCacheTTL,
 			Degrade:            *degrade,
 			SlowTraceThreshold: *slowTrace,
+			MaxResidentModels:  *maxResident,
+			EvictIdle:          *evictIdle,
+			FairSlots:          *fairSlots,
+			ModelWeights:       map[string]float64(*weights),
 			Logger:             logger,
 			EnablePprof:        *pprofOn,
 		})
@@ -637,6 +655,41 @@ func (m *lockstepMode) Set(s string) error {
 	default:
 		return fmt.Errorf("want auto, static, on, or off, got %q", s)
 	}
+	return nil
+}
+
+// modelWeights is the repeatable -model-weight flag: "name=w" pairs
+// collected into the serve.Config.ModelWeights map.
+type modelWeights map[string]float64
+
+func modelWeightsFlagVar(name, usage string) *modelWeights {
+	m := modelWeights{}
+	flag.Var(&m, name, usage)
+	return &m
+}
+
+func (m *modelWeights) String() string {
+	if m == nil || len(*m) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(*m))
+	for name, w := range *m {
+		parts = append(parts, fmt.Sprintf("%s=%g", name, w))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (m *modelWeights) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=weight, got %q", s)
+	}
+	w, err := strconv.ParseFloat(val, 64)
+	if err != nil || w <= 0 {
+		return fmt.Errorf("weight for %q must be a positive number, got %q", name, val)
+	}
+	(*m)[name] = w
 	return nil
 }
 

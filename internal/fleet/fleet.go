@@ -251,6 +251,29 @@ func (f *Fleet) Models() ([]serve.Info, error) {
 	return nil, fmt.Errorf("%w: no live shard", ErrWorkerDown)
 }
 
+// Unregister broadcasts a model removal (evict=true archives for
+// warm-on-demand) to every live shard. Dead shards are skipped — their
+// respawn factory defines what they serve — and the first per-shard
+// error is joined per shard so a partial broadcast is visible.
+func (f *Fleet) Unregister(model string, evict bool) error {
+	var errs []error
+	tried := false
+	for s := 0; s < f.cfg.Shards; s++ {
+		w := f.Worker(s)
+		if w == nil {
+			continue
+		}
+		tried = true
+		if err := w.Unregister(model, evict); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", s, err))
+		}
+	}
+	if !tried {
+		return fmt.Errorf("%w: no live shard", ErrWorkerDown)
+	}
+	return errors.Join(errs...)
+}
+
 // supervise probes every shard each HealthInterval and rebuilds dead or
 // unhealthy workers through the factory. A failed rebuild leaves the
 // shard dead and retries next tick.

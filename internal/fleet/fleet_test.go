@@ -142,6 +142,7 @@ func (w *fakeWorker) Models() ([]serve.Info, error) {
 }
 func (w *fakeWorker) RetryAfter(string) time.Duration     { return w.retry }
 func (w *fakeWorker) Resize(_ string, n int) (int, error) { return n, nil }
+func (w *fakeWorker) Unregister(string, bool) error       { return nil }
 func (w *fakeWorker) Healthy() bool                       { return !w.down.Load() }
 func (w *fakeWorker) Close() error                        { return nil }
 

@@ -41,6 +41,7 @@ func (fr *Front) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", fr.handleClassify)
 	mux.HandleFunc("GET /v1/models", fr.handleModels)
+	mux.HandleFunc("DELETE /v1/models/{name}", fr.handleUnregister)
 	mux.HandleFunc("GET /healthz", fr.handleHealthz)
 	mux.HandleFunc("GET /metrics", fr.handleMetrics)
 	mux.HandleFunc("GET /metrics/prom", fr.handleMetricsProm)
@@ -84,6 +85,26 @@ func (fr *Front) handleModels(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"models": models})
+}
+
+// handleUnregister broadcasts DELETE /v1/models/{name} (mode=evict
+// archives) to every live shard, mirroring one server's API.
+func (fr *Front) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	evict := r.URL.Query().Get("mode") == "evict"
+	if err := fr.f.Unregister(name, evict); err != nil {
+		status := http.StatusNotFound
+		if errors.Is(err, ErrWorkerDown) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	state := "unregistered"
+	if evict {
+		state = serve.StateEvicted
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"model": name, "state": state})
 }
 
 func (fr *Front) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -218,6 +218,10 @@ func mergeCounters(dst *serve.Snapshot, src serve.Snapshot) {
 	dst.ResponseCacheHits += src.ResponseCacheHits
 	dst.ResponseCacheMisses += src.ResponseCacheMisses
 	dst.DegradedRequests += src.DegradedRequests
+	dst.Evictions += src.Evictions
+	dst.Warms += src.Warms
+	dst.FairGrants += src.FairGrants
+	dst.FairWaiting += src.FairWaiting
 	dst.QueueDepth += src.QueueDepth
 	dst.PoolInFlight += src.PoolInFlight
 	dst.PoolSize += src.PoolSize
@@ -312,6 +316,12 @@ func writePromScrapes(w io.Writer, uptime float64, scrapes []shardScrape) error 
 	modelCounter("burstsnn_fleet_batches_total",
 		"Fleet-wide executed lockstep microbatches.",
 		func(s serve.Snapshot) float64 { return float64(s.Batches) })
+	modelCounter("burstsnn_fleet_model_evictions_total",
+		"Fleet-wide model evict cycles (pool released, conversion archived).",
+		func(s serve.Snapshot) float64 { return float64(s.Evictions) })
+	modelCounter("burstsnn_fleet_model_warms_total",
+		"Fleet-wide warm cycles (model restored from the archive on demand).",
+		func(s serve.Snapshot) float64 { return float64(s.Warms) })
 
 	shardGauge := func(name, help string, get func(ShardModelGauges) float64) {
 		pw.Header(name, help, "gauge")

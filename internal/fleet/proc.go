@@ -186,6 +186,28 @@ func (w *ProcWorker) Resize(model string, replicas int) (int, error) {
 	return out.Replicas, nil
 }
 
+func (w *ProcWorker) Unregister(model string, evict bool) error {
+	url := w.base + "/v1/models/" + model
+	if evict {
+		url += "?mode=evict"
+	}
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.down.Store(true)
+		return fmt.Errorf("%w: %v", ErrWorkerDown, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: unregister %s: %s: %s", model, resp.Status, readErr(resp.Body))
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
 // Healthy probes /healthz with a short timeout; any failure (refused
 // connection, slow accept, non-200) counts as unhealthy.
 func (w *ProcWorker) Healthy() bool {

@@ -37,6 +37,11 @@ type Worker interface {
 	RetryAfter(model string) time.Duration
 	// Resize retargets the model's replica pool (see serve.Pool.Resize).
 	Resize(model string, replicas int) (int, error)
+	// Unregister removes a model from the shard: with evict=true the
+	// shard archives the conversion and warms the model back in on the
+	// next request (see serve.Server.Evict); with evict=false the name is
+	// gone for good. Queued work drains either way.
+	Unregister(model string, evict bool) error
 	// Healthy reports whether the backend is serving (the supervisor's
 	// eviction signal).
 	Healthy() bool
@@ -88,7 +93,17 @@ func (w *InprocWorker) Models() ([]serve.Info, error) {
 	if w.killed.Load() {
 		return nil, ErrWorkerDown
 	}
-	return w.srv.Registry().List(), nil
+	return w.srv.Registry().ListAll(), nil
+}
+
+func (w *InprocWorker) Unregister(model string, evict bool) error {
+	if w.killed.Load() {
+		return ErrWorkerDown
+	}
+	if evict {
+		return w.srv.Evict(model)
+	}
+	return w.srv.Unregister(model)
 }
 
 func (w *InprocWorker) RetryAfter(model string) time.Duration {

@@ -58,6 +58,7 @@ type Batcher struct {
 	history  *ExitHistory       // exit-aware forming memory; nil disables forming/prediction
 	cache    *ResponseCache     // cross-batch response cache; nil disables
 	degrade  *DegradeController // degraded-mode state machine; nil disables
+	fair     *FairSlot          // cross-model fair execution slots; nil disables
 	f32      bool               // lockstep compute plane, fixed at construction
 	maxBatch int
 	maxDelay time.Duration
@@ -69,6 +70,7 @@ type Batcher struct {
 
 	mu      sync.Mutex
 	closed  bool
+	handoff *Batcher       // successor installed by CloseHandoff; nil otherwise
 	sending sync.WaitGroup // Submits past the closed check, not yet enqueued
 
 	// drainPerReq is the EWMA'd replica-seconds one queued request costs
@@ -105,6 +107,7 @@ type BatcherConfig struct {
 	History  *ExitHistory       // exit-step memory; nil disables exit-aware forming
 	Cache    *ResponseCache     // cross-batch response cache; nil disables
 	Degrade  *DegradeController // degraded-mode controller; nil disables
+	Fair     *FairSlot          // cross-model fair slots (see FairDispatcher); nil disables
 	F32      bool               // lockstep compute plane (see Config.BatchKernel)
 	MaxBatch int                // lanes per microbatch; <= 0 defaults to 1
 	MaxDelay time.Duration      // batch-forming window; <= 0 dispatches on queue drain
@@ -165,6 +168,7 @@ func NewBatcher(pool *Pool, cfg BatcherConfig) *Batcher {
 		history:       cfg.History,
 		cache:         cfg.Cache,
 		degrade:       cfg.Degrade,
+		fair:          cfg.Fair,
 		f32:           cfg.F32,
 		maxBatch:      maxBatch,
 		maxDelay:      cfg.MaxDelay,
@@ -202,7 +206,14 @@ func (b *Batcher) SubmitTraced(ctx context.Context, image []float64, p ExitPolic
 	var flags SubmitFlags
 	b.mu.Lock()
 	if b.closed {
+		nb := b.handoff
 		b.mu.Unlock()
+		if nb != nil {
+			// Hot swap in progress: this batcher was replaced, so the
+			// request belongs to its successor. Submitting there re-runs
+			// the successor's own admission (pressure, degrade, cache).
+			return nb.SubmitTraced(ctx, image, p)
+		}
 		return Outcome{}, obs.StageTimes{}, flags, ErrClosed
 	}
 	b.sending.Add(1)
@@ -376,7 +387,29 @@ func (b *Batcher) observeDrain(wall time.Duration, requests int) {
 // multiples of a replica's drain rate; executing it all would stall
 // shutdown for seconds). It is idempotent and returns only after the
 // dispatcher and every batch goroutine have exited.
-func (b *Batcher) Close() {
+func (b *Batcher) Close() { b.closeWith(nil, false) }
+
+// CloseHandoff closes like Close but re-routes instead of failing: late
+// Submits and every queued or not-yet-executing request are re-submitted
+// to nb, the batcher that replaced this one in a hot swap. Clients see
+// at most extra latency (or an honest ErrOverloaded if the successor's
+// queue is full) — never ErrClosed. Handoffs chain: if nb is itself
+// replaced before the drain finishes, requests follow the successor
+// links to the live batcher.
+func (b *Batcher) CloseHandoff(nb *Batcher) { b.closeWith(nb, false) }
+
+// CloseGraceful closes without abandoning queued work: admission stops
+// (late Submits get ErrClosed), but everything already queued executes
+// on the still-live pool before the call returns. This is the
+// unregister/evict drain — the pool is about to be released, so queued
+// requests must finish on it rather than re-route.
+func (b *Batcher) CloseGraceful() { b.closeWith(nil, true) }
+
+// closeWith implements the three close modes. Fast modes (Close,
+// CloseHandoff) cancel closeCtx first so queued requests fail or
+// forward without executing; graceful mode leaves closeCtx live until
+// the dispatcher has drained the queue for real.
+func (b *Batcher) closeWith(nb *Batcher, graceful bool) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -384,11 +417,57 @@ func (b *Batcher) Close() {
 		return
 	}
 	b.closed = true
+	b.handoff = nb
 	b.mu.Unlock()
-	b.closeCancel()
+	if !graceful {
+		b.closeCancel()
+	}
 	b.sending.Wait() // every in-flight Submit has enqueued or bailed
 	close(b.queue)
 	<-b.done
+	if graceful {
+		b.closeCancel()
+	}
+}
+
+// forward re-routes a request this batcher can no longer execute to the
+// successor installed by CloseHandoff, falling back to ErrClosed when
+// there is none (plain Close / CloseGraceful).
+func (b *Batcher) forward(req *batchRequest) {
+	b.mu.Lock()
+	nb := b.handoff
+	b.mu.Unlock()
+	if nb == nil {
+		req.done <- batchResult{err: ErrClosed}
+		return
+	}
+	nb.accept(req)
+}
+
+// accept takes a forwarded, already-admitted request into this batcher's
+// queue (non-blocking: a full successor queue sheds honestly with
+// ErrOverloaded rather than stalling the predecessor's drain). If this
+// batcher has itself been closed, the request follows the handoff chain.
+func (b *Batcher) accept(req *batchRequest) {
+	b.mu.Lock()
+	if b.closed {
+		nb := b.handoff
+		b.mu.Unlock()
+		if nb != nil {
+			nb.accept(req)
+			return
+		}
+		req.done <- batchResult{err: ErrClosed}
+		return
+	}
+	b.sending.Add(1)
+	b.mu.Unlock()
+	select {
+	case b.queue <- req:
+	default:
+		req.done <- batchResult{err: ErrOverloaded}
+	}
+	b.sending.Done()
 }
 
 // shedAtDispatch fails a dequeued request that should not join a batch:
@@ -399,7 +478,7 @@ func (b *Batcher) Close() {
 // after riding a formed batch through replica checkout).
 func (b *Batcher) shedAtDispatch(req *batchRequest) bool {
 	if b.closeCtx.Err() != nil {
-		req.done <- batchResult{err: ErrClosed}
+		b.forward(req)
 		return true
 	}
 	if err := req.ctx.Err(); err != nil {
@@ -491,7 +570,7 @@ func (b *Batcher) dispatch() {
 		}
 		if !gotSlot {
 			for _, req := range batch {
-				req.done <- batchResult{err: ErrClosed}
+				b.forward(req)
 			}
 			continue
 		}
@@ -529,12 +608,26 @@ func (b *Batcher) dispatch() {
 // — on the default float32 plane both paths produce the outcomes pinned
 // by the tolerance contract; on the float64 plane they are bit-identical.
 func (b *Batcher) run(reqs []*batchRequest, form time.Duration) {
+	if b.fair != nil {
+		if err := b.fair.Acquire(b.closeCtx); err != nil {
+			// Closed before a slot was granted: same disposition as a
+			// failed checkout — follow the handoff chain or fail closed.
+			for _, req := range reqs {
+				b.forward(req)
+			}
+			return
+		}
+		defer b.fair.Release()
+	}
 	rep, err := b.pool.Get(b.closeCtx)
 	if err != nil {
-		resErr := fmt.Errorf("serve: replica checkout: %w", err)
 		if b.closeCtx.Err() != nil {
-			resErr = ErrClosed
+			for _, req := range reqs {
+				b.forward(req)
+			}
+			return
 		}
+		resErr := fmt.Errorf("serve: replica checkout: %w", err)
 		for _, req := range reqs {
 			req.done <- batchResult{err: resErr}
 		}

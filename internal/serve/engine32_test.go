@@ -237,7 +237,7 @@ func TestLockstepAutoResolution(t *testing.T) {
 				t.Fatalf("tier %s mode %s: %v", lv, mode, err)
 			}
 			s.mu.Lock()
-			sched := s.batchers["digits"].sched
+			sched := s.entries["digits"].batcher.sched
 			s.mu.Unlock()
 			switch {
 			case mode == LockstepAuto && packed:

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFairGrantOrderSFQ pins the start-time-fair-queueing grant order:
+// with one slot and weights 2:1, the dispatcher must interleave grants
+// proportionally (a a b a a b ...) rather than FIFO-draining whichever
+// model queued more waiters.
+func TestFairGrantOrderSFQ(t *testing.T) {
+	d := NewFairDispatcher(1)
+	hold := d.Slot("zzz-hold", 1)
+	if err := hold.Acquire(context.Background()); err != nil {
+		t.Fatalf("hold acquire: %v", err)
+	}
+
+	a := d.Slot("a", 2)
+	b := d.Slot("b", 1)
+	const perModel = 12
+	order := make(chan string, 2*perModel)
+	var wg sync.WaitGroup
+	start := func(s *FairSlot, name string) {
+		for i := 0; i < perModel; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := s.Acquire(context.Background()); err != nil {
+					t.Errorf("%s acquire: %v", name, err)
+					return
+				}
+				order <- name
+				s.Release()
+			}()
+		}
+	}
+	start(a, "a")
+	start(b, "b")
+
+	// Wait until every waiter is parked, then free the slot: from here the
+	// grant order is fully determined by the virtual clock.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sa, _ := d.Stats("a")
+		sb, _ := d.Stats("b")
+		if sa.Waiting == perModel && sb.Waiting == perModel {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never parked: a=%d b=%d", sa.Waiting, sb.Waiting)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hold.Release()
+	wg.Wait()
+	close(order)
+
+	var seq []string
+	for name := range order {
+		seq = append(seq, name)
+	}
+	if len(seq) != 2*perModel {
+		t.Fatalf("got %d grants, want %d", len(seq), 2*perModel)
+	}
+	// Over any window of 3 consecutive grants while both models contend,
+	// weight-2 a must appear exactly twice. The first 18 grants have both
+	// models backlogged (b's 6th grant is at virtual time 6, a's 12th at
+	// 6), so proportionality must hold throughout.
+	counts := map[string]int{}
+	for _, name := range seq[:18] {
+		counts[name]++
+	}
+	if counts["a"] != 12 || counts["b"] != 6 {
+		t.Fatalf("first 18 grants split a=%d b=%d, want 12/6 (seq %v)", counts["a"], counts["b"], seq)
+	}
+	if seq[0] != "a" || seq[1] != "b" || seq[2] != "a" {
+		t.Errorf("grant prefix %v, want [a b a]: ties break by name, then the 1/weight stride interleaves", seq[:3])
+	}
+}
+
+// TestFairWorkConserving: a lone model must use every slot — fairness
+// must never idle capacity that has no competition.
+func TestFairWorkConserving(t *testing.T) {
+	d := NewFairDispatcher(2)
+	s := d.Slot("only", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := s.Acquire(ctx); err != nil {
+		t.Fatalf("second acquire should use the second slot: %v", err)
+	}
+	st, ok := d.Stats("only")
+	if !ok || st.Inflight != 2 {
+		t.Fatalf("inflight = %d (ok=%v), want 2", st.Inflight, ok)
+	}
+	if st.Share != 1 {
+		t.Errorf("share = %v, want 1 for the only model", st.Share)
+	}
+	s.Release()
+	s.Release()
+}
+
+// TestFairAcquireCtxCancel: a parked waiter must come back with the
+// context's error and leave no queue residue.
+func TestFairAcquireCtxCancel(t *testing.T) {
+	d := NewFairDispatcher(1)
+	s := d.Slot("m", 1)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Acquire(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, _ := d.Stats("m"); st.Waiting == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire returned %v, want context.Canceled", err)
+	}
+	if st, _ := d.Stats("m"); st.Waiting != 0 {
+		t.Errorf("waiting = %d after cancel, want 0", st.Waiting)
+	}
+	s.Release()
+	// The slot must still be grantable.
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatalf("post-cancel acquire: %v", err)
+	}
+	s.Release()
+}
+
+// TestFairRemoveOrphansWaiters: removing a model must fail its parked
+// waiters rather than strand them.
+func TestFairRemoveOrphansWaiters(t *testing.T) {
+	d := NewFairDispatcher(1)
+	hold := d.Slot("hold", 1)
+	if err := hold.Acquire(context.Background()); err != nil {
+		t.Fatalf("hold acquire: %v", err)
+	}
+	s := d.Slot("doomed", 1)
+	errc := make(chan error, 1)
+	go func() { errc <- s.Acquire(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, _ := d.Stats("doomed"); st.Waiting == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d.Remove("doomed")
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("acquire on a removed model succeeded, want an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("acquire still parked after Remove")
+	}
+	if _, ok := d.Stats("doomed"); ok {
+		t.Error("Stats still reports the removed model")
+	}
+	hold.Release()
+}
+
+// TestFairSlotSurvivesSwap: re-requesting a model's slot (what a hot
+// swap does) must keep its fair position instead of minting credit.
+func TestFairSlotSurvivesSwap(t *testing.T) {
+	d := NewFairDispatcher(1)
+	s1 := d.Slot("m", 3)
+	s2 := d.Slot("m", 3)
+	if err := s1.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	s1.Release()
+	if err := s2.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire on swapped slot: %v", err)
+	}
+	s2.Release()
+	st, ok := d.Stats("m")
+	if !ok || st.Grants != 2 {
+		t.Fatalf("grants = %d (ok=%v), want 2 accumulated across both slot handles", st.Grants, ok)
+	}
+}

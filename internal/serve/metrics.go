@@ -91,6 +91,13 @@ type Metrics struct {
 	// exit policy (successful responses, not errors).
 	degraded atomic.Int64
 
+	// evictions and warms count lifecycle cycles: evictions is how often
+	// the model's pool was released to the archive, warms how often it
+	// was restored from it on demand. Both survive the cycle (the metrics
+	// accumulator itself is what the archive retains).
+	evictions atomic.Int64
+	warms     atomic.Int64
+
 	// respCache is the model's cross-batch response cache, if any;
 	// Snapshot surfaces its hit/miss counters.
 	respCache atomic.Pointer[ResponseCache]
@@ -155,6 +162,14 @@ func (m *Metrics) ObserveShed() { m.errShed.Add(1) }
 // ObserveDegraded records a request served under the degraded-mode
 // tightened exit policy.
 func (m *Metrics) ObserveDegraded() { m.degraded.Add(1) }
+
+// ObserveEviction records the model being evicted (pool released,
+// conversion archived).
+func (m *Metrics) ObserveEviction() { m.evictions.Add(1) }
+
+// ObserveWarm records the model being restored from the archive on
+// demand.
+func (m *Metrics) ObserveWarm() { m.warms.Add(1) }
 
 // ObserveError records a failed request of unspecified origin; it counts
 // as a simulation-side error. Prefer the split observers.
@@ -398,6 +413,24 @@ type Snapshot struct {
 	PoolSize      int     `json:"poolSize"`
 	DegradeMode   string  `json:"degradeMode,omitempty"`
 	QueuePressure float64 `json:"queuePressure"`
+
+	// Lifecycle: the model's current state ("resident"/"evicted", filled
+	// by the server at scrape time) and how many evict/warm cycles it has
+	// been through (counted in the retained accumulator, so they survive
+	// the cycle they describe).
+	State     string `json:"state,omitempty"`
+	Evictions int64  `json:"evictions"`
+	Warms     int64  `json:"warms"`
+
+	// Fair-share gauges, filled by the server at scrape time when the
+	// weighted-fair dispatcher is enabled: configured weight, normalized
+	// share of the slot capacity, total slot grants, and how many of the
+	// model's batches are waiting for a slot right now (the starvation
+	// signal).
+	FairWeight  float64 `json:"fairWeight,omitempty"`
+	FairShare   float64 `json:"fairShare,omitempty"`
+	FairGrants  int64   `json:"fairGrants,omitempty"`
+	FairWaiting int     `json:"fairWaiting,omitempty"`
 }
 
 // stageStats summarizes one histogram; scale converts the stored unit
@@ -434,6 +467,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.SimulationErrors = m.errSim.Load()
 	s.Errors = s.AdmissionErrors + s.SheddedRequests + s.SimulationErrors
 	s.DegradedRequests = m.degraded.Load()
+	s.Evictions = m.evictions.Load()
+	s.Warms = m.warms.Load()
 	if s.Requests > 0 {
 		s.EarlyExitRate = float64(s.EarlyExits) / float64(s.Requests)
 		s.MeanSteps /= float64(s.Requests)

@@ -46,36 +46,26 @@ func (s *Server) writeProm(w io.Writer) error {
 		{Name: "detected", Value: kernels.DetectedLevel()},
 	}, 1)
 
-	// Stable model order so consecutive scrapes diff cleanly.
-	infos := s.reg.List()
-	names := make([]string, 0, len(infos))
-	for _, info := range infos {
-		names = append(names, info.Name)
-	}
-	sort.Strings(names)
+	resident, evicted, warming := s.lifecycleCounts()
+	pw.Header("burstsnn_resident_models", "Models resident with a live pool right now.", "gauge")
+	pw.Metric("burstsnn_resident_models", nil, float64(resident))
+	pw.Header("burstsnn_evicted_models", "Models evicted to the conversion archive right now.", "gauge")
+	pw.Metric("burstsnn_evicted_models", nil, float64(evicted))
+	pw.Header("burstsnn_warming_models", "Models mid-restore from the archive right now.", "gauge")
+	pw.Metric("burstsnn_warming_models", nil, float64(warming))
 
+	// Stable model order so consecutive scrapes diff cleanly; statRows is
+	// already name-sorted and includes evicted models (retained counters,
+	// zero live gauges).
 	type modelRow struct {
 		name string
-		m    *Model
+		met  *Metrics
 		snap Snapshot
 	}
-	rows := make([]modelRow, 0, len(names))
-	for _, name := range names {
-		m, err := s.reg.Get(name)
-		if err != nil {
-			continue
-		}
-		snap := m.Metrics().Snapshot()
-		s.mu.Lock()
-		b := s.batchers[name]
-		s.mu.Unlock()
-		if b != nil {
-			snap.QueueDepth = b.QueueDepth()
-			snap.DegradeMode, snap.QueuePressure = b.DegradeState()
-		}
-		snap.PoolInFlight = m.Pool().InFlight()
-		snap.PoolSize = m.Pool().Size()
-		rows = append(rows, modelRow{name, m, snap})
+	statrows := s.statRows()
+	rows := make([]modelRow, 0, len(statrows))
+	for _, row := range statrows {
+		rows = append(rows, modelRow{row.name, row.met, s.fillSnapshot(row)})
 	}
 
 	counter := func(name, help string, get func(Snapshot) float64) {
@@ -169,6 +159,12 @@ func (s *Server) writeProm(w io.Writer) error {
 	counter("burstsnn_degraded_requests_total",
 		"Requests served under the degraded-mode tightened exit policy.",
 		func(s Snapshot) float64 { return float64(s.DegradedRequests) })
+	counter("burstsnn_model_evictions_total",
+		"Evict cycles: pool released, conversion and metrics archived.",
+		func(s Snapshot) float64 { return float64(s.Evictions) })
+	counter("burstsnn_model_warms_total",
+		"Warm cycles: model restored from the archive on demand.",
+		func(s Snapshot) float64 { return float64(s.Warms) })
 
 	gauge("burstsnn_queue_depth", "Requests waiting in the model's admission queue right now.",
 		func(s Snapshot) float64 { return float64(s.QueueDepth) })
@@ -187,6 +183,27 @@ func (s *Server) writeProm(w io.Writer) error {
 			}
 			return 0
 		})
+	gauge("burstsnn_model_resident",
+		"1 while the model is resident with a live pool, 0 while evicted.",
+		func(s Snapshot) float64 {
+			if s.State == StateResident {
+				return 1
+			}
+			return 0
+		})
+
+	if s.fair != nil {
+		gauge("burstsnn_fair_weight", "Configured fair-share weight.",
+			func(s Snapshot) float64 { return s.FairWeight })
+		gauge("burstsnn_fair_share",
+			"Normalized fair share of the execution-slot capacity (weight over sum of weights).",
+			func(s Snapshot) float64 { return s.FairShare })
+		gauge("burstsnn_fair_waiting",
+			"Batches waiting for a fair execution slot right now (persistently high with few grants = starvation).",
+			func(s Snapshot) float64 { return float64(s.FairWaiting) })
+		counter("burstsnn_fair_grants_total", "Execution slots granted by the fair dispatcher.",
+			func(s Snapshot) float64 { return float64(s.FairGrants) })
+	}
 
 	pw.Header("burstsnn_batch_kernel_info",
 		"Resolved lockstep compute plane per model; value is always 1.", "gauge")
@@ -214,7 +231,7 @@ func (s *Server) writeProm(w io.Writer) error {
 		for st := obs.Stage(0); st < obs.NumStages; st++ {
 			pw.Histogram("burstsnn_stage_duration_seconds", []obs.Label{
 				{Name: "model", Value: r.name}, {Name: "stage", Value: st.String()},
-			}, r.m.Metrics().StageHistogram(st).Snapshot())
+			}, r.met.StageHistogram(st).Snapshot())
 		}
 	}
 
@@ -223,7 +240,7 @@ func (s *Server) writeProm(w io.Writer) error {
 	for _, r := range rows {
 		pw.Histogram("burstsnn_batch_occupancy",
 			[]obs.Label{{Name: "model", Value: r.name}},
-			r.m.Metrics().OccupancyHistogram().Snapshot())
+			r.met.OccupancyHistogram().Snapshot())
 	}
 
 	pw.Header("burstsnn_exit_prediction_error_steps",
@@ -232,7 +249,7 @@ func (s *Server) writeProm(w io.Writer) error {
 	for _, r := range rows {
 		pw.Histogram("burstsnn_exit_prediction_error_steps",
 			[]obs.Label{{Name: "model", Value: r.name}},
-			r.m.Metrics().ExitPredictionHistogram().Snapshot())
+			r.met.ExitPredictionHistogram().Snapshot())
 	}
 
 	return pw.Flush()

@@ -13,6 +13,15 @@ import (
 	"burstsnn/internal/dnn"
 )
 
+// Model lifecycle states reported by Info.State and Snapshot.State.
+const (
+	// StateResident: installed in the registry with a live pool.
+	StateResident = "resident"
+	// StateEvicted: unregistered with the conversion archived; the next
+	// request (or an explicit re-register) restores it.
+	StateEvicted = "evicted"
+)
+
 // ModelConfig declares one servable model: a named DNN plus the coding
 // hybrid it is converted under and the serving knobs.
 type ModelConfig struct {
@@ -63,6 +72,7 @@ type Model struct {
 	conv    *convert.Result
 	pool    *Pool
 	metrics *Metrics
+	quant   *coding.QuantCache
 	inSize  int
 	classes int
 	neurons int
@@ -93,6 +103,9 @@ type Info struct {
 	Steps     int        `json:"steps"`
 	Replicas  int        `json:"replicas"`
 	Exit      ExitPolicy `json:"exit"`
+	// State is "resident" for installed models and "evicted" for models
+	// whose conversion is archived awaiting warm-on-demand.
+	State string `json:"state,omitempty"`
 }
 
 // Info returns the model's description.
@@ -106,27 +119,63 @@ func (m *Model) Info() Info {
 		Steps:     m.cfg.Steps,
 		Replicas:  m.pool.Size(),
 		Exit:      m.cfg.Exit,
+		State:     StateResident,
+	}
+}
+
+// archived is an evicted model's retained shadow: the cached conversion
+// (so warming skips the expensive convert/normalize pass and rebuilds
+// only the replica pool), the config it was registered under, and the
+// metrics accumulator (so counters survive an evict/warm cycle exactly
+// like they survive a re-register).
+type archived struct {
+	cfg     ModelConfig
+	conv    *convert.Result
+	quant   *coding.QuantCache
+	metrics *Metrics
+	inSize  int
+	classes int
+	neurons int
+}
+
+func (a *archived) info() Info {
+	return Info{
+		Name:      a.cfg.Name,
+		Notation:  a.cfg.Hybrid.Notation(),
+		InputSize: a.inSize,
+		Classes:   a.classes,
+		Neurons:   a.neurons,
+		Steps:     a.cfg.Steps,
+		Replicas:  0,
+		Exit:      a.cfg.Exit,
+		State:     StateEvicted,
 	}
 }
 
 // Registry owns the servable models. Conversion runs once per registered
 // (model, hybrid) configuration; the ConvertResult is cached on the Model
-// and replicas are weight-sharing clones of it.
+// and replicas are weight-sharing clones of it. Evicted models move to an
+// archive keyed by the same name: their pool is released but the
+// conversion and metrics are retained so Restore is cheap and counters
+// are continuous.
 type Registry struct {
-	mu     sync.RWMutex
-	models map[string]*Model
+	mu      sync.RWMutex
+	models  map[string]*Model
+	archive map[string]*archived
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{models: map[string]*Model{}}
+	return &Registry{models: map[string]*Model{}, archive: map[string]*archived{}}
 }
 
-// Register converts net under cfg and installs it. normSamples feed the
-// activation-recording pass of weight normalization (typically the
-// model's training split). Registering an existing name replaces the old
-// model atomically but keeps its metrics history.
-func (r *Registry) Register(cfg ModelConfig, net *dnn.Network, normSamples []dataset.Sample) (*Model, error) {
+// Prepare converts net under cfg and builds a Model (pool, fresh
+// metrics) WITHOUT installing it. The caller pairs it with Install so
+// the registry swap can be made atomic with whatever else must swap
+// alongside it (the server swaps the request queue in the same critical
+// section). normSamples feed the activation-recording pass of weight
+// normalization (typically the model's training split).
+func (r *Registry) Prepare(cfg ModelConfig, net *dnn.Network, normSamples []dataset.Sample) (*Model, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("serve: model name must not be empty")
 	}
@@ -160,6 +209,13 @@ func (r *Registry) Register(cfg ModelConfig, net *dnn.Network, normSamples []dat
 	if err != nil {
 		return nil, fmt.Errorf("serve: model %q: %w", cfg.Name, err)
 	}
+	return r.build(cfg, conv)
+}
+
+// build assembles a Model around a conversion result: quant cache wired
+// into the proto encoder, replica pool, fresh metrics. Shared by Prepare
+// (fresh conversion) and Restore (archived conversion).
+func (r *Registry) build(cfg ModelConfig, conv *convert.Result) (*Model, error) {
 	// One quantization cache per registered model, attached to the proto
 	// encoder before the pool clones it so every replica (sequential and
 	// batched) shares it. Schemes without Reset-time quantization (real,
@@ -172,22 +228,48 @@ func (r *Registry) Register(cfg ModelConfig, net *dnn.Network, normSamples []dat
 	if err != nil {
 		return nil, fmt.Errorf("serve: model %q: %w", cfg.Name, err)
 	}
-	m := &Model{
+	return &Model{
 		cfg:     cfg,
 		conv:    conv,
 		pool:    pool,
 		metrics: NewMetrics(),
+		quant:   quant,
 		inSize:  conv.Net.Encoder.Size(),
 		classes: conv.Net.Output.NumNeurons(),
 		neurons: conv.Net.NumNeurons(),
-	}
+	}, nil
+}
+
+// Install makes a prepared model resident. If a model of the same name
+// is resident (or archived from an eviction), the new model adopts its
+// metrics accumulator so history is continuous; any archive entry is
+// consumed. Returns the prior resident model (nil if none).
+func (r *Registry) Install(m *Model) *Model {
 	r.mu.Lock()
-	if old, ok := r.models[cfg.Name]; ok {
+	old := r.models[m.cfg.Name]
+	if old != nil {
 		m.metrics = old.metrics
+	} else if a, ok := r.archive[m.cfg.Name]; ok {
+		m.metrics = a.metrics
 	}
-	m.metrics.AttachQuantCache(quant)
-	r.models[cfg.Name] = m
+	m.metrics.AttachQuantCache(m.quant)
+	delete(r.archive, m.cfg.Name)
+	r.models[m.cfg.Name] = m
 	r.mu.Unlock()
+	return old
+}
+
+// Register converts net under cfg and installs it. Registering an
+// existing name replaces the old model atomically but keeps its metrics
+// history. Direct registry users get the combined operation; the server
+// uses Prepare+Install so the install can share a critical section with
+// its own request-queue swap.
+func (r *Registry) Register(cfg ModelConfig, net *dnn.Network, normSamples []dataset.Sample) (*Model, error) {
+	m, err := r.Prepare(cfg, net, normSamples)
+	if err != nil {
+		return nil, err
+	}
+	r.Install(m)
 	return m, nil
 }
 
@@ -201,6 +283,80 @@ func (r *Registry) RegisterFile(cfg ModelConfig, path string, normSamples []data
 	return r.Register(cfg, net, normSamples)
 }
 
+// Unregister removes the named model. With archive=true (eviction) the
+// conversion and metrics move to the archive so Restore can bring the
+// model back without re-converting; with archive=false the name is
+// forgotten entirely (any archive entry included). Returns the removed
+// resident model, nil if the name was only archived or unknown.
+func (r *Registry) Unregister(name string, archive bool) (*Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, resident := r.models[name]
+	if !resident && r.archive[name] == nil {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	delete(r.models, name)
+	if !archive {
+		delete(r.archive, name)
+		return m, nil
+	}
+	if resident {
+		r.archive[name] = &archived{
+			cfg:     m.cfg,
+			conv:    m.conv,
+			quant:   m.quant,
+			metrics: m.metrics,
+			inSize:  m.inSize,
+			classes: m.classes,
+			neurons: m.neurons,
+		}
+	}
+	return m, nil
+}
+
+// Restore builds a fresh Model for an evicted name from its archived
+// conversion (pool rebuilt, conversion and metrics reused). The result
+// is NOT installed — pair with Install, exactly like Prepare.
+func (r *Registry) Restore(name string) (*Model, error) {
+	r.mu.RLock()
+	a, ok := r.archive[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: model %q is not archived", name)
+	}
+	return r.build(a.cfg, a.conv)
+}
+
+// Known reports whether name is resident or archived — i.e. whether a
+// Classify for it can possibly be served (directly or after warming).
+func (r *Registry) Known(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, resident := r.models[name]
+	_, evicted := r.archive[name]
+	return resident || evicted
+}
+
+// Archived reports whether name is evicted-but-restorable.
+func (r *Registry) Archived(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.archive[name]
+	return ok
+}
+
+// ArchivedStats returns each archived model's retained metrics, keyed by
+// name, so exposition can keep reporting evicted models' counters.
+func (r *Registry) ArchivedStats() map[string]*Metrics {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]*Metrics, len(r.archive))
+	for name, a := range r.archive {
+		out[name] = a.metrics
+	}
+	return out
+}
+
 // Get returns the named model.
 func (r *Registry) Get(name string) (*Model, error) {
 	r.mu.RLock()
@@ -212,12 +368,28 @@ func (r *Registry) Get(name string) (*Model, error) {
 	return m, nil
 }
 
-// List returns every registered model's Info, sorted by name.
+// List returns every resident model's Info, sorted by name.
 func (r *Registry) List() []Info {
 	r.mu.RLock()
 	infos := make([]Info, 0, len(r.models))
 	for _, m := range r.models {
 		infos = append(infos, m.Info())
+	}
+	r.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// ListAll returns resident and evicted models' Infos, sorted by name.
+// Evicted entries carry State "evicted" and zero replicas.
+func (r *Registry) ListAll() []Info {
+	r.mu.RLock()
+	infos := make([]Info, 0, len(r.models)+len(r.archive))
+	for _, m := range r.models {
+		infos = append(infos, m.Info())
+	}
+	for _, a := range r.archive {
+		infos = append(infos, a.info())
 	}
 	r.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })

@@ -135,6 +135,29 @@ type Config struct {
 	// (overload-testing hook used by the selftest to saturate a pool
 	// deterministically; zero in production).
 	InjectLatency time.Duration
+	// MaxResidentModels bounds how many models stay resident at once
+	// (0 = unbounded). Registering or warming past the bound evicts the
+	// least-recently-used other model: its queue drains on the live pool,
+	// the pool is released, and the conversion + metrics are archived so
+	// the next request for the name warms it back in transparently (see
+	// internal/README.md "Model lifecycle & fairness").
+	MaxResidentModels int
+	// EvictIdle, when positive, evicts any resident model that has served
+	// no request for this long (same archive/warm cycle as the resident
+	// bound). Zero disables idle eviction.
+	EvictIdle time.Duration
+	// FairSlots enables the cross-model weighted-fair dispatcher with
+	// this many execution slots: every batch acquires a slot before
+	// replica checkout, and slots are granted across models in weighted
+	// start-time-fair order, so one saturated model cannot starve the
+	// others' share of the machine. 0 auto-enables with GOMAXPROCS slots
+	// when ModelWeights is non-empty (off otherwise); negative forces it
+	// off.
+	FairSlots int
+	// ModelWeights assigns fair-share weights by model name (unlisted
+	// models weigh 1; weights ≤ 0 are treated as 1). Non-empty weights
+	// auto-enable the fair dispatcher (see FairSlots).
+	ModelWeights map[string]float64
 	// TraceCapacity bounds the recent-trace ring behind GET /v1/trace
 	// (default 256 traces; negative disables tracing entirely).
 	TraceCapacity int
@@ -268,7 +291,10 @@ type ClassifyResult struct {
 }
 
 // Server is the inference-serving frontend: a Registry plus one
-// microbatching queue per model and the HTTP API.
+// microbatching queue per model and the HTTP API. Each resident model is
+// one entry — an atomically-swapped (model, batcher) pair — so a request
+// can never pair one registration's weights with another's queue (see
+// lifecycle.go for the registration/eviction/warming state machine).
 type Server struct {
 	cfg   Config
 	reg   *Registry
@@ -277,22 +303,39 @@ type Server struct {
 	// (nil when tracing is disabled); reqID numbers requests.
 	traces *obs.Ring
 	reqID  atomic.Uint64
+	// fair is the cross-model weighted-fair slot dispatcher (nil unless
+	// enabled; see Config.FairSlots).
+	fair *FairDispatcher
 
-	mu       sync.Mutex
-	batchers map[string]*Batcher
-	httpSrv  *http.Server
-	lnAddr   string
-	closed   bool
+	mu      sync.Mutex
+	entries map[string]*entry
+	warming map[string]*warmOp
+	httpSrv *http.Server
+	lnAddr  string
+	closed  bool
+
+	// evictStop/evictDone bracket the idle evictor goroutine (nil when
+	// Config.EvictIdle is zero).
+	evictStop chan struct{}
+	evictDone chan struct{}
 }
 
 // New builds a Server with an empty registry.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		reg:      NewRegistry(),
-		start:    time.Now(),
-		batchers: map[string]*Batcher{},
+		cfg:     cfg,
+		reg:     NewRegistry(),
+		start:   time.Now(),
+		entries: map[string]*entry{},
+		warming: map[string]*warmOp{},
+	}
+	if cfg.FairSlots > 0 || (cfg.FairSlots == 0 && len(cfg.ModelWeights) > 0) {
+		capacity := cfg.FairSlots
+		if capacity <= 0 {
+			capacity = runtime.GOMAXPROCS(0)
+		}
+		s.fair = NewFairDispatcher(capacity)
 	}
 	if cfg.TraceCapacity > 0 {
 		thr := cfg.SlowTraceThreshold
@@ -300,6 +343,11 @@ func New(cfg Config) *Server {
 			thr = 0 // pinning disabled
 		}
 		s.traces = obs.NewRing(cfg.TraceCapacity, 32, thr)
+	}
+	if cfg.EvictIdle > 0 {
+		s.evictStop = make(chan struct{})
+		s.evictDone = make(chan struct{})
+		go s.evictIdleLoop()
 	}
 	return s
 }
@@ -311,16 +359,28 @@ func (s *Server) Traces() *obs.Ring { return s.traces }
 // Registry exposes the model registry (for listing or direct pool use).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Register converts and installs a model (see Registry.Register) and
-// starts its request queue. The batch kernel variant is picked here,
-// once: every replica of the model will build (at most) one lockstep
-// simulator on the configured plane, and /metrics reports the resolved
-// variant as batchKernel.
-func (s *Server) Register(cfg ModelConfig, net *dnn.Network, normSamples []dataset.Sample) (*Model, error) {
+// collaborators is a registration's per-model pipeline state built from
+// the server config: scheduling policy, exit history, response cache,
+// and degrade controller. A fresh set is built for every install —
+// initial registration, hot swap, and evict/warm restore alike.
+type collaborators struct {
+	sched   Scheduler
+	history *ExitHistory
+	cache   *ResponseCache
+	degrade *DegradeController
+	f32     bool
+}
+
+// buildCollaborators resolves the kernel plane and scheduling policy
+// from the server config. The batch kernel variant is picked here, once
+// per install: every replica of the model will build (at most) one
+// lockstep simulator on the configured plane, and /metrics reports the
+// resolved variant as batchKernel.
+func (s *Server) buildCollaborators() (collaborators, error) {
 	switch s.cfg.BatchKernel {
 	case BatchKernelF32, BatchKernelF64:
 	default:
-		return nil, fmt.Errorf("serve: unknown batch kernel %q (want %q or %q)",
+		return collaborators{}, fmt.Errorf("serve: unknown batch kernel %q (want %q or %q)",
 			s.cfg.BatchKernel, BatchKernelF32, BatchKernelF64)
 	}
 	f32 := s.cfg.BatchKernel != BatchKernelF64
@@ -355,48 +415,45 @@ func (s *Server) Register(cfg ModelConfig, net *dnn.Network, normSamples []datas
 			sched = NewStaticSched(0)
 		}
 	default:
-		return nil, fmt.Errorf("serve: unknown lockstep mode %q (want %q, %q, %q, or %q)",
+		return collaborators{}, fmt.Errorf("serve: unknown lockstep mode %q (want %q, %q, %q, or %q)",
 			s.cfg.LockstepBatch, LockstepAuto, LockstepStatic, LockstepOn, LockstepOff)
 	}
-	var history *ExitHistory
+	c := collaborators{sched: sched, f32: f32}
 	if s.cfg.ExitHistorySize >= 0 {
-		history = NewExitHistory(s.cfg.ExitHistorySize)
+		c.history = NewExitHistory(s.cfg.ExitHistorySize)
 	}
-	var cache *ResponseCache
 	if s.cfg.ResponseCacheSize >= 0 {
-		cache = NewResponseCache(s.cfg.ResponseCacheSize, s.cfg.ResponseCacheTTL)
+		c.cache = NewResponseCache(s.cfg.ResponseCacheSize, s.cfg.ResponseCacheTTL)
 	}
-	var degrade *DegradeController
 	if s.cfg.Degrade {
-		degrade = NewDegradeController(0, 0)
+		c.degrade = NewDegradeController(0, 0)
 	}
-	m, err := s.reg.Register(cfg, net, normSamples)
+	return c, nil
+}
+
+// Register converts a model and makes it resident with a live request
+// queue. Re-registering a name hot-swaps it: the (model, batcher) pair
+// is replaced atomically — no request can pair the new model's weights
+// with the old queue or vice versa — and the displaced queue hands its
+// requests to the new one, so a swap under load costs latency, never
+// errors. If the install pushes the resident count past
+// Config.MaxResidentModels, the least-recently-used other model is
+// evicted.
+func (s *Server) Register(cfg ModelConfig, net *dnn.Network, normSamples []dataset.Sample) (*Model, error) {
+	c, err := s.buildCollaborators()
 	if err != nil {
 		return nil, err
 	}
-	m.Metrics().SetBatchKernel(resolvedKernel(s.cfg.BatchKernel))
-	m.Metrics().SetScheduler(sched.Name())
-	m.Metrics().AttachExitHistory(history)
-	m.Metrics().AttachResponseCache(cache)
-	s.mu.Lock()
-	old := s.batchers[cfg.Name]
-	s.batchers[cfg.Name] = NewBatcher(m.Pool(), BatcherConfig{
-		Metrics:       m.Metrics(),
-		Sched:         sched,
-		History:       history,
-		Cache:         cache,
-		Degrade:       degrade,
-		F32:           f32,
-		MaxBatch:      s.cfg.MaxBatch,
-		MaxDelay:      s.cfg.MaxDelay,
-		QueueDepth:    s.cfg.QueueDepth,
-		InjectLatency: s.cfg.InjectLatency,
-	})
-	s.mu.Unlock()
-	if old != nil {
-		old.Close()
+	m, err := s.reg.Prepare(cfg, net, normSamples)
+	if err != nil {
+		return nil, err
 	}
-	return m, nil
+	e, err := s.installModel(m, c)
+	if err != nil {
+		return nil, err
+	}
+	s.enforceResidentBound(cfg.Name)
+	return e.model, nil
 }
 
 // RegisterFile loads a dnn.SaveModelFile model and registers it.
@@ -410,43 +467,61 @@ func (s *Server) RegisterFile(cfg ModelConfig, path string, normSamples []datase
 
 // Classify runs one request through the model's batching queue and
 // replica pool. It is the in-process path the HTTP handler, the selftest
-// load generator, and offline evaluation all share.
+// load generator, and offline evaluation all share. An evicted model is
+// warmed back in transparently (the request blocks behind the
+// singleflight restore); a request that races a hot swap or eviction
+// re-resolves the entry instead of failing.
 func (s *Server) Classify(ctx context.Context, req ClassifyRequest) (ClassifyResult, error) {
 	rid := s.requestID()
-	m, err := s.reg.Get(req.Model)
-	if err != nil {
-		return ClassifyResult{}, err
-	}
-	if len(req.Image) != m.InputSize() {
-		m.Metrics().ObserveAdmissionError()
-		return ClassifyResult{}, fmt.Errorf("serve: model %q expects %d pixels, got %d",
-			req.Model, m.InputSize(), len(req.Image))
-	}
-	policy := m.Config().Exit
-	if req.MaxSteps != 0 {
-		if req.MaxSteps < 0 || req.MaxSteps > m.Config().Steps {
-			m.Metrics().ObserveAdmissionError()
-			return ClassifyResult{}, fmt.Errorf("serve: maxSteps must be in [1,%d], got %d",
-				m.Config().Steps, req.MaxSteps)
-		}
-		policy.MaxSteps = req.MaxSteps
-		if policy.MinSteps > policy.MaxSteps {
-			policy.MinSteps = policy.MaxSteps
-		}
-	}
-	if req.NoEarlyExit {
-		policy.StableWindow = 0
-	}
-	s.mu.Lock()
-	b := s.batchers[req.Model]
-	s.mu.Unlock()
-	if b == nil {
-		return ClassifyResult{}, fmt.Errorf("serve: model %q has no request queue", req.Model)
-	}
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	began := time.Now()
-	out, stages, flags, err := b.SubmitTraced(ctx, req.Image, policy)
+	var (
+		m      *Model
+		policy ExitPolicy
+		out    Outcome
+		stages obs.StageTimes
+		flags  SubmitFlags
+		err    error
+	)
+	for attempt := 0; ; attempt++ {
+		var e *entry
+		e, err = s.resolveEntry(ctx, req.Model)
+		if err != nil {
+			return ClassifyResult{}, err
+		}
+		m = e.model
+		if len(req.Image) != m.InputSize() {
+			m.Metrics().ObserveAdmissionError()
+			return ClassifyResult{}, fmt.Errorf("serve: model %q expects %d pixels, got %d",
+				req.Model, m.InputSize(), len(req.Image))
+		}
+		policy = m.Config().Exit
+		if req.MaxSteps != 0 {
+			if req.MaxSteps < 0 || req.MaxSteps > m.Config().Steps {
+				m.Metrics().ObserveAdmissionError()
+				return ClassifyResult{}, fmt.Errorf("serve: maxSteps must be in [1,%d], got %d",
+					m.Config().Steps, req.MaxSteps)
+			}
+			policy.MaxSteps = req.MaxSteps
+			if policy.MinSteps > policy.MaxSteps {
+				policy.MinSteps = policy.MaxSteps
+			}
+		}
+		if req.NoEarlyExit {
+			policy.StableWindow = 0
+		}
+		e.touch()
+		out, stages, flags, err = e.batcher.SubmitTraced(ctx, req.Image, policy)
+		if err != nil && errors.Is(err, ErrClosed) && attempt < 3 && !s.isClosed() {
+			// The entry was evicted or unregistered between resolve and
+			// submit: re-resolve (warming the model back in if it was
+			// evicted; 404ing if it is truly gone). Hot swaps never land
+			// here — the displaced batcher forwards to its successor.
+			continue
+		}
+		break
+	}
 	latency := time.Since(began)
 	if err != nil {
 		// Split error accounting three ways: overload sheds (queue full,
@@ -585,6 +660,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("DELETE /v1/models/{name}", s.handleUnregister)
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -624,7 +700,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			// malformed request.
 			status = http.StatusGatewayTimeout
 		}
-		if _, getErr := s.reg.Get(req.Model); getErr != nil {
+		if !s.reg.Known(req.Model) {
 			status = http.StatusNotFound
 		}
 		writeError(w, status, err)
@@ -639,12 +715,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 // it sheds on that shard's behalf.
 func (s *Server) RetryAfter(model string) time.Duration {
 	s.mu.Lock()
-	b := s.batchers[model]
+	e := s.entries[model]
 	s.mu.Unlock()
-	if b == nil {
+	if e == nil {
 		return time.Second
 	}
-	return b.RetryAfter()
+	return e.batcher.RetryAfter()
 }
 
 // Pressure reports the model queue's smoothed fill fraction in [0,1]
@@ -652,12 +728,12 @@ func (s *Server) RetryAfter(model string) time.Duration {
 // signal. Zero for unknown models.
 func (s *Server) Pressure(model string) float64 {
 	s.mu.Lock()
-	b := s.batchers[model]
+	e := s.entries[model]
 	s.mu.Unlock()
-	if b == nil {
+	if e == nil {
 		return 0
 	}
-	return b.Pressure()
+	return e.batcher.Pressure()
 }
 
 // ResizePool retargets the model's replica pool within [1, MaxReplicas]
@@ -683,7 +759,9 @@ func (s *Server) retryAfterSeconds(model string) int {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.List()})
+	// ListAll: evicted models stay listed (state "evicted", 0 replicas) —
+	// they are still servable, one warm away.
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.ListAll()})
 }
 
 // handleTrace serves the recent-trace ring: the newest traces (up to
@@ -733,11 +811,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	// degraded" without parsing /metrics.
 	overload := map[string]any{}
 	s.mu.Lock()
-	for name, b := range s.batchers {
-		mode, pressure := b.DegradeState()
+	for name, e := range s.entries {
+		mode, pressure := e.batcher.DegradeState()
 		overload[name] = map[string]any{"mode": mode, "queuePressure": pressure}
 	}
 	s.mu.Unlock()
+	resident, evicted, warmingN := s.lifecycleCounts()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"uptimeSec":  time.Since(s.start).Seconds(),
@@ -745,8 +824,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"version":    version,
 		"goVersion":  runtime.Version(),
 		"goroutines": runtime.NumGoroutine(),
-		"models":     len(s.reg.List()),
-		"overload":   overload,
+		"models":     resident,
+		"lifecycle": map[string]int{
+			"resident": resident, "evicted": evicted, "warming": warmingN,
+		},
+		"overload": overload,
 		"kernels": map[string]string{
 			// active is the tier actually dispatching (after any
 			// KERNELS_LEVEL / ForceLevel override); detected is what CPUID
@@ -757,26 +839,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// snapshotModels collects one Snapshot per registered model with the
-// live gauges (queue depth, pool checkouts) filled in at scrape time.
+// snapshotModels collects one Snapshot per known model — resident or
+// evicted (retained metrics, zero live gauges) — with the live gauges
+// (queue depth, pool checkouts, fair share) filled in at scrape time.
 func (s *Server) snapshotModels() map[string]Snapshot {
 	models := map[string]Snapshot{}
-	for _, info := range s.reg.List() {
-		m, err := s.reg.Get(info.Name)
-		if err != nil {
-			continue
-		}
-		snap := m.Metrics().Snapshot()
-		s.mu.Lock()
-		b := s.batchers[info.Name]
-		s.mu.Unlock()
-		if b != nil {
-			snap.QueueDepth = b.QueueDepth()
-			snap.DegradeMode, snap.QueuePressure = b.DegradeState()
-		}
-		snap.PoolInFlight = m.Pool().InFlight()
-		snap.PoolSize = m.Pool().Size()
-		models[info.Name] = snap
+	for _, row := range s.statRows() {
+		models[row.name] = s.fillSnapshot(row)
 	}
 	return models
 }
@@ -786,9 +855,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.handleMetricsProm(w, r)
 		return
 	}
+	resident, evicted, warmingN := s.lifecycleCounts()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptimeSec": time.Since(s.start).Seconds(),
-		"models":    s.snapshotModels(),
+		"lifecycle": map[string]int{
+			"resident": resident, "evicted": evicted, "warming": warmingN,
+		},
+		"models": s.snapshotModels(),
 	})
 }
 
@@ -841,8 +914,9 @@ func (s *Server) Addr() string {
 }
 
 // Shutdown gracefully stops the server: the HTTP listener stops accepting,
-// in-flight requests finish (bounded by ctx), then every model queue
-// drains. Safe to call without a running HTTP server.
+// in-flight requests finish (bounded by ctx), the idle evictor stops,
+// then every model queue drains. Safe to call without a running HTTP
+// server.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -851,12 +925,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.closed = true
 	srv := s.httpSrv
-	batchers := make([]*Batcher, 0, len(s.batchers))
-	for _, b := range s.batchers {
-		batchers = append(batchers, b)
+	batchers := make([]*Batcher, 0, len(s.entries))
+	for _, e := range s.entries {
+		batchers = append(batchers, e.batcher)
 	}
 	s.mu.Unlock()
 
+	if s.evictStop != nil {
+		close(s.evictStop)
+		<-s.evictDone
+	}
 	var err error
 	if srv != nil {
 		err = srv.Shutdown(ctx)

@@ -39,40 +39,35 @@ type ModelShardStats struct {
 	PoolMax       int     `json:"poolMax"`
 }
 
-// ShardStats collects the shard-facing stats for every registered model.
+// ShardStats collects the shard-facing stats for every known model —
+// evicted models included (retained counters, zero pool/pressure
+// gauges), so fleet exposition stays continuous across evict/warm
+// cycles.
 func (s *Server) ShardStats() ShardStats {
 	out := ShardStats{
 		UptimeSec: time.Since(s.start).Seconds(),
 		Models:    map[string]ModelShardStats{},
 	}
-	for _, info := range s.reg.List() {
-		m, err := s.reg.Get(info.Name)
-		if err != nil {
-			continue
-		}
-		mm := m.Metrics()
+	for _, row := range s.statRows() {
 		ms := ModelShardStats{
-			Counters:      mm.Snapshot(),
-			Stages:        make(map[string]obs.HistSnapshot, obs.NumStages),
-			Occupancy:     mm.OccupancyHistogram().Snapshot(),
-			Pressure:      s.Pressure(info.Name),
-			RetryAfterSec: s.RetryAfter(info.Name).Seconds(),
-			PoolSize:      m.Pool().Size(),
-			PoolMax:       m.Pool().Max(),
+			Counters:  s.fillSnapshot(row),
+			Stages:    make(map[string]obs.HistSnapshot, obs.NumStages),
+			Occupancy: row.met.OccupancyHistogram().Snapshot(),
 		}
 		for st := obs.Stage(0); st < obs.NumStages; st++ {
-			ms.Stages[st.String()] = mm.StageHistogram(st).Snapshot()
+			ms.Stages[st.String()] = row.met.StageHistogram(st).Snapshot()
 		}
-		s.mu.Lock()
-		b := s.batchers[info.Name]
-		s.mu.Unlock()
-		if b != nil {
-			ms.Counters.QueueDepth = b.QueueDepth()
-			ms.Counters.DegradeMode, ms.Counters.QueuePressure = b.DegradeState()
+		if row.batcher != nil {
+			ms.Pressure = row.batcher.Pressure()
+			ms.RetryAfterSec = row.batcher.RetryAfter().Seconds()
+		} else {
+			ms.RetryAfterSec = time.Second.Seconds()
 		}
-		ms.Counters.PoolInFlight = m.Pool().InFlight()
-		ms.Counters.PoolSize = m.Pool().Size()
-		out.Models[info.Name] = ms
+		if row.pool != nil {
+			ms.PoolSize = row.pool.Size()
+			ms.PoolMax = row.pool.Max()
+		}
+		out.Models[row.name] = ms
 	}
 	return out
 }
