@@ -93,9 +93,12 @@ func (fr *Front) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	evict := r.URL.Query().Get("mode") == "evict"
 	if err := fr.f.Unregister(name, evict); err != nil {
-		status := http.StatusNotFound
-		if errors.Is(err, ErrWorkerDown) {
-			status = http.StatusServiceUnavailable
+		// Not-found only when a shard actually said so; anything else
+		// (worker down, shutdown, partial broadcast) is the fleet
+		// declining, not the model missing.
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, serve.ErrUnknownModel) {
+			status = http.StatusNotFound
 		}
 		writeError(w, status, err)
 		return

@@ -201,6 +201,11 @@ func (w *ProcWorker) Unregister(model string, evict bool) error {
 		return fmt.Errorf("%w: %v", ErrWorkerDown, err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// Preserve the worker's unknown-model verdict across the wire so
+		// the Front's status mapping matches the in-process path.
+		return fmt.Errorf("fleet: unregister %s: %s: %w", model, readErr(resp.Body), serve.ErrUnknownModel)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("fleet: unregister %s: %s: %s", model, resp.Status, readErr(resp.Body))
 	}

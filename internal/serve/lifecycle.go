@@ -24,7 +24,7 @@ package serve
 
 import (
 	"context"
-	"fmt"
+	"errors"
 	"net/http"
 	"sort"
 	"sync/atomic"
@@ -42,13 +42,20 @@ type entry struct {
 
 func (e *entry) touch() { e.lastUse.Store(time.Now().UnixNano()) }
 
-// warmOp is one singleflight warm of an evicted model: the leader
-// restores and installs, everyone else waits on done.
+// warmOp is one singleflight warm of an evicted model: the leader's
+// goroutine restores and installs, every waiter (leader included)
+// selects on done against its own context.
 type warmOp struct {
 	done chan struct{}
 	e    *entry
 	err  error
 }
+
+// errStaleWarm aborts a warm install whose name saw another install or a
+// removal since the warm was claimed: the restored model reflects a
+// superseded archive entry and must not clobber the current state. Never
+// surfaces to callers — the resolve loop re-observes and retries.
+var errStaleWarm = errors.New("serve: warm superseded by a concurrent install or removal")
 
 func (s *Server) isClosed() bool {
 	s.mu.Lock()
@@ -73,27 +80,25 @@ func (s *Server) resolveEntry(ctx context.Context, name string) (*entry, error) 
 		}
 		if !s.reg.Archived(name) {
 			s.mu.Unlock()
-			return nil, fmt.Errorf("serve: unknown model %q", name)
+			return nil, errUnknownModel(name)
 		}
 		op := s.warming[name]
-		leader := op == nil
-		if leader {
+		if op == nil {
 			op = &warmOp{done: make(chan struct{})}
 			s.warming[name] = op
+			// The restore runs detached from the claiming request: the
+			// leader's deadline must not strand followers mid-warm, and the
+			// leader itself waits below exactly like a follower, so an
+			// expired context returns promptly while the warm completes in
+			// the background. The epoch is sampled here, under the same
+			// critical section that observed "no entry, archived".
+			go s.runWarm(name, op, s.epochs[name])
 		}
 		s.mu.Unlock()
-		if leader {
-			op.e, op.err = s.warm(name)
-			s.mu.Lock()
-			delete(s.warming, name)
-			s.mu.Unlock()
-			close(op.done)
-		} else {
-			select {
-			case <-op.done:
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
+		select {
+		case <-op.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 		if op.err != nil {
 			return nil, op.err
@@ -101,15 +106,38 @@ func (s *Server) resolveEntry(ctx context.Context, name string) (*entry, error) 
 		if op.e != nil {
 			return op.e, nil
 		}
-		// The warm raced a removal; loop and re-resolve from scratch.
+		// The warm raced a removal or a concurrent install; loop and
+		// re-resolve from scratch.
+	}
+}
+
+// runWarm is the warm leader's body. The warmOp is resolved — deleted
+// from s.warming and its done channel closed — BEFORE the resident bound
+// is enforced: enforceResidentBound can block in remove() on some other
+// name's in-flight warm, and if this op were still open that warm's own
+// bound enforcement could symmetrically block on us (the cross-warm
+// deadlock under MaxResidentModels).
+func (s *Server) runWarm(name string, op *warmOp, epoch uint64) {
+	op.e, op.err = s.warm(name, epoch)
+	s.mu.Lock()
+	delete(s.warming, name)
+	s.mu.Unlock()
+	close(op.done)
+	if op.err == nil && op.e != nil {
+		s.enforceResidentBound(name)
 	}
 }
 
 // warm restores an evicted model from its archived conversion and makes
 // it resident again. The restore skips conversion entirely — only the
 // replica pool is rebuilt — and the installed model re-adopts the
-// archived metrics, so counters are continuous across the cycle.
-func (s *Server) warm(name string) (*entry, error) {
+// archived metrics, so counters are continuous across the cycle. The
+// install is epoch-guarded: if any other install or removal touched the
+// name between the leader claiming the warm and the restore finishing
+// (e.g. an explicit Register with fresh weights), the restored model is
+// dropped instead of clobbering the newer state, and (nil, nil) sends
+// the resolve loop back to re-observe.
+func (s *Server) warm(name string, epoch uint64) (*entry, error) {
 	c, err := s.buildCollaborators()
 	if err != nil {
 		return nil, err
@@ -118,12 +146,14 @@ func (s *Server) warm(name string) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := s.installModel(m, c)
+	e, err := s.installModelAt(m, c, epoch, true)
+	if errors.Is(err, errStaleWarm) {
+		return nil, nil
+	}
 	if err != nil {
 		return nil, err
 	}
 	e.model.Metrics().ObserveWarm()
-	s.enforceResidentBound(name)
 	return e, nil
 }
 
@@ -133,6 +163,15 @@ func (s *Server) warm(name string) (*entry, error) {
 // swap that closes the stale-weights window. The displaced batcher, if
 // any, hands its queued requests to the new one outside the lock.
 func (s *Server) installModel(m *Model, c collaborators) (*entry, error) {
+	return s.installModelAt(m, c, 0, false)
+}
+
+// installModelAt is installModel with an optional lifecycle-epoch guard:
+// with guard set, the install aborts (errStaleWarm) unless the name's
+// epoch still equals epoch — i.e. no other install or removal has
+// touched the name since the caller sampled it. Every successful install
+// advances the epoch, so in-flight guarded installs for the name abort.
+func (s *Server) installModelAt(m *Model, c collaborators, epoch uint64, guard bool) (*entry, error) {
 	name := m.Config().Name
 	var fair *FairSlot
 	if s.fair != nil {
@@ -143,6 +182,11 @@ func (s *Server) installModel(m *Model, c collaborators) (*entry, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if guard && s.epochs[name] != epoch {
+		s.mu.Unlock()
+		return nil, errStaleWarm
+	}
+	s.epochs[name]++
 	old := s.entries[name]
 	// Install first: the new model adopts the prior registration's (or
 	// archive's) metrics here, so the batcher below observes into the
@@ -223,10 +267,16 @@ func (s *Server) Evict(name string) error { return s.remove(name, true) }
 func (s *Server) remove(name string, evict bool) error {
 	for {
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
 		if op := s.warming[name]; op != nil {
 			// A warm for this name is mid-install: wait for it so the
 			// removal drains the entry it is about to create instead of
-			// racing it back to residency.
+			// racing it back to residency. Safe to block on — warmOps
+			// resolve before any eviction they trigger (see runWarm), so
+			// no warm's completion can transitively wait on this remove.
 			s.mu.Unlock()
 			<-op.done
 			continue
@@ -235,6 +285,9 @@ func (s *Server) remove(name string, evict bool) error {
 			s.mu.Unlock()
 			return err
 		}
+		// Advance the epoch so a warm claimed before this removal cannot
+		// install its now-superseded restore afterwards.
+		s.epochs[name]++
 		e := s.entries[name]
 		delete(s.entries, name)
 		s.mu.Unlock()
@@ -359,7 +412,9 @@ func (s *Server) fillSnapshot(row statRow) Snapshot {
 }
 
 // handleUnregister serves DELETE /v1/models/{name}: mode=evict archives
-// (the default removes the model for good). 404 for unknown names.
+// (the default removes the model for good). 404 strictly for unknown
+// names; shutdown and any other failure report 503 — the server is
+// declining, not denying the model exists.
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	evict := r.URL.Query().Get("mode") == "evict"
@@ -370,7 +425,11 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 		err = s.Unregister(name)
 	}
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, ErrUnknownModel) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
 		return
 	}
 	state := "unregistered"

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -431,6 +433,201 @@ func TestFairNoStarvationUnderSaturation(t *testing.T) {
 	cold, ok := s.fair.Stats("cold")
 	if !ok || cold.Grants == 0 {
 		t.Fatalf("cold fair stats = %+v (ok=%v), want grants > 0", cold, ok)
+	}
+}
+
+// TestConcurrentWarmsResidentBoundNoDeadlock: two evicted models warming
+// concurrently under MaxResidentModels=1 must not deadlock. Before the
+// warmOp was resolved ahead of bound enforcement, each warm's
+// enforceResidentBound picked the other model as victim and remove()
+// blocked on the other's still-open warmOp — a permanent cross-warm
+// deadlock this watchdog catches.
+func TestConcurrentWarmsResidentBoundNoDeadlock(t *testing.T) {
+	net, set := testModel(t)
+	s := New(Config{MaxResidentModels: 1, ResponseCacheSize: -1})
+	t.Cleanup(func() { _ = s.Shutdown(context.Background()) })
+	for _, name := range []string{"alpha", "beta"} {
+		cfg := lifecycleModelConfig(name)
+		cfg.Replicas = 1
+		if _, err := s.Register(cfg, net, set.Train); err != nil {
+			t.Fatalf("Register %s: %v", name, err)
+		}
+	}
+	// Force both out so every round's classifies start from a warm.
+	for _, name := range []string{"alpha", "beta"} {
+		_ = s.Evict(name) // one may already be evicted by the bound
+	}
+
+	// Continuous churn, no barrier between requests: with every request
+	// for the non-resident name starting a warm whose bound enforcement
+	// evicts the other name, warms for both names are perpetually in
+	// flight and overlap constantly — the interleaving the deadlock
+	// needs. 30 requests per worker finish in well under a second when
+	// warms resolve; a deadlock freezes every worker until the watchdog.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		img := probeImages(1)[0]
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				names := []string{"alpha", "beta"}
+				for i := 0; i < 30; i++ {
+					name := names[(w+i)%2]
+					if _, err := s.Classify(context.Background(), ClassifyRequest{
+						Model: name, Image: img,
+					}); err != nil {
+						t.Errorf("worker %d request %d (%s): %v", w, i, name, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("concurrent warms under the resident bound deadlocked")
+	}
+	if resident, _, _ := s.lifecycleCounts(); resident > 1 {
+		t.Errorf("%d resident models, bound is 1", resident)
+	}
+}
+
+// TestWarmCannotClobberConcurrentRegister pins the epoch guard: a warm
+// that restored the archived conversion, then lost the race to an
+// explicit Register of fresh weights, must abort its install instead of
+// atomically replacing the NEW registration with the OLD archive. The
+// test reproduces the exact interleaving white-box — restore, then
+// register, then the warm's guarded install.
+func TestWarmCannotClobberConcurrentRegister(t *testing.T) {
+	net, set := testModel(t)
+	alt := altTestModel(t)
+	s := New(Config{ResponseCacheSize: -1})
+	t.Cleanup(func() { _ = s.Shutdown(context.Background()) })
+	if _, err := s.Register(lifecycleModelConfig("digits"), net, set.Train); err != nil {
+		t.Fatalf("Register v1: %v", err)
+	}
+	images := probeImages(10)
+	predsV1 := classifyPreds(t, s, "digits", images)
+	if _, err := s.Register(lifecycleModelConfig("digits"), alt, set.Train); err != nil {
+		t.Fatalf("Register v2: %v", err)
+	}
+	predsV2 := classifyPreds(t, s, "digits", images)
+	var diff []int
+	for i := range images {
+		if predsV1[i] != predsV2[i] {
+			diff = append(diff, i)
+		}
+	}
+	if len(diff) == 0 {
+		t.Skip("v1 and v2 agree on every probe image; no stale-weights discriminator")
+	}
+
+	// Back to v1 resident, then evict: the archive holds v1.
+	if _, err := s.Register(lifecycleModelConfig("digits"), net, set.Train); err != nil {
+		t.Fatalf("Register v1 again: %v", err)
+	}
+	if err := s.Evict("digits"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+
+	// The warm leader's first half: sample the epoch and restore v1.
+	s.mu.Lock()
+	epoch := s.epochs["digits"]
+	s.mu.Unlock()
+	c, err := s.buildCollaborators()
+	if err != nil {
+		t.Fatalf("buildCollaborators: %v", err)
+	}
+	restored, err := s.reg.Restore("digits")
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	// A concurrent Register of fresh v2 weights lands in between.
+	if _, err := s.Register(lifecycleModelConfig("digits"), alt, set.Train); err != nil {
+		t.Fatalf("Register v2 mid-warm: %v", err)
+	}
+
+	// The warm's install must now abort, not resurrect v1.
+	if _, err := s.installModelAt(restored, c, epoch, true); !errors.Is(err, errStaleWarm) {
+		t.Fatalf("guarded install after concurrent register: err = %v, want errStaleWarm", err)
+	}
+	for _, i := range diff {
+		res, err := s.Classify(context.Background(), ClassifyRequest{Model: "digits", Image: images[i]})
+		if err != nil {
+			t.Fatalf("post-race image %d: %v", i, err)
+		}
+		if res.Prediction != predsV2[i] {
+			t.Fatalf("image %d: prediction %d from the stale archived weights, want %d from the fresh registration",
+				i, res.Prediction, predsV2[i])
+		}
+	}
+}
+
+// TestWarmLeaderHonorsContext: the request that claims the singleflight
+// warm must still observe its own context — it returns promptly when the
+// context is done while the restore completes in the background for
+// everyone else.
+func TestWarmLeaderHonorsContext(t *testing.T) {
+	net, set := testModel(t)
+	s := New(Config{ResponseCacheSize: -1})
+	t.Cleanup(func() { _ = s.Shutdown(context.Background()) })
+	if _, err := s.Register(lifecycleModelConfig("digits"), net, set.Train); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	img := probeImages(1)[0]
+	if err := s.Evict("digits"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Classify(ctx, ClassifyRequest{Model: "digits", Image: img}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader with cancelled context: err = %v, want context.Canceled", err)
+	}
+	// The detached warm still completes and the model serves again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if resident, _, warming := s.lifecycleCounts(); resident == 1 && warming == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			resident, evicted, warming := s.lifecycleCounts()
+			t.Fatalf("background warm never completed: resident=%d evicted=%d warming=%d", resident, evicted, warming)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := s.Classify(context.Background(), ClassifyRequest{Model: "digits", Image: img}); err != nil {
+		t.Fatalf("classify after background warm: %v", err)
+	}
+}
+
+// TestUnregisterHTTPStatus: DELETE /v1/models/{name} distinguishes
+// unknown names (404) from the server refusing (503 after shutdown) —
+// before the ErrUnknownModel sentinel every failure read as 404.
+func TestUnregisterHTTPStatus(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+	do := func(name string) int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/models/"+name, nil))
+		return rec.Code
+	}
+	if code := do("nope"); code != http.StatusNotFound {
+		t.Errorf("unknown model: status %d, want 404", code)
+	}
+	if code := do("digits"); code != http.StatusOK {
+		t.Errorf("known model: status %d, want 200", code)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if code := do("digits"); code != http.StatusServiceUnavailable {
+		t.Errorf("unregister after shutdown: status %d, want 503", code)
 	}
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -12,6 +13,18 @@ import (
 	"burstsnn/internal/dataset"
 	"burstsnn/internal/dnn"
 )
+
+// ErrUnknownModel tags "no such model" failures — the name is neither
+// resident nor archived — so callers (notably the HTTP handlers) can
+// distinguish a true 404 from shutdown or internal errors. Always
+// wrapped with the offending name; match with errors.Is.
+var ErrUnknownModel = errors.New("serve: unknown model")
+
+// errUnknownModel wraps ErrUnknownModel with the name, preserving the
+// historical "serve: unknown model %q" message.
+func errUnknownModel(name string) error {
+	return fmt.Errorf("%w %q", ErrUnknownModel, name)
+}
 
 // Model lifecycle states reported by Info.State and Snapshot.State.
 const (
@@ -293,7 +306,7 @@ func (r *Registry) Unregister(name string, archive bool) (*Model, error) {
 	defer r.mu.Unlock()
 	m, resident := r.models[name]
 	if !resident && r.archive[name] == nil {
-		return nil, fmt.Errorf("serve: unknown model %q", name)
+		return nil, errUnknownModel(name)
 	}
 	delete(r.models, name)
 	if !archive {
@@ -363,7 +376,7 @@ func (r *Registry) Get(name string) (*Model, error) {
 	m, ok := r.models[name]
 	r.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown model %q", name)
+		return nil, errUnknownModel(name)
 	}
 	return m, nil
 }

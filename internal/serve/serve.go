@@ -310,6 +310,12 @@ type Server struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	warming map[string]*warmOp
+	// epochs counts installs and removals per model name. A warm leader
+	// samples the epoch when it claims the singleflight and installs only
+	// if it is unchanged, so a restore can never clobber a newer
+	// registration (or resurrect a name removed mid-warm). Never deleted:
+	// a fresh epoch of 0 after removal could alias a sampled one.
+	epochs  map[string]uint64
 	httpSrv *http.Server
 	lnAddr  string
 	closed  bool
@@ -329,6 +335,7 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		entries: map[string]*entry{},
 		warming: map[string]*warmOp{},
+		epochs:  map[string]uint64{},
 	}
 	if cfg.FairSlots > 0 || (cfg.FairSlots == 0 && len(cfg.ModelWeights) > 0) {
 		capacity := cfg.FairSlots
